@@ -1,0 +1,55 @@
+//===- fig4_training_dynamics.cpp - Fig. 4: GRPO reward curves -------------===//
+//
+// Paper Fig. 4: training dynamics of GRPO under (a) the correctness reward
+// and (b) the latency reward, raw series plus the 0.95-EMA smoothing the
+// paper plots. Printed as step series suitable for plotting; expected
+// shape: both EMA curves rise, (b) starting near zero (the latency reward
+// is sparse until the policy finds faster-than-reference rewrites).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace veriopt;
+
+namespace {
+
+void series(const char *Title, const std::vector<TrainLogEntry> &Log) {
+  std::printf("\n%s\n", Title);
+  std::printf("%6s %10s %10s %10s %8s\n", "step", "reward", "ema(0.95)",
+              "equiv", "copies");
+  size_t Stride = std::max<size_t>(1, Log.size() / 25);
+  for (size_t I = 0; I < Log.size(); I += Stride)
+    std::printf("%6u %10.4f %10.4f %9.1f%% %7.1f%%\n", Log[I].Step,
+                Log[I].MeanReward, Log[I].EMAReward,
+                100 * Log[I].EquivalentRate, 100 * Log[I].CopyRate);
+  if (!Log.empty())
+    std::printf("%6u %10.4f %10.4f %9.1f%% %7.1f%%  (final)\n",
+                Log.back().Step, Log.back().MeanReward, Log.back().EMAReward,
+                100 * Log.back().EquivalentRate, 100 * Log.back().CopyRate);
+}
+
+} // namespace
+
+int main() {
+  bench::header("Fig. 4 — GRPO training dynamics (raw + EMA-0.95)",
+                "Fig. 4(a)/(b)");
+
+  Dataset DS = buildDataset(bench::benchDataset());
+  PipelineArtifacts Art = runTrainingPipeline(DS, bench::benchPipeline());
+
+  series("(a) correctness-oriented stage (Eq.1 + CoT reward, augmented "
+         "prompts)",
+         Art.Stage2Log);
+  series("(b) latency-oriented stage (Eq.4 reward, generic prompt)",
+         Art.Stage3Log);
+
+  double A0 = Art.Stage2Log.front().EMAReward;
+  double A1 = Art.Stage2Log.back().EMAReward;
+  double B0 = Art.Stage3Log.front().EMAReward;
+  double B1 = Art.Stage3Log.back().EMAReward;
+  std::printf("\nEMA rise: correctness %.3f -> %.3f, latency %.3f -> %.3f "
+              "(paper: both curves rise monotonically after smoothing)\n",
+              A0, A1, B0, B1);
+  return 0;
+}

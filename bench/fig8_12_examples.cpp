@@ -1,0 +1,198 @@
+//===- fig8_12_examples.cpp - Figs. 8-12: qualitative code examples --------===//
+//
+// Reproduces the paper's qualitative examples: cases where the emergent
+// rewrites (mem2reg/simplifycfg-flavoured) beat the reference peephole pass
+// (Figs. 8-10) and cases where a capacity-limited model misses patterns the
+// reference pass implements (Figs. 11-12). Every transformation shown is
+// checked by the Alive-lite validator before printing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "cost/CostModel.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "verify/AliveLite.h"
+
+using namespace veriopt;
+
+namespace {
+
+void example(const char *Title, const char *Input,
+             bool UseExtended /* veriopt-style emergent pipeline */) {
+  std::printf("---- %s ----\n", Title);
+  auto M = parseModule(Input);
+  if (!M) {
+    std::printf("  (parse error: %s)\n", M.error().render().c_str());
+    return;
+  }
+  Function *Src = M.value()->getMainFunction();
+
+  auto Ref = Src->clone();
+  runReferencePipeline(*Ref);
+  auto Emergent = Src->clone();
+  if (UseExtended)
+    runExtendedPipeline(*Emergent);
+  else
+    runReferencePipeline(*Emergent);
+
+  auto VRef = verifyRefinement(*Src, *Ref);
+  auto VEm = verifyRefinement(*Src, *Emergent);
+
+  std::printf("input (-O0), latency %.0f:\n%s\n", estimateLatency(*Src),
+              printFunction(*Src).c_str());
+  std::printf("instcombine (verified: %s), latency %.0f:\n%s\n",
+              VRef.equivalent() ? "yes" : "NO", estimateLatency(*Ref),
+              printFunction(*Ref).c_str());
+  std::printf("veriopt-style (verified: %s), latency %.0f:\n%s\n",
+              VEm.equivalent() ? "yes" : "NO", estimateLatency(*Emergent),
+              printFunction(*Emergent).c_str());
+}
+
+} // namespace
+
+int main() {
+  bench::header("Figs. 8-12 — qualitative examples (all Alive-verified)",
+                "Figs. 8-12");
+
+  // Fig. 8: two i32 stores of zero into an i64 slot, loaded back whole.
+  // The GEP-split, size-mismatched stores block both instcombine's
+  // forwarding AND our emergent pipeline (mem2reg refuses partial-access
+  // allocas) — this reproduction's pass substrate does not synthesize the
+  // paper's `ret i64 0` rewrite. The *validator* fully supports it: the
+  // extra check below proves the paper's emergent answer equivalent, which
+  // is the capability the paper's reward loop actually depends on.
+  example("Fig. 8 — simplification to a constant", R"(
+%struct.S = type { i32, i32 }
+define i64 @get_d() {
+  %1 = alloca i64, align 8
+  %2 = bitcast i64* %1 to i32*
+  store i32 0, i32* %2, align 8
+  %3 = getelementptr inbounds %struct.S, %struct.S* %1, i64 0, i32 1
+  store i32 0, i32* %3, align 4
+  %4 = load i64, i64* %1, align 8
+  ret i64 %4
+}
+)",
+          true);
+  {
+    // The paper's emergent answer, proven by the validator.
+    auto M = parseModule(R"(
+%struct.S = type { i32, i32 }
+define i64 @get_d() {
+  %1 = alloca i64, align 8
+  %2 = bitcast i64* %1 to i32*
+  store i32 0, i32* %2, align 8
+  %3 = getelementptr inbounds %struct.S, %struct.S* %1, i64 0, i32 1
+  store i32 0, i32* %3, align 4
+  %4 = load i64, i64* %1, align 8
+  ret i64 %4
+}
+)");
+    auto VR = verifyCandidateText(*M.value()->getMainFunction(),
+                                  "define i64 @get_d() {\n  ret i64 0\n}\n");
+    std::printf("the paper's emergent rewrite `ret i64 0`: Alive-lite says "
+                "%s\n\n",
+                VR.equivalent() ? "EQUIVALENT" : VR.Diagnostic.c_str());
+  }
+
+  // Fig. 9: redundant alloca/store/load traffic around a guarded call.
+  example("Fig. 9 — removing redundant allocas, stores and loads", R"(
+declare void @foo(i32)
+define i64 @f28(i64 %0, i64 %1) {
+  %3 = alloca i64, align 8
+  %4 = add i64 %0, %1
+  store i64 %4, i64* %3, align 8
+  %5 = icmp ugt i64 %4, %0
+  br i1 %5, label %good, label %bad
+bad:
+  call void @foo(i32 0)
+  br label %good
+good:
+  %7 = load i64, i64* %3, align 8
+  ret i64 %7
+}
+)",
+          true);
+
+  // Fig. 10: simplifycfg-style diamond-to-select emergence.
+  example("Fig. 10 — emergent simplifycfg-style behaviour", R"(
+define i32 @opt_u1(i32 %0) {
+  %2 = alloca i32, align 4
+  store i32 %0, i32* %2, align 4
+  %3 = icmp ult i32 %0, 10
+  br i1 %3, label %4, label %5
+4:
+  br label %10
+5:
+  %6 = load i32, i32* %2, align 4
+  %7 = add i32 %6, -12
+  %8 = lshr i32 %7, 2
+  %9 = add i32 %8, 3
+  br label %10
+10:
+  %storemerge = phi i32 [ %9, %5 ], [ 0, %4 ]
+  ret i32 %storemerge
+}
+)",
+          true);
+
+  // Fig. 11: a capacity-limited model misses the lshr+trunc+add pattern
+  // instcombine gets; we show the reference result and what a model that
+  // lacks the Shift family would produce (nothing).
+  std::printf("---- Fig. 11 — the reference pass spots a superior "
+              "simplification a small model misses ----\n");
+  {
+    const char *Input = R"(
+define i32 @f8(i64 %0) {
+  %2 = lshr i64 %0, 61
+  %3 = trunc i64 %2 to i32
+  %4 = shl i32 %3, 2
+  %5 = lshr i32 %4, 2
+  %6 = add i32 %5, 1
+  ret i32 %6
+}
+)";
+    auto M = parseModule(Input);
+    Function *Src = M.value()->getMainFunction();
+    auto Full = Src->clone();
+    runReferencePipeline(*Full);
+    // Capacity-limited model: no Shift family.
+    PassManager Limited;
+    Limited.add(createInstCombinePass(AllRuleCats &
+                                      ~ruleCatBit(RuleCat::Shift)));
+    auto Partial = Src->clone();
+    Limited.runToFixpoint(*Partial);
+    std::printf("input latency %.0f | instcombine %.0f | shift-blind model "
+                "%.0f (both verified: %s/%s)\n",
+                estimateLatency(*Src), estimateLatency(*Full),
+                estimateLatency(*Partial),
+                verifyRefinement(*Src, *Full).equivalent() ? "yes" : "NO",
+                verifyRefinement(*Src, *Partial).equivalent() ? "yes" : "NO");
+    std::printf("instcombine:\n%sshift-blind:\n%s\n",
+                printFunction(*Full).c_str(),
+                printFunction(*Partial).c_str());
+  }
+
+  // Fig. 12: full precalculation — constant folding collapses everything;
+  // a constfold-blind model returns the input unchanged.
+  std::printf("---- Fig. 12 — the reference pass fully precalculates ----\n");
+  {
+    const char *Input = R"(
+define i32 @aqua_baldo() {
+  %1 = mul i32 -53, 3
+  %2 = add i32 %1, 0
+  ret i32 %2
+}
+)";
+    auto M = parseModule(Input);
+    Function *Src = M.value()->getMainFunction();
+    auto Full = Src->clone();
+    runReferencePipeline(*Full);
+    std::printf("instcombine result (verified: %s):\n%s\n",
+                verifyRefinement(*Src, *Full).equivalent() ? "yes" : "NO",
+                printFunction(*Full).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+//===- verify_transform.cpp - Using the Alive-lite validator directly -------===//
+//
+// Demonstrates the verification workflow the RL reward is built on: check
+// candidate rewrites (as IR text, the way an LLM emits them) against a
+// source function and inspect the four-way outcome taxonomy plus the
+// diagnostic text that gets folded back into training prompts.
+//
+// Build & run:  ./build/examples/verify_transform
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "verify/AliveLite.h"
+
+#include <cstdio>
+
+using namespace veriopt;
+
+namespace {
+
+void check(const Function &Src, const char *Label, const char *Candidate) {
+  VerifyResult R = verifyCandidateText(Src, Candidate);
+  const char *Status = "";
+  switch (R.Status) {
+  case VerifyStatus::Equivalent:
+    Status = "EQUIVALENT";
+    break;
+  case VerifyStatus::NotEquivalent:
+    Status = "NOT EQUIVALENT (semantic error)";
+    break;
+  case VerifyStatus::SyntaxError:
+    Status = "SYNTAX ERROR";
+    break;
+  case VerifyStatus::Inconclusive:
+    Status = "INCONCLUSIVE";
+    break;
+  }
+  std::printf("[%s] %s  (category: %s%s%s)\n", Label, Status,
+              diagKindName(R.Kind),
+              R.FoundByFalsification ? ", found by concrete testing" : "",
+              R.BoundedOnly ? ", bounded proof" : "");
+  std::printf("%s\n", R.Diagnostic.c_str());
+}
+
+} // namespace
+
+int main() {
+  const char *Source = R"(
+define i32 @clamp_add(i32 %x) {
+  %big = icmp sgt i32 %x, 100
+  br i1 %big, label %cap, label %grow
+cap:
+  br label %out
+grow:
+  %sum = add i32 %x, 10
+  br label %out
+out:
+  %r = phi i32 [ 100, %cap ], [ %sum, %grow ]
+  ret i32 %r
+}
+)";
+  auto M = parseModule(Source);
+  if (!M) {
+    std::printf("parse error: %s\n", M.error().render().c_str());
+    return 1;
+  }
+  Function *Src = M.value()->getMainFunction();
+
+  // A correct rewrite: the diamond becomes a select.
+  check(*Src, "select rewrite", R"(
+define i32 @clamp_add(i32 %x) {
+  %big = icmp sgt i32 %x, 100
+  %sum = add i32 %x, 10
+  %r = select i1 %big, i32 100, i32 %sum
+  ret i32 %r
+}
+)");
+
+  // A subtly wrong rewrite: the predicate is off by one.
+  check(*Src, "off-by-one predicate", R"(
+define i32 @clamp_add(i32 %x) {
+  %big = icmp sgt i32 %x, 101
+  %sum = add i32 %x, 10
+  %r = select i1 %big, i32 100, i32 %sum
+  ret i32 %r
+}
+)");
+
+  // A poison-introducing rewrite. Note the subtlety: adding nsw to %sum
+  // inside the *select* form would still verify, because the overflowing
+  // arm is only selected when %x <= 100. Poison must be observable to be a
+  // bug, so we demonstrate on an unconditional add instead.
+  {
+    auto M2 = parseModule("define i32 @bump(i32 %x) {\n"
+                          "  %r = add i32 %x, 10\n  ret i32 %r\n}\n");
+    check(*M2.value()->getMainFunction(), "unjustified nsw",
+          "define i32 @bump(i32 %x) {\n"
+          "  %r = add nsw i32 %x, 10\n  ret i32 %r\n}\n");
+  }
+
+  // A hallucinated output (the Table-I syntax-error class).
+  check(*Src, "hallucination",
+        "define i32 @clamp_add(i32 %x) {\n  %r = add i32 %x, %undefined\n"
+        "  ret i32 %r\n");
+  return 0;
+}

@@ -1,0 +1,178 @@
+//===- CFG.cpp - Control-flow graph utilities --------------------------------//
+
+#include "analysis/CFG.h"
+
+#include <algorithm>
+
+namespace veriopt {
+
+std::vector<BasicBlock *> successors(const BasicBlock *BB) {
+  std::vector<BasicBlock *> Out;
+  Instruction *T = BB->getTerminator();
+  if (!T)
+    return Out;
+  if (auto *Br = dyn_cast<BrInst>(T))
+    for (unsigned I = 0; I < Br->getNumSuccessors(); ++I)
+      Out.push_back(Br->getSuccessor(I));
+  return Out;
+}
+
+CFG::CFG(const Function &F) : F(F) {
+  // Build succ/pred maps over all blocks.
+  for (const auto &BB : F) {
+    Succs[BB.get()] = successors(BB.get());
+    Preds[BB.get()]; // ensure entry exists
+  }
+  for (const auto &BB : F)
+    for (BasicBlock *S : Succs[BB.get()])
+      Preds[S].push_back(BB.get());
+
+  if (F.empty())
+    return;
+
+  // Iterative DFS computing post-order and cycle detection (gray/black).
+  enum Color { White, Gray, Black };
+  std::unordered_map<const BasicBlock *, Color> Colors;
+  std::vector<BasicBlock *> Post;
+  struct Frame {
+    BasicBlock *BB;
+    size_t NextSucc;
+  };
+  std::vector<Frame> Stack;
+  BasicBlock *Entry = F.getEntryBlock();
+  Stack.push_back({Entry, 0});
+  Colors[Entry] = Gray;
+  Reachable.insert(Entry);
+  while (!Stack.empty()) {
+    Frame &Fr = Stack.back();
+    auto &SuccList = Succs[Fr.BB];
+    if (Fr.NextSucc < SuccList.size()) {
+      BasicBlock *S = SuccList[Fr.NextSucc++];
+      Color C = Colors.count(S) ? Colors[S] : White;
+      if (C == Gray)
+        Cyclic = true;
+      if (C == White) {
+        Colors[S] = Gray;
+        Reachable.insert(S);
+        Stack.push_back({S, 0});
+      }
+      continue;
+    }
+    Colors[Fr.BB] = Black;
+    Post.push_back(Fr.BB);
+    Stack.pop_back();
+  }
+  RPO.assign(Post.rbegin(), Post.rend());
+}
+
+const std::vector<BasicBlock *> &CFG::preds(const BasicBlock *BB) const {
+  auto It = Preds.find(BB);
+  return It == Preds.end() ? Empty : It->second;
+}
+
+const std::vector<BasicBlock *> &CFG::succs(const BasicBlock *BB) const {
+  auto It = Succs.find(BB);
+  return It == Succs.end() ? Empty : It->second;
+}
+
+std::vector<BasicBlock *> CFG::unreachableBlocks() const {
+  std::vector<BasicBlock *> Out;
+  for (const auto &BB : F)
+    if (!Reachable.count(BB.get()))
+      Out.push_back(BB.get());
+  return Out;
+}
+
+DominatorTree::DominatorTree(const Function &F) : F(F), G(F) {
+  const auto &Order = G.rpo();
+  for (unsigned I = 0; I < Order.size(); ++I)
+    RPONum[Order[I]] = I;
+  if (Order.empty())
+    return;
+
+  BasicBlock *Entry = Order.front();
+  IDom[Entry] = Entry;
+
+  auto intersect = [&](BasicBlock *A, BasicBlock *B) {
+    while (A != B) {
+      while (RPONum.at(A) > RPONum.at(B))
+        A = IDom.at(A);
+      while (RPONum.at(B) > RPONum.at(A))
+        B = IDom.at(B);
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned I = 1; I < Order.size(); ++I) {
+      BasicBlock *BB = Order[I];
+      BasicBlock *NewIDom = nullptr;
+      for (BasicBlock *P : G.preds(BB)) {
+        if (!IDom.count(P))
+          continue; // unprocessed or unreachable
+        NewIDom = NewIDom ? intersect(NewIDom, P) : P;
+      }
+      if (!NewIDom)
+        continue;
+      auto It = IDom.find(BB);
+      if (It == IDom.end() || It->second != NewIDom) {
+        IDom[BB] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+BasicBlock *DominatorTree::idom(const BasicBlock *BB) const {
+  auto It = IDom.find(BB);
+  if (It == IDom.end())
+    return nullptr;
+  if (It->second == BB)
+    return nullptr; // entry
+  return It->second;
+}
+
+bool DominatorTree::dominates(const BasicBlock *A, const BasicBlock *B) const {
+  if (!G.isReachable(B))
+    return true; // vacuous: unreachable code is dominated by everything
+  if (A == B)
+    return true;
+  const BasicBlock *Cur = B;
+  while (true) {
+    auto It = IDom.find(Cur);
+    if (It == IDom.end() || It->second == Cur)
+      return false; // reached entry
+    Cur = It->second;
+    if (Cur == A)
+      return true;
+  }
+}
+
+bool DominatorTree::dominatesUse(const Instruction *Def,
+                                 const Instruction *User,
+                                 unsigned OpIdx) const {
+  const BasicBlock *DefBB = Def->getParent();
+  if (const auto *Phi = dyn_cast<PhiInst>(User)) {
+    // A phi use happens on the edge from the incoming block: the def must
+    // dominate the *end* of that block.
+    const BasicBlock *Incoming = Phi->getIncomingBlock(OpIdx);
+    if (DefBB == Incoming)
+      return true; // any def in the incoming block reaches its end
+    return dominates(DefBB, Incoming);
+  }
+  const BasicBlock *UseBB = User->getParent();
+  if (DefBB != UseBB)
+    return dominates(DefBB, UseBB);
+  // Same block: the def must appear strictly earlier.
+  for (const auto &I : *DefBB) {
+    if (I.get() == Def)
+      return true;
+    if (I.get() == User)
+      return false;
+  }
+  return false;
+}
+
+} // namespace veriopt

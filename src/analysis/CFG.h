@@ -1,0 +1,83 @@
+//===- CFG.h - Control-flow graph utilities ----------------------*- C++ -*-=//
+//
+// On-demand CFG views over a Function: successor/predecessor maps, reverse
+// post-order, reachability, an iterative dominator tree, and back-edge
+// detection (used by the bounded-unrolling symbolic executor and the passes).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_ANALYSIS_CFG_H
+#define VERIOPT_ANALYSIS_CFG_H
+
+#include "ir/Function.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace veriopt {
+
+/// Successor blocks of \p BB (empty if unterminated or for ret).
+std::vector<BasicBlock *> successors(const BasicBlock *BB);
+
+/// A snapshot CFG of a function; invalidated by any CFG mutation.
+class CFG {
+public:
+  explicit CFG(const Function &F);
+
+  const std::vector<BasicBlock *> &preds(const BasicBlock *BB) const;
+  const std::vector<BasicBlock *> &succs(const BasicBlock *BB) const;
+
+  /// Blocks in reverse post-order from the entry (unreachable blocks
+  /// excluded).
+  const std::vector<BasicBlock *> &rpo() const { return RPO; }
+
+  bool isReachable(const BasicBlock *BB) const {
+    return Reachable.count(BB) != 0;
+  }
+
+  /// Blocks not reachable from entry.
+  std::vector<BasicBlock *> unreachableBlocks() const;
+
+  /// True if the CFG (restricted to reachable blocks) contains a cycle.
+  bool hasCycle() const { return Cyclic; }
+
+private:
+  const Function &F;
+  std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>> Preds;
+  std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>> Succs;
+  std::vector<BasicBlock *> RPO;
+  std::unordered_set<const BasicBlock *> Reachable;
+  bool Cyclic = false;
+  std::vector<BasicBlock *> Empty;
+};
+
+/// Immediate-dominator tree (Cooper–Harvey–Kennedy iterative algorithm).
+class DominatorTree {
+public:
+  explicit DominatorTree(const Function &F);
+
+  /// Immediate dominator of \p BB; nullptr for the entry block and
+  /// unreachable blocks.
+  BasicBlock *idom(const BasicBlock *BB) const;
+
+  /// Does \p A dominate \p B? (A block dominates itself.) Unreachable blocks
+  /// are dominated by everything, matching LLVM's convention.
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+
+  /// Does instruction \p Def dominate the use in instruction \p User at
+  /// operand index \p OpIdx? Handles phi uses (which occur at the end of the
+  /// incoming block) and same-block ordering.
+  bool dominatesUse(const Instruction *Def, const Instruction *User,
+                    unsigned OpIdx) const;
+
+private:
+  const Function &F;
+  CFG G;
+  std::unordered_map<const BasicBlock *, BasicBlock *> IDom;
+  std::unordered_map<const BasicBlock *, unsigned> RPONum;
+};
+
+} // namespace veriopt
+
+#endif // VERIOPT_ANALYSIS_CFG_H

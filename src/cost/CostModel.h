@@ -1,0 +1,47 @@
+//===- CostModel.h - Latency / ICount / binary-size models -------*- C++ -*-=//
+//
+// The paper's three efficiency metrics (§IV-C):
+//  - Estimated latency: per-instruction latency on an AArch64-flavoured
+//    model (stand-in for LLVM's getInstructionCost(TCK_Latency)), summed
+//    over the whole function.
+//  - Instruction count: number of IR instructions.
+//  - Binary size: estimated encoded bytes of .text+.data, following the
+//    LLM-Compiler methodology of excluding .bss.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_COST_COSTMODEL_H
+#define VERIOPT_COST_COSTMODEL_H
+
+#include "ir/Instruction.h"
+
+#include <cstdint>
+
+namespace veriopt {
+
+class Function;
+
+/// Per-instruction latency in abstract cycles (AArch64-flavoured: cheap ALU
+/// ops 1, multiplies 3, divisions 10+, memory 4, branches 1).
+double instructionLatency(const Instruction &I);
+
+/// Latency weight for an opcode with default operand assumptions (used by
+/// the interpreter's dynamic accounting).
+double opcodeLatency(Opcode Op);
+
+/// Static estimated latency of a function: sum of instructionLatency over
+/// every instruction (the paper's module-level TCK_Latency sum).
+double estimateLatency(const Function &F);
+
+/// IR instruction count.
+unsigned instructionCount(const Function &F);
+
+/// Estimated binary size in bytes (.text + .data equivalent): fixed 4-byte
+/// AArch64 encodings, with expansions for instructions that need more than
+/// one machine op (wide immediates, division guards) and no bytes for IR
+/// artifacts that vanish at selection (allocas fold into the frame).
+unsigned binarySize(const Function &F);
+
+} // namespace veriopt
+
+#endif // VERIOPT_COST_COSTMODEL_H

@@ -1,0 +1,667 @@
+//===- MiniC.cpp - Synthetic C-like functions and their -O0 lowering ----------//
+
+#include "data/MiniC.h"
+
+#include "ir/IRBuilder.h"
+
+#include <set>
+#include <sstream>
+
+namespace veriopt {
+
+//===----------------------------------------------------------------------===//
+// Rendering (C-like, for docs and examples)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string cType(unsigned W) { return "uint" + std::to_string(W) + "_t"; }
+
+const char *binOpText(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "+";
+  case Opcode::Sub:
+    return "-";
+  case Opcode::Mul:
+    return "*";
+  case Opcode::UDiv:
+    return "/";
+  case Opcode::URem:
+    return "%";
+  case Opcode::Shl:
+    return "<<";
+  case Opcode::LShr:
+    return ">>";
+  case Opcode::AShr:
+    return ">>";
+  case Opcode::And:
+    return "&";
+  case Opcode::Or:
+    return "|";
+  case Opcode::Xor:
+    return "^";
+  default:
+    return "?";
+  }
+}
+
+const char *cmpText(ICmpPred P) {
+  switch (P) {
+  case ICmpPred::EQ:
+    return "==";
+  case ICmpPred::NE:
+    return "!=";
+  case ICmpPred::UGT:
+  case ICmpPred::SGT:
+    return ">";
+  case ICmpPred::UGE:
+  case ICmpPred::SGE:
+    return ">=";
+  case ICmpPred::ULT:
+  case ICmpPred::SLT:
+    return "<";
+  case ICmpPred::ULE:
+  case ICmpPred::SLE:
+    return "<=";
+  }
+  return "?";
+}
+
+std::string indentStr(unsigned N) { return std::string(N * 2, ' '); }
+
+} // namespace
+
+std::string MCExpr::render() const {
+  std::ostringstream OS;
+  switch (K) {
+  case Const:
+    OS << Value;
+    break;
+  case VarRef:
+    OS << "v" << Index;
+    break;
+  case ParamRef:
+    OS << "p" << Index;
+    break;
+  case Binary:
+    OS << "(" << Ops[0]->render() << " " << binOpText(BinOp) << " "
+       << Ops[1]->render() << ")";
+    break;
+  case Compare:
+    OS << "(" << Ops[0]->render() << " " << cmpText(CmpPred) << " "
+       << Ops[1]->render() << ")";
+    break;
+  case Ternary:
+    OS << "(" << Ops[0]->render() << " ? " << Ops[1]->render() << " : "
+       << Ops[2]->render() << ")";
+    break;
+  case Cast:
+    OS << "(" << cType(Width) << ")" << Ops[0]->render();
+    break;
+  }
+  return OS.str();
+}
+
+std::string MCStmt::render(unsigned Indent) const {
+  std::ostringstream OS;
+  std::string Pad = indentStr(Indent);
+  switch (K) {
+  case Assign:
+    OS << Pad << "v" << Index << " = " << Val->render() << ";\n";
+    break;
+  case If:
+    OS << Pad << "if " << Cond->render() << " {\n";
+    for (const auto &S : Then)
+      OS << S->render(Indent + 1);
+    if (!Else.empty()) {
+      OS << Pad << "} else {\n";
+      for (const auto &S : Else)
+        OS << S->render(Indent + 1);
+    }
+    OS << Pad << "}\n";
+    break;
+  case While:
+    OS << Pad << "while " << Cond->render() << " {\n";
+    for (const auto &S : Then)
+      OS << S->render(Indent + 1);
+    OS << Pad << "}\n";
+    break;
+  case Call:
+    OS << Pad << "sink(" << Val->render() << ");\n";
+    break;
+  case Return:
+    OS << Pad << "return " << Val->render() << ";\n";
+    break;
+  }
+  return OS.str();
+}
+
+std::string MCFunction::render() const {
+  std::ostringstream OS;
+  OS << cType(RetWidth) << " " << Name << "(";
+  for (unsigned I = 0; I < ParamWidths.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << cType(ParamWidths[I]) << " p" << I;
+  }
+  OS << ") {\n";
+  for (unsigned I = 0; I < VarWidths.size(); ++I)
+    OS << "  " << cType(VarWidths[I]) << " v" << I << " = 0;\n";
+  for (const auto &S : Body)
+    OS << S->render(1);
+  OS << "}\n";
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Generator
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Generator {
+public:
+  Generator(RNG &R, const MiniCOptions &Opts) : R(R), Opts(Opts) {}
+
+  std::unique_ptr<MCFunction> run(const std::string &Name) {
+    auto F = std::make_unique<MCFunction>();
+    F->Name = Name;
+    W = pickWidth();
+    F->RetWidth = W;
+    unsigned NumParams = 1 + R.below(Opts.MaxParams);
+    for (unsigned I = 0; I < NumParams; ++I)
+      F->ParamWidths.push_back(W);
+    unsigned NumVars = 1 + R.below(Opts.MaxVars);
+    for (unsigned I = 0; I < NumVars; ++I)
+      F->VarWidths.push_back(W);
+    Fn = F.get();
+
+    unsigned NumStmts =
+        Opts.MinStmts + R.below(Opts.MaxStmts - Opts.MinStmts + 1);
+    for (unsigned I = 0; I < NumStmts; ++I)
+      F->Body.push_back(genStmt(/*Depth=*/0));
+    auto Ret = std::make_unique<MCStmt>();
+    Ret->K = MCStmt::Return;
+    Ret->Val = genExpr(W, Opts.MaxExprDepth);
+    F->Body.push_back(std::move(Ret));
+    return F;
+  }
+
+private:
+  unsigned pickWidth() {
+    // Bias toward i32 like real C code; some i8/i16/i64 for cast coverage.
+    switch (R.below(10)) {
+    case 0:
+      return 8;
+    case 1:
+      return 16;
+    case 2:
+    case 3:
+      return 64;
+    default:
+      return 32;
+    }
+  }
+
+  std::unique_ptr<MCExpr> constant(unsigned Width, int64_t V) {
+    auto E = std::make_unique<MCExpr>();
+    E->K = MCExpr::Const;
+    E->Width = Width;
+    E->Value = V;
+    return E;
+  }
+
+  std::unique_ptr<MCExpr> leaf(unsigned Width) {
+    auto E = std::make_unique<MCExpr>();
+    E->Width = Width;
+    unsigned Choice = static_cast<unsigned>(R.below(4));
+    if (Choice == 0 || Width != W) {
+      // Constants at any width; small magnitudes dominate like real code.
+      int64_t V = R.chance(0.8) ? R.range(0, 16)
+                                : R.range(-256, 1024);
+      return constant(Width, V);
+    }
+    if (Choice == 1 && !Fn->VarWidths.empty()) {
+      E->K = MCExpr::VarRef;
+      E->Index = static_cast<unsigned>(R.below(Fn->VarWidths.size()));
+      return E;
+    }
+    E->K = MCExpr::ParamRef;
+    E->Index = static_cast<unsigned>(R.below(Fn->ParamWidths.size()));
+    return E;
+  }
+
+  std::unique_ptr<MCExpr> binary(Opcode Op, std::unique_ptr<MCExpr> A,
+                                 std::unique_ptr<MCExpr> B) {
+    auto E = std::make_unique<MCExpr>();
+    E->K = MCExpr::Binary;
+    E->Width = A->Width;
+    E->BinOp = Op;
+    E->Ops.push_back(std::move(A));
+    E->Ops.push_back(std::move(B));
+    return E;
+  }
+
+  /// A deliberately foldable pattern around a sub-expression — the peephole
+  /// opportunities the corpus is meant to expose.
+  std::unique_ptr<MCExpr> idiom(unsigned Width, unsigned Depth) {
+    auto Sub = genExpr(Width, Depth - 1);
+    unsigned K = static_cast<unsigned>(R.below(12));
+    int64_t Pow2 = 1LL << (1 + R.below(Width >= 16 ? 4 : 2));
+    int64_t C = R.range(1, 31);
+    switch (K) {
+    case 0: // x * 2^k
+      return binary(Opcode::Mul, std::move(Sub), constant(Width, Pow2));
+    case 1: // x + 0
+      return binary(Opcode::Add, std::move(Sub), constant(Width, 0));
+    case 2: { // (x ^ C) ^ C
+      auto Inner =
+          binary(Opcode::Xor, std::move(Sub), constant(Width, C));
+      return binary(Opcode::Xor, std::move(Inner), constant(Width, C));
+    }
+    case 3: // x / 2^k (unsigned)
+      return binary(Opcode::UDiv, std::move(Sub), constant(Width, Pow2));
+    case 4: // x % 2^k
+      return binary(Opcode::URem, std::move(Sub), constant(Width, Pow2));
+    case 5: // x * 1
+      return binary(Opcode::Mul, std::move(Sub), constant(Width, 1));
+    case 6: { // (x << c) >> c
+      int64_t Sh = R.range(1, Width / 2);
+      auto Inner =
+          binary(Opcode::Shl, std::move(Sub), constant(Width, Sh));
+      return binary(Opcode::LShr, std::move(Inner), constant(Width, Sh));
+    }
+    case 7: { // 0 - (0 - x)
+      auto Inner =
+          binary(Opcode::Sub, constant(Width, 0), std::move(Sub));
+      return binary(Opcode::Sub, constant(Width, 0), std::move(Inner));
+    }
+    case 8: // x & -1
+      return binary(Opcode::And, std::move(Sub), constant(Width, -1));
+    case 9: { // (x + c1) + c2
+      int64_t C2 = R.range(1, 31);
+      auto Inner =
+          binary(Opcode::Add, std::move(Sub), constant(Width, C));
+      return binary(Opcode::Add, std::move(Inner), constant(Width, C2));
+    }
+    case 10: { // widen-then-truncate cast chain
+      if (Width >= 64)
+        return binary(Opcode::Or, std::move(Sub), constant(Width, 0));
+      auto Widen = std::make_unique<MCExpr>();
+      Widen->K = MCExpr::Cast;
+      Widen->Width = Width * 2;
+      Widen->SignedCast = R.chance(0.3);
+      Widen->Ops.push_back(std::move(Sub));
+      auto Narrow = std::make_unique<MCExpr>();
+      Narrow->K = MCExpr::Cast;
+      Narrow->Width = Width;
+      Narrow->Ops.push_back(std::move(Widen));
+      return Narrow;
+    }
+    default: // x - x + e  (constant-zero bait through a fresh leaf)
+      return binary(Opcode::Add, std::move(Sub),
+                    binary(Opcode::Sub, leaf(Width), constant(Width, 0)));
+    }
+  }
+
+  std::unique_ptr<MCExpr> genExpr(unsigned Width, unsigned Depth) {
+    if (Depth == 0)
+      return leaf(Width);
+    if (R.chance(Opts.IdiomProbability))
+      return idiom(Width, Depth);
+    unsigned K = static_cast<unsigned>(R.below(10));
+    if (K < 6) {
+      static const Opcode Ops[] = {Opcode::Add, Opcode::Sub, Opcode::Mul,
+                                   Opcode::And, Opcode::Or,  Opcode::Xor};
+      return binary(Ops[R.below(6)], genExpr(Width, Depth - 1),
+                    genExpr(Width, Depth - 1));
+    }
+    if (K < 7) { // shift by in-range constant
+      static const Opcode Sh[] = {Opcode::Shl, Opcode::LShr, Opcode::AShr};
+      return binary(Sh[R.below(3)], genExpr(Width, Depth - 1),
+                    constant(Width, R.range(0, Width - 1)));
+    }
+    if (K < 8) { // comparison producing 0/1 at this width
+      auto E = std::make_unique<MCExpr>();
+      E->K = MCExpr::Compare;
+      E->Width = Width;
+      E->CmpPred = static_cast<ICmpPred>(R.below(10));
+      E->Ops.push_back(genExpr(Width, Depth - 1));
+      E->Ops.push_back(leaf(Width));
+      return E;
+    }
+    if (K < 9) { // ternary
+      auto E = std::make_unique<MCExpr>();
+      E->K = MCExpr::Ternary;
+      E->Width = Width;
+      auto Cond = std::make_unique<MCExpr>();
+      Cond->K = MCExpr::Compare;
+      Cond->Width = Width;
+      Cond->CmpPred = static_cast<ICmpPred>(R.below(10));
+      Cond->Ops.push_back(genExpr(Width, Depth - 1));
+      Cond->Ops.push_back(leaf(Width));
+      E->Ops.push_back(std::move(Cond));
+      E->Ops.push_back(genExpr(Width, Depth - 1));
+      E->Ops.push_back(leaf(Width));
+      return E;
+    }
+    // division by a safe (nonzero) constant
+    return binary(R.chance(0.5) ? Opcode::UDiv : Opcode::URem,
+                  genExpr(Width, Depth - 1),
+                  constant(Width, R.range(1, 13)));
+  }
+
+  std::unique_ptr<MCExpr> genCond(unsigned Depth) {
+    auto E = std::make_unique<MCExpr>();
+    E->K = MCExpr::Compare;
+    E->Width = W;
+    E->CmpPred = static_cast<ICmpPred>(R.below(10));
+    E->Ops.push_back(genExpr(W, Depth));
+    E->Ops.push_back(leaf(W));
+    return E;
+  }
+
+  std::unique_ptr<MCStmt> assign(unsigned Var, std::unique_ptr<MCExpr> E) {
+    auto S = std::make_unique<MCStmt>();
+    S->K = MCStmt::Assign;
+    S->Index = Var;
+    S->Val = std::move(E);
+    return S;
+  }
+
+  std::unique_ptr<MCStmt> genStmt(unsigned Depth) {
+    if (Depth < 2 && R.chance(Opts.LoopProbability))
+      return genLoop(Depth);
+    if (Depth < 2 && R.chance(Opts.BranchProbability))
+      return genIf(Depth);
+    if (R.chance(Opts.CallProbability)) {
+      auto S = std::make_unique<MCStmt>();
+      S->K = MCStmt::Call;
+      S->Val = genExpr(W, 1);
+      return S;
+    }
+    // Never assign an enclosing loop's counter: that could reset the
+    // induction variable and produce a non-terminating loop.
+    unsigned Var;
+    do {
+      Var = static_cast<unsigned>(R.below(Fn->VarWidths.size()));
+    } while (BlockedVars.count(Var));
+    return assign(Var, genExpr(W, Opts.MaxExprDepth));
+  }
+
+  std::unique_ptr<MCStmt> genIf(unsigned Depth) {
+    auto S = std::make_unique<MCStmt>();
+    S->K = MCStmt::If;
+    S->Cond = genCond(1);
+    unsigned ThenN = 1 + R.below(2);
+    for (unsigned I = 0; I < ThenN; ++I)
+      S->Then.push_back(genStmt(Depth + 1));
+    if (R.chance(0.5)) {
+      unsigned ElseN = 1 + R.below(2);
+      for (unsigned I = 0; I < ElseN; ++I)
+        S->Else.push_back(genStmt(Depth + 1));
+    }
+    return S;
+  }
+
+  std::unique_ptr<MCStmt> genLoop(unsigned Depth) {
+    // Bounded counting loop over a dedicated fresh variable so the
+    // verifier's unroll bound always covers it: for (v = 0; v < K; v++).
+    unsigned LoopVar = static_cast<unsigned>(Fn->VarWidths.size());
+    Fn->VarWidths.push_back(W);
+    int64_t Trip = R.range(1, 3);
+
+    auto S = std::make_unique<MCStmt>();
+    S->K = MCStmt::While;
+    auto Cond = std::make_unique<MCExpr>();
+    Cond->K = MCExpr::Compare;
+    Cond->Width = W;
+    Cond->CmpPred = ICmpPred::ULT;
+    auto LV = std::make_unique<MCExpr>();
+    LV->K = MCExpr::VarRef;
+    LV->Width = W;
+    LV->Index = LoopVar;
+    Cond->Ops.push_back(std::move(LV));
+    Cond->Ops.push_back(constant(W, Trip));
+    S->Cond = std::move(Cond);
+
+    BlockedVars.insert(LoopVar);
+    unsigned BodyN = 1 + R.below(2);
+    for (unsigned I = 0; I < BodyN; ++I)
+      S->Then.push_back(genStmt(Depth + 1));
+    BlockedVars.erase(LoopVar);
+    // Mandatory increment keeps the loop terminating.
+    auto LV2 = std::make_unique<MCExpr>();
+    LV2->K = MCExpr::VarRef;
+    LV2->Width = W;
+    LV2->Index = LoopVar;
+    S->Then.push_back(assign(
+        LoopVar, binary(Opcode::Add, std::move(LV2), constant(W, 1))));
+    return S;
+  }
+
+  RNG &R;
+  const MiniCOptions &Opts;
+  MCFunction *Fn = nullptr;
+  unsigned W = 32;
+  std::set<unsigned> BlockedVars;
+};
+
+} // namespace
+
+std::unique_ptr<MCFunction> generateMiniC(RNG &R, const std::string &Name,
+                                          const MiniCOptions &Opts) {
+  Generator G(R, Opts);
+  return G.run(Name);
+}
+
+//===----------------------------------------------------------------------===//
+// -O0 lowering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Lowerer {
+public:
+  explicit Lowerer(const MCFunction &MC) : MC(MC) {}
+
+  std::unique_ptr<Module> run() {
+    auto M = std::make_unique<Module>();
+    Mod = M.get();
+    std::vector<Type *> ParamTys;
+    for (unsigned PW : MC.ParamWidths)
+      ParamTys.push_back(Type::getInt(PW));
+    F = Mod->addFunction(std::make_unique<Function>(
+        MC.Name, Type::getInt(MC.RetWidth), ParamTys, false));
+    for (unsigned I = 0; I < ParamTys.size(); ++I)
+      F->getArg(I)->setName("p" + std::to_string(I));
+
+    BasicBlock *Entry = F->createBlock("entry");
+    B.setInsertBlock(Entry);
+
+    // -O0 shape: every parameter and variable gets a stack slot; parameters
+    // are spilled immediately; locals are explicitly zero-initialized.
+    for (unsigned I = 0; I < MC.ParamWidths.size(); ++I) {
+      Value *Slot = B.createAlloca(Type::getInt(MC.ParamWidths[I]));
+      Slot->setName("p" + std::to_string(I) + ".addr");
+      B.createStore(F->getArg(I), Slot);
+      ParamSlots.push_back(Slot);
+    }
+    for (unsigned I = 0; I < MC.VarWidths.size(); ++I) {
+      Value *Slot = B.createAlloca(Type::getInt(MC.VarWidths[I]));
+      Slot->setName("v" + std::to_string(I));
+      B.createStore(B.getInt(Type::getInt(MC.VarWidths[I]), 0), Slot);
+      VarSlots.push_back(Slot);
+    }
+
+    for (const auto &S : MC.Body)
+      lowerStmt(*S);
+    // Defensive: a body without a trailing Return still needs a terminator.
+    if (!B.getInsertBlock()->getTerminator())
+      B.createRet(B.getInt(Type::getInt(MC.RetWidth), 0));
+    return M;
+  }
+
+private:
+  /// Variable slots are sized when the statement list is lowered; loops
+  /// may have appended fresh variables after construction, so slots are
+  /// created lazily for them too.
+  Value *varSlot(unsigned Index) {
+    while (VarSlots.size() <= Index) {
+      // Should not happen: all vars are registered before lowering.
+      assert(false && "variable without a slot");
+    }
+    return VarSlots[Index];
+  }
+
+  Value *lowerExpr(const MCExpr &E) {
+    Type *Ty = Type::getInt(E.Width);
+    switch (E.K) {
+    case MCExpr::Const:
+      return F->getConstant(Ty, APInt64::fromSigned(E.Width, E.Value));
+    case MCExpr::VarRef:
+      return B.createLoad(Ty, varSlot(E.Index));
+    case MCExpr::ParamRef:
+      return B.createLoad(Ty, ParamSlots[E.Index]);
+    case MCExpr::Binary: {
+      Value *L = lowerExpr(*E.Ops[0]);
+      Value *R = lowerExpr(*E.Ops[1]);
+      return B.createBinary(E.BinOp, L, R);
+    }
+    case MCExpr::Compare: {
+      Value *L = lowerExpr(*E.Ops[0]);
+      Value *R = lowerExpr(*E.Ops[1]);
+      Value *C = B.createICmp(E.CmpPred, L, R);
+      if (E.Width == 1)
+        return C;
+      return B.createZExt(C, Ty);
+    }
+    case MCExpr::Ternary: {
+      // -O0 lowers ?: through control flow and a temporary slot.
+      Value *Cond = lowerCond(*E.Ops[0]);
+      Value *Slot = B.createAlloca(Ty);
+      Function *Fn = F;
+      BasicBlock *TBB = Fn->createBlock("tern.t" +
+                                        std::to_string(BlockCounter));
+      BasicBlock *FBB = Fn->createBlock("tern.f" +
+                                        std::to_string(BlockCounter));
+      BasicBlock *Cont = Fn->createBlock("tern.end" +
+                                         std::to_string(BlockCounter++));
+      B.createCondBr(Cond, TBB, FBB);
+      B.setInsertBlock(TBB);
+      B.createStore(lowerExpr(*E.Ops[1]), Slot);
+      B.createBr(Cont);
+      B.setInsertBlock(FBB);
+      B.createStore(lowerExpr(*E.Ops[2]), Slot);
+      B.createBr(Cont);
+      B.setInsertBlock(Cont);
+      return B.createLoad(Ty, Slot);
+    }
+    case MCExpr::Cast: {
+      Value *Src = lowerExpr(*E.Ops[0]);
+      unsigned SrcW = Src->getType()->getBitWidth();
+      if (SrcW == E.Width)
+        return Src;
+      if (E.Width < SrcW)
+        return B.createTrunc(Src, Ty);
+      return B.createCast(E.SignedCast ? Opcode::SExt : Opcode::ZExt, Src,
+                          Ty);
+    }
+    }
+    return nullptr;
+  }
+
+  /// Lower an expression used as a branch condition to an i1.
+  Value *lowerCond(const MCExpr &E) {
+    if (E.K == MCExpr::Compare) {
+      Value *L = lowerExpr(*E.Ops[0]);
+      Value *R = lowerExpr(*E.Ops[1]);
+      return B.createICmp(E.CmpPred, L, R);
+    }
+    Value *V = lowerExpr(E);
+    return B.createICmp(ICmpPred::NE, V,
+                        B.getInt(V->getType(), 0));
+  }
+
+  void lowerStmt(const MCStmt &S) {
+    switch (S.K) {
+    case MCStmt::Assign:
+      B.createStore(lowerExpr(*S.Val), varSlot(S.Index));
+      return;
+    case MCStmt::Return:
+      B.createRet(lowerExpr(*S.Val));
+      return;
+    case MCStmt::Call: {
+      Value *Arg = lowerExpr(*S.Val);
+      unsigned W = Arg->getType()->getBitWidth();
+      std::string Name = "sink" + std::to_string(W);
+      Function *Callee = Mod->getFunction(Name);
+      if (!Callee)
+        Callee = Mod->addFunction(std::make_unique<Function>(
+            Name, Type::getVoid(),
+            std::vector<Type *>{Arg->getType()}, true));
+      B.createCall(Callee, Type::getVoid(), {Arg});
+      return;
+    }
+    case MCStmt::If: {
+      Value *Cond = lowerCond(*S.Cond);
+      unsigned Id = BlockCounter++;
+      BasicBlock *TBB = F->createBlock("if.then" + std::to_string(Id));
+      BasicBlock *Cont = F->createBlock("if.end" + std::to_string(Id));
+      BasicBlock *EBB =
+          S.Else.empty() ? Cont
+                         : F->createBlock("if.else" + std::to_string(Id));
+      B.createCondBr(Cond, TBB, EBB);
+      B.setInsertBlock(TBB);
+      for (const auto &Sub : S.Then)
+        lowerStmt(*Sub);
+      if (!B.getInsertBlock()->getTerminator())
+        B.createBr(Cont);
+      if (!S.Else.empty()) {
+        B.setInsertBlock(EBB);
+        for (const auto &Sub : S.Else)
+          lowerStmt(*Sub);
+        if (!B.getInsertBlock()->getTerminator())
+          B.createBr(Cont);
+      }
+      B.setInsertBlock(Cont);
+      return;
+    }
+    case MCStmt::While: {
+      unsigned Id = BlockCounter++;
+      BasicBlock *Head = F->createBlock("while.cond" + std::to_string(Id));
+      BasicBlock *Body = F->createBlock("while.body" + std::to_string(Id));
+      BasicBlock *Exit = F->createBlock("while.end" + std::to_string(Id));
+      B.createBr(Head);
+      B.setInsertBlock(Head);
+      Value *Cond = lowerCond(*S.Cond);
+      B.createCondBr(Cond, Body, Exit);
+      B.setInsertBlock(Body);
+      for (const auto &Sub : S.Then)
+        lowerStmt(*Sub);
+      if (!B.getInsertBlock()->getTerminator())
+        B.createBr(Head);
+      B.setInsertBlock(Exit);
+      return;
+    }
+    }
+  }
+
+  const MCFunction &MC;
+  Module *Mod = nullptr;
+  Function *F = nullptr;
+  IRBuilder B;
+  std::vector<Value *> ParamSlots;
+  std::vector<Value *> VarSlots;
+  unsigned BlockCounter = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Module> lowerToO0(const MCFunction &F) {
+  Lowerer L(F);
+  return L.run();
+}
+
+} // namespace veriopt

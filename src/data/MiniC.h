@@ -1,0 +1,105 @@
+//===- MiniC.h - Synthetic C-like functions and their -O0 lowering -*- C++ -*-//
+//
+// Stand-in for the paper's LLVM/GCC test-suite corpus (§IV-A): a seeded
+// generator of small C-like functions that deliberately covers the peephole
+// patterns those suites exercise (algebraic redundancy, strength-reduction
+// bait, cast chains, foldable control flow, dead stores), plus an -O0-style
+// lowering where every variable lives in an alloca and every access goes
+// through memory — the exact input shape `clang -O0` hands to instcombine.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_DATA_MINIC_H
+#define VERIOPT_DATA_MINIC_H
+
+#include "ir/Function.h"
+#include "support/RNG.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace veriopt {
+
+/// Expression nodes of the mini language. Every expression has a fixed
+/// integer width; the generator inserts explicit casts at width changes.
+struct MCExpr {
+  enum Kind {
+    Const,    ///< literal (Value)
+    VarRef,   ///< local variable (Index)
+    ParamRef, ///< parameter (Index)
+    Binary,   ///< Op(A, B) arithmetic/bitwise/shift
+    Compare,  ///< icmp yielding a 0/1 value of width Width
+    Ternary,  ///< A ? B : C (A is a Compare of the same source)
+    Cast,     ///< widening/narrowing of A to Width
+  };
+
+  Kind K = Const;
+  unsigned Width = 32;
+  int64_t Value = 0;   // Const
+  unsigned Index = 0;  // VarRef/ParamRef
+  Opcode BinOp = Opcode::Add;      // Binary
+  ICmpPred CmpPred = ICmpPred::EQ; // Compare
+  bool SignedCast = false;         // Cast: sext vs zext when widening
+  std::vector<std::unique_ptr<MCExpr>> Ops;
+
+  /// C-like rendering (for docs, examples, and debugging).
+  std::string render() const;
+};
+
+/// Statements.
+struct MCStmt {
+  enum Kind {
+    Assign, ///< var[Index] = Expr
+    If,     ///< if (Cond) Then else Else
+    While,  ///< while (Cond) Body   — generator bounds trip counts
+    Call,   ///< extern call for side effects: sink(Expr)
+    Return, ///< return Expr
+  };
+
+  Kind K = Assign;
+  unsigned Index = 0;
+  std::unique_ptr<MCExpr> Cond; // If/While (i1-producing compare)
+  std::unique_ptr<MCExpr> Val;  // Assign/Call/Return
+  std::vector<std::unique_ptr<MCStmt>> Then;
+  std::vector<std::unique_ptr<MCStmt>> Else;
+
+  std::string render(unsigned Indent = 0) const;
+};
+
+/// A generated function.
+struct MCFunction {
+  std::string Name;
+  unsigned RetWidth = 32;
+  std::vector<unsigned> ParamWidths;
+  std::vector<unsigned> VarWidths; ///< local variables
+  std::vector<std::unique_ptr<MCStmt>> Body; ///< always ends in Return
+
+  std::string render() const;
+};
+
+/// Tuning knobs for the generator. Defaults approximate the density of
+/// peephole opportunities the paper's corpus exhibits (InstCombine achieves
+/// a ~2.4x latency geomean on it).
+struct MiniCOptions {
+  unsigned MinStmts = 2, MaxStmts = 7;
+  unsigned MaxParams = 3;
+  unsigned MaxVars = 3;
+  double IdiomProbability = 0.7;  ///< plant a foldable idiom per expression
+  double BranchProbability = 0.35;
+  double LoopProbability = 0.08;  ///< small constant-bound loops
+  double CallProbability = 0.06;  ///< side-effecting extern call
+  unsigned MaxExprDepth = 3;
+};
+
+/// Generate a deterministic random function named \p Name.
+std::unique_ptr<MCFunction> generateMiniC(RNG &R, const std::string &Name,
+                                          const MiniCOptions &Opts = {});
+
+/// Lower to -O0-style IR inside a fresh module (externs declared as
+/// needed). The result always passes the IR verifier.
+std::unique_ptr<Module> lowerToO0(const MCFunction &F);
+
+} // namespace veriopt
+
+#endif // VERIOPT_DATA_MINIC_H

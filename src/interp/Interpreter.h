@@ -1,0 +1,102 @@
+//===- Interpreter.h - Concrete IR interpreter -------------------*- C++ -*-=//
+//
+// Executes a function on concrete inputs with full UB/poison tracking. Used
+// by: (1) the falsify-before-prove pre-pass of the Alive-lite verifier, (2)
+// property tests that differentially check the symbolic encoder, and (3)
+// dynamic latency accounting in the benches.
+//
+// Dialect semantics (shared with the symbolic verifier; see DESIGN.md):
+//  - alloca memory is zero-initialized,
+//  - poison is tracked per value and per memory byte,
+//  - immediate UB: division by zero, sdiv/srem overflow, div/rem by poison,
+//    branch on poison, memory access through a poison or out-of-bounds
+//    pointer, and passing poison to a call,
+//  - external calls return a deterministic value derived from (callee,
+//    per-callee occurrence index, argument values); both sides of a
+//    verification observe the same "external world".
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_INTERP_INTERPRETER_H
+#define VERIOPT_INTERP_INTERPRETER_H
+
+#include "ir/Function.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace veriopt {
+
+/// A runtime value: an integer (with poison bit) or a pointer into an
+/// interpreter-managed allocation.
+struct IValue {
+  enum Kind { Int, Ptr } K = Int;
+  APInt64 Bits;        // Int payload
+  unsigned AllocaId = 0; // Ptr payload: which allocation
+  int64_t Offset = 0;    // Ptr payload: byte offset
+  bool Poison = false;
+
+  static IValue makeInt(APInt64 V) {
+    IValue Out;
+    Out.K = Int;
+    Out.Bits = V;
+    return Out;
+  }
+  static IValue makePoison(unsigned Width) {
+    IValue Out = makeInt(APInt64::zero(Width));
+    Out.Poison = true;
+    return Out;
+  }
+  static IValue makePtr(unsigned Id, int64_t Off) {
+    IValue Out;
+    Out.K = Ptr;
+    Out.AllocaId = Id;
+    Out.Offset = Off;
+    return Out;
+  }
+};
+
+/// One observed external call.
+struct CallEvent {
+  std::string Callee;
+  std::vector<uint64_t> Args; // zero-extended argument bits
+  uint64_t ReturnBits = 0;    // deterministic synthetic return
+};
+
+struct InterpOptions {
+  uint64_t MaxSteps = 100000; ///< dynamic instruction budget before Timeout
+};
+
+struct ExecResult {
+  enum Status {
+    Ok,          ///< terminated via ret
+    UndefinedBehavior,
+    Timeout,     ///< step budget exhausted (e.g. an infinite loop)
+    Unsupported, ///< pointer-typed arguments or other out-of-model input
+  };
+
+  Status St = Ok;
+  bool IsVoid = false;
+  APInt64 RetVal;       ///< valid when Ok, !IsVoid, !RetPoison
+  bool RetPoison = false;
+  std::string Reason;   ///< UB/unsupported explanation
+  uint64_t Steps = 0;
+  std::array<uint64_t, 26> OpcodeCounts{}; ///< dynamic per-opcode histogram
+  std::vector<CallEvent> Calls;
+
+  bool ok() const { return St == Ok; }
+};
+
+/// Execute \p F on \p Args (one APInt64 per integer parameter, matching
+/// widths). Functions with pointer parameters report Unsupported.
+ExecResult interpret(const Function &F, const std::vector<APInt64> &Args,
+                     const InterpOptions &Opts = InterpOptions());
+
+/// Dynamic weighted latency of a result: per-opcode execution counts times
+/// the cost model's opcode latencies.
+double dynamicLatency(const ExecResult &R);
+
+} // namespace veriopt
+
+#endif // VERIOPT_INTERP_INTERPRETER_H

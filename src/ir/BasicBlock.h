@@ -1,0 +1,92 @@
+//===- BasicBlock.h - CFG node owning an instruction list --------*- C++ -*-=//
+
+#ifndef VERIOPT_IR_BASICBLOCK_H
+#define VERIOPT_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <list>
+#include <memory>
+#include <string>
+
+namespace veriopt {
+
+class Function;
+
+/// A straight-line sequence of instructions ending (when well-formed) in a
+/// terminator. Owns its instructions; iteration order is program order.
+/// BasicBlocks are deliberately not Values: branch targets and phi incoming
+/// blocks are plain pointers, which keeps the use-tracking machinery to
+/// dataflow only.
+class BasicBlock {
+public:
+  using InstList = std::list<std::unique_ptr<Instruction>>;
+  using iterator = InstList::iterator;
+  using const_iterator = InstList::const_iterator;
+
+  explicit BasicBlock(std::string Name) : Name(std::move(Name)) {}
+
+  /// Sever all dataflow edges before destroying instructions so destruction
+  /// order within (and across) blocks cannot dangle.
+  ~BasicBlock() {
+    for (auto &I : Insts)
+      I->dropAllReferences();
+  }
+
+  const std::string &getName() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  Function *getParent() const { return Parent; }
+  void setParent(Function *F) { Parent = F; }
+
+  iterator begin() { return Insts.begin(); }
+  iterator end() { return Insts.end(); }
+  const_iterator begin() const { return Insts.begin(); }
+  const_iterator end() const { return Insts.end(); }
+  bool empty() const { return Insts.empty(); }
+  size_t size() const { return Insts.size(); }
+
+  Instruction *front() const { return Insts.front().get(); }
+  Instruction *back() const { return Insts.back().get(); }
+
+  /// The block terminator, or nullptr if the block is not yet terminated.
+  Instruction *getTerminator() const {
+    if (Insts.empty() || !Insts.back()->isTerminator())
+      return nullptr;
+    return Insts.back().get();
+  }
+
+  /// Append; takes ownership.
+  Instruction *push_back(std::unique_ptr<Instruction> I) {
+    I->setParent(this);
+    Insts.push_back(std::move(I));
+    return Insts.back().get();
+  }
+
+  /// Insert \p I immediately before \p Pos (which must be in this block).
+  Instruction *insertBefore(Instruction *Pos, std::unique_ptr<Instruction> I);
+
+  /// Remove and destroy \p I (must be in this block; must have no users).
+  void erase(Instruction *I);
+
+  /// Remove \p I from the list without destroying it.
+  std::unique_ptr<Instruction> remove(Instruction *I);
+
+  /// Position of \p I within the block, or end().
+  iterator find(Instruction *I);
+
+  /// Phi nodes at the head of the block.
+  std::vector<PhiInst *> phis() const;
+
+  /// First non-phi instruction (insertion point for lowered code).
+  Instruction *getFirstNonPhi() const;
+
+private:
+  std::string Name;
+  Function *Parent = nullptr;
+  InstList Insts;
+};
+
+} // namespace veriopt
+
+#endif // VERIOPT_IR_BASICBLOCK_H

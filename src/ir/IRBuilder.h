@@ -1,0 +1,115 @@
+//===- IRBuilder.h - Convenience instruction construction --------*- C++ -*-=//
+//
+// Builds instructions at an insertion point (end of a block by default).
+// Used by the -O0 lowering, the passes, and the tests.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_IR_IRBUILDER_H
+#define VERIOPT_IR_IRBUILDER_H
+
+#include "ir/Function.h"
+
+#include <memory>
+
+namespace veriopt {
+
+/// Appends instructions to the current block.
+class IRBuilder {
+public:
+  explicit IRBuilder(BasicBlock *BB = nullptr) : BB(BB) {}
+
+  void setInsertBlock(BasicBlock *NewBB) { BB = NewBB; }
+  BasicBlock *getInsertBlock() const { return BB; }
+  Function *getFunction() const { return BB ? BB->getParent() : nullptr; }
+
+  ConstantInt *getInt(Type *Ty, uint64_t Bits) {
+    return getFunction()->getConstant(Ty, APInt64(Ty->getBitWidth(), Bits));
+  }
+
+  Value *createBinary(Opcode Op, Value *L, Value *R, bool NUW = false,
+                      bool NSW = false, bool Exact = false) {
+    auto I = std::make_unique<BinaryInst>(Op, L, R);
+    I->setNUW(NUW);
+    I->setNSW(NSW);
+    I->setExact(Exact);
+    return insert(std::move(I));
+  }
+  Value *createAdd(Value *L, Value *R, bool NUW = false, bool NSW = false) {
+    return createBinary(Opcode::Add, L, R, NUW, NSW);
+  }
+  Value *createSub(Value *L, Value *R, bool NUW = false, bool NSW = false) {
+    return createBinary(Opcode::Sub, L, R, NUW, NSW);
+  }
+  Value *createMul(Value *L, Value *R, bool NUW = false, bool NSW = false) {
+    return createBinary(Opcode::Mul, L, R, NUW, NSW);
+  }
+  Value *createAnd(Value *L, Value *R) {
+    return createBinary(Opcode::And, L, R);
+  }
+  Value *createOr(Value *L, Value *R) { return createBinary(Opcode::Or, L, R); }
+  Value *createXor(Value *L, Value *R) {
+    return createBinary(Opcode::Xor, L, R);
+  }
+  Value *createShl(Value *L, Value *R) {
+    return createBinary(Opcode::Shl, L, R);
+  }
+
+  Value *createICmp(ICmpPred P, Value *L, Value *R) {
+    return insert(std::make_unique<ICmpInst>(P, L, R));
+  }
+  Value *createSelect(Value *C, Value *T, Value *F) {
+    return insert(std::make_unique<SelectInst>(C, T, F));
+  }
+  Value *createCast(Opcode Op, Value *Src, Type *DestTy) {
+    return insert(std::make_unique<CastInst>(Op, Src, DestTy));
+  }
+  Value *createZExt(Value *Src, Type *DestTy) {
+    return createCast(Opcode::ZExt, Src, DestTy);
+  }
+  Value *createSExt(Value *Src, Type *DestTy) {
+    return createCast(Opcode::SExt, Src, DestTy);
+  }
+  Value *createTrunc(Value *Src, Type *DestTy) {
+    return createCast(Opcode::Trunc, Src, DestTy);
+  }
+
+  Value *createAlloca(Type *Ty) {
+    return insert(std::make_unique<AllocaInst>(Ty));
+  }
+  Value *createLoad(Type *Ty, Value *Ptr) {
+    return insert(std::make_unique<LoadInst>(Ty, Ptr));
+  }
+  void createStore(Value *V, Value *Ptr) {
+    insert(std::make_unique<StoreInst>(V, Ptr));
+  }
+  Value *createGEP(Value *Ptr, Value *ByteOffset) {
+    return insert(std::make_unique<GEPInst>(Ptr, ByteOffset));
+  }
+
+  PhiInst *createPhi(Type *Ty) {
+    return static_cast<PhiInst *>(insert(std::make_unique<PhiInst>(Ty)));
+  }
+  void createBr(BasicBlock *Dest) { insert(std::make_unique<BrInst>(Dest)); }
+  void createCondBr(Value *Cond, BasicBlock *T, BasicBlock *F) {
+    insert(std::make_unique<BrInst>(Cond, T, F));
+  }
+  void createRet(Value *V) { insert(std::make_unique<RetInst>(V)); }
+  void createRetVoid() { insert(std::make_unique<RetInst>()); }
+  Value *createCall(Function *Callee, Type *RetTy,
+                    const std::vector<Value *> &Args) {
+    return insert(std::make_unique<CallInst>(Callee, RetTy, Args));
+  }
+
+private:
+  Instruction *insert(std::unique_ptr<Instruction> I) {
+    assert(BB && "no insertion block set");
+    return BB->push_back(std::move(I));
+  }
+
+  BasicBlock *BB;
+};
+
+} // namespace veriopt
+
+#endif // VERIOPT_IR_IRBUILDER_H

@@ -1,0 +1,35 @@
+//===- Parser.h - Textual IR parser ------------------------------*- C++ -*-=//
+//
+// Parses the LLVM-flavoured textual dialect. Accepts both the canonical form
+// the Printer emits (opaque ptr, byte GEPs) and a tolerant superset covering
+// the paper's examples: typed pointers (i64*), struct types with struct GEPs
+// (lowered to byte offsets), bitcasts between pointers (folded away),
+// attribute noise (dso_local, noundef, #0, align), and numeric block labels.
+//
+// Parse failure is the "Syntax error" outcome of the Alive2-style taxonomy,
+// so the parser must reject malformed IR rather than guess.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_IR_PARSER_H
+#define VERIOPT_IR_PARSER_H
+
+#include "ir/Function.h"
+#include "support/ErrorOr.h"
+
+#include <memory>
+#include <string>
+
+namespace veriopt {
+
+/// Parse a whole module (struct declarations, declares, defines).
+ErrorOr<std::unique_ptr<Module>> parseModule(const std::string &Text);
+
+/// Convenience: parse a module and return its first defined function;
+/// fails if there is none.
+ErrorOr<std::unique_ptr<Module>> parseModuleExpectingFunction(
+    const std::string &Text);
+
+} // namespace veriopt
+
+#endif // VERIOPT_IR_PARSER_H

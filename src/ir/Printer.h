@@ -1,0 +1,28 @@
+//===- Printer.h - Textual IR emission ---------------------------*- C++ -*-=//
+//
+// Renders modules/functions in LLVM-flavoured textual form. Unnamed values
+// and blocks receive sequential %N numbering exactly once per print, in the
+// LLVM style (arguments, then blocks/instructions in program order).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_IR_PRINTER_H
+#define VERIOPT_IR_PRINTER_H
+
+#include <string>
+
+namespace veriopt {
+
+class Function;
+class Module;
+class Instruction;
+
+/// Print a whole module (declarations first, then definitions).
+std::string printModule(const Module &M);
+
+/// Print a single function definition or declaration.
+std::string printFunction(const Function &F);
+
+} // namespace veriopt
+
+#endif // VERIOPT_IR_PRINTER_H

@@ -1,0 +1,62 @@
+//===- Type.cpp - Types of the LLVM-IR subset -------------------------------//
+
+#include "ir/Type.h"
+
+namespace veriopt {
+
+Type *Type::getVoid() {
+  static Type T(VoidTy, 0);
+  return &T;
+}
+
+Type *Type::getInt(unsigned BitWidth) {
+  assert(isLegalIntWidth(BitWidth) && "illegal integer width");
+  static Type I1(IntegerTy, 1);
+  static Type I8(IntegerTy, 8);
+  static Type I16(IntegerTy, 16);
+  static Type I32(IntegerTy, 32);
+  static Type I64(IntegerTy, 64);
+  switch (BitWidth) {
+  case 1:
+    return &I1;
+  case 8:
+    return &I8;
+  case 16:
+    return &I16;
+  case 32:
+    return &I32;
+  default:
+    return &I64;
+  }
+}
+
+Type *Type::getPtr() {
+  static Type T(PointerTy, 0);
+  return &T;
+}
+
+unsigned Type::getStoreSize() const {
+  switch (K) {
+  case VoidTy:
+    return 0;
+  case PointerTy:
+    return 8;
+  case IntegerTy:
+    return Width <= 8 ? 1 : Width / 8;
+  }
+  return 0;
+}
+
+std::string Type::getName() const {
+  switch (K) {
+  case VoidTy:
+    return "void";
+  case PointerTy:
+    return "ptr";
+  case IntegerTy:
+    return "i" + std::to_string(Width);
+  }
+  return "<invalid>";
+}
+
+} // namespace veriopt

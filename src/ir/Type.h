@@ -1,0 +1,64 @@
+//===- Type.h - Types of the LLVM-IR subset ----------------------*- C++ -*-=//
+//
+// The IR dialect supports: void, integer types i1/i8/i16/i32/i64, and an
+// opaque pointer type (modern-LLVM style). Types are interned singletons;
+// pointer equality is type equality.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_IR_TYPE_H
+#define VERIOPT_IR_TYPE_H
+
+#include <cassert>
+#include <string>
+
+namespace veriopt {
+
+/// An interned IR type. Obtain instances only through the static getters.
+class Type {
+public:
+  enum Kind { VoidTy, IntegerTy, PointerTy };
+
+  static Type *getVoid();
+  /// Integer type of the given width; only 1/8/16/32/64 are legal.
+  static Type *getInt(unsigned BitWidth);
+  static Type *getInt1() { return getInt(1); }
+  static Type *getInt8() { return getInt(8); }
+  static Type *getInt16() { return getInt(16); }
+  static Type *getInt32() { return getInt(32); }
+  static Type *getInt64() { return getInt(64); }
+  static Type *getPtr();
+
+  Kind getKind() const { return K; }
+  bool isVoid() const { return K == VoidTy; }
+  bool isInteger() const { return K == IntegerTy; }
+  bool isInteger(unsigned W) const { return K == IntegerTy && Width == W; }
+  bool isPointer() const { return K == PointerTy; }
+  bool isBool() const { return isInteger(1); }
+
+  unsigned getBitWidth() const {
+    assert(isInteger() && "getBitWidth on non-integer type");
+    return Width;
+  }
+
+  /// Size in bytes when stored in memory (i1 occupies one byte).
+  unsigned getStoreSize() const;
+
+  /// Textual form: "void", "i32", "ptr".
+  std::string getName() const;
+
+  /// True iff \p W is a width this dialect supports.
+  static bool isLegalIntWidth(unsigned W) {
+    return W == 1 || W == 8 || W == 16 || W == 32 || W == 64;
+  }
+
+private:
+  Type(Kind K, unsigned Width) : K(K), Width(Width) {}
+
+  Kind K;
+  unsigned Width;
+};
+
+} // namespace veriopt
+
+#endif // VERIOPT_IR_TYPE_H

@@ -1,0 +1,126 @@
+//===- Value.h - SSA value hierarchy -----------------------------*- C++ -*-=//
+//
+// Base of the IR value hierarchy: Argument, ConstantInt, Function (usable as
+// a call target), parser Placeholders, and Instruction (Instruction.h).
+// Kind discrimination follows the LLVM custom-RTTI idiom: a per-object
+// SubclassID drives isa<>/cast<>/dyn_cast<> (support/Casting.h).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_IR_VALUE_H
+#define VERIOPT_IR_VALUE_H
+
+#include "ir/Type.h"
+#include "support/APInt64.h"
+#include "support/Casting.h"
+
+#include <string>
+#include <vector>
+
+namespace veriopt {
+
+class Instruction;
+
+/// Base class of everything that can appear as an instruction operand.
+///
+/// Tracks its users (instructions; one entry per operand slot that refers to
+/// this value) so replaceAllUsesWith and hasOneUse work as in LLVM.
+class Value {
+public:
+  /// Discriminator. Instructions occupy [FirstInstruction, ...) with the
+  /// opcode encoded as an offset, so subclass classof() can test ranges.
+  enum ValueID : unsigned {
+    ArgumentVal,
+    ConstantIntVal,
+    FunctionVal,
+    PlaceholderVal,
+    FirstInstruction, // Instruction opcodes start here.
+  };
+
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+  virtual ~Value() = default;
+
+  unsigned getValueID() const { return SubclassID; }
+  Type *getType() const { return Ty; }
+
+  const std::string &getName() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+  bool hasName() const { return !Name.empty(); }
+
+  /// Users of this value; contains one entry per referencing operand slot,
+  /// so a user appears twice if it uses the value twice.
+  const std::vector<Instruction *> &users() const { return Users; }
+  unsigned getNumUses() const { return static_cast<unsigned>(Users.size()); }
+  bool hasOneUse() const { return Users.size() == 1; }
+  bool hasUses() const { return !Users.empty(); }
+
+  /// Rewrite every use of this value to use \p New instead.
+  void replaceAllUsesWith(Value *New);
+
+protected:
+  Value(unsigned SubclassID, Type *Ty) : SubclassID(SubclassID), Ty(Ty) {}
+
+private:
+  friend class Instruction;
+  void addUser(Instruction *I) { Users.push_back(I); }
+  void removeUser(Instruction *I);
+
+  unsigned SubclassID;
+  Type *Ty;
+  std::string Name;
+  std::vector<Instruction *> Users;
+};
+
+/// A formal parameter of a Function.
+class Argument : public Value {
+public:
+  Argument(Type *Ty, std::string Name, unsigned Index)
+      : Value(ArgumentVal, Ty), Index(Index) {
+    setName(std::move(Name));
+  }
+
+  unsigned getIndex() const { return Index; }
+
+  static bool classof(const Value *V) {
+    return V->getValueID() == ArgumentVal;
+  }
+
+private:
+  unsigned Index;
+};
+
+/// An integer constant. Uniqued per (type, bits) by the owning Module.
+class ConstantInt : public Value {
+public:
+  ConstantInt(Type *Ty, APInt64 Val) : Value(ConstantIntVal, Ty), Val(Val) {
+    assert(Ty->isInteger() && Ty->getBitWidth() == Val.width() &&
+           "constant width mismatch");
+  }
+
+  const APInt64 &getValue() const { return Val; }
+  bool isZero() const { return Val.isZero(); }
+  bool isOne() const { return Val.isOne(); }
+  bool isAllOnes() const { return Val.isAllOnes(); }
+
+  static bool classof(const Value *V) {
+    return V->getValueID() == ConstantIntVal;
+  }
+
+private:
+  APInt64 Val;
+};
+
+/// Parser-internal forward reference; never survives a successful parse.
+class Placeholder : public Value {
+public:
+  explicit Placeholder(Type *Ty) : Value(PlaceholderVal, Ty) {}
+
+  static bool classof(const Value *V) {
+    return V->getValueID() == PlaceholderVal;
+  }
+};
+
+} // namespace veriopt
+
+#endif // VERIOPT_IR_VALUE_H

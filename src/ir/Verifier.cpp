@@ -1,0 +1,166 @@
+//===- Verifier.cpp - Structural/SSA well-formedness checks ------------------//
+
+#include "ir/Verifier.h"
+
+#include "analysis/CFG.h"
+#include "ir/Function.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace veriopt {
+
+namespace {
+
+std::string blockLabel(const BasicBlock *BB) {
+  return BB->getName().empty() ? std::string("<entry>") : BB->getName();
+}
+
+std::string valueLabel(const Value *V) {
+  if (V->hasName())
+    return "%" + V->getName();
+  if (const auto *C = dyn_cast<ConstantInt>(V))
+    return C->getValue().toString();
+  return "<unnamed " + std::string(isa<Instruction>(V)
+                                       ? cast<Instruction>(V)->getOpcodeName()
+                                       : "value") +
+         ">";
+}
+
+} // namespace
+
+std::vector<std::string> verifyFunction(const Function &F) {
+  std::vector<std::string> Errors;
+  auto err = [&](const std::string &Msg) { Errors.push_back(Msg); };
+
+  if (F.isDeclaration())
+    return Errors;
+  if (F.empty()) {
+    err("function '@" + F.getName() + "' has no body");
+    return Errors;
+  }
+
+  // Every block must end in exactly one terminator (terminators only last).
+  for (const auto &BB : F) {
+    if (BB->empty()) {
+      err("block '" + blockLabel(BB.get()) + "' is empty");
+      continue;
+    }
+    if (!BB->getTerminator())
+      err("block '" + blockLabel(BB.get()) + "' does not end in a terminator");
+    unsigned Idx = 0, Last = static_cast<unsigned>(BB->size()) - 1;
+    bool SeenNonPhi = false;
+    for (const auto &I : *BB) {
+      if (I->isTerminator() && Idx != Last)
+        err("terminator in the middle of block '" + blockLabel(BB.get()) +
+            "'");
+      if (isa<PhiInst>(I.get())) {
+        if (SeenNonPhi)
+          err("phi after non-phi in block '" + blockLabel(BB.get()) + "'");
+      } else {
+        SeenNonPhi = true;
+      }
+      if (I->getParent() != BB.get())
+        err("instruction parent link is stale in block '" +
+            blockLabel(BB.get()) + "'");
+      ++Idx;
+    }
+  }
+  if (!Errors.empty())
+    return Errors; // CFG construction needs terminators
+
+  CFG G(F);
+
+  // Entry block must have no predecessors and no phis.
+  BasicBlock *Entry = F.getEntryBlock();
+  if (!G.preds(Entry).empty())
+    err("entry block has predecessors");
+  if (!Entry->phis().empty())
+    err("entry block contains phi nodes");
+
+  // Branch targets must belong to this function.
+  std::unordered_set<const BasicBlock *> Owned;
+  for (const auto &BB : F)
+    Owned.insert(BB.get());
+  for (const auto &BB : F)
+    for (BasicBlock *S : G.succs(BB.get()))
+      if (!Owned.count(S))
+        err("branch from '" + blockLabel(BB.get()) +
+            "' targets a foreign block");
+
+  // Phi incoming lists must match predecessors exactly (as multisets).
+  for (const auto &BB : F) {
+    if (!G.isReachable(BB.get()))
+      continue;
+    auto PredList = G.preds(BB.get());
+    std::multiset<const BasicBlock *> PredSet(PredList.begin(),
+                                              PredList.end());
+    for (PhiInst *P : BB->phis()) {
+      std::multiset<const BasicBlock *> InSet;
+      for (unsigned I = 0; I < P->getNumIncoming(); ++I)
+        InSet.insert(P->getIncomingBlock(I));
+      if (InSet != PredSet)
+        err("phi " + valueLabel(P) + " in block '" + blockLabel(BB.get()) +
+            "' does not cover its predecessors exactly");
+    }
+  }
+
+  // Return types must match; ret must exist on some path (not checked: the
+  // interpreter treats infinite loops as timeouts).
+  for (const auto &BB : F) {
+    Instruction *T = BB->getTerminator();
+    if (auto *R = dyn_cast<RetInst>(T)) {
+      if (F.getReturnType()->isVoid() != !R->hasReturnValue())
+        err("ret form does not match function return type");
+      else if (R->hasReturnValue() &&
+               R->getReturnValue()->getType() != F.getReturnType())
+        err("ret value type does not match function return type");
+    }
+  }
+
+  // No placeholders may survive parsing; operands must be sane.
+  for (const auto &BB : F)
+    for (const auto &I : *BB)
+      for (Value *Op : I->operands()) {
+        if (isa<Placeholder>(Op))
+          err("unresolved placeholder operand in " + valueLabel(I.get()));
+        if (auto *OpI = dyn_cast<Instruction>(Op)) {
+          if (!OpI->getParent() || OpI->getParent()->getParent() != &F)
+            err("operand " + valueLabel(Op) + " of " + valueLabel(I.get()) +
+                " belongs to another function");
+        }
+      }
+  if (!Errors.empty())
+    return Errors;
+
+  // SSA dominance: every def dominates each of its uses.
+  DominatorTree DT(F);
+  for (const auto &BB : F) {
+    if (!G.isReachable(BB.get()))
+      continue;
+    for (const auto &I : *BB) {
+      for (unsigned OpIdx = 0; OpIdx < I->getNumOperands(); ++OpIdx) {
+        auto *Def = dyn_cast<Instruction>(I->getOperand(OpIdx));
+        if (!Def)
+          continue;
+        if (!DT.dominatesUse(Def, I.get(), OpIdx))
+          err("definition of " + valueLabel(Def) +
+              " does not dominate its use in " + valueLabel(I.get()));
+      }
+    }
+  }
+
+  return Errors;
+}
+
+bool isWellFormed(const Function &F, std::string *FirstError) {
+  auto Errors = verifyFunction(F);
+  if (Errors.empty())
+    return true;
+  if (FirstError)
+    *FirstError = Errors.front();
+  return false;
+}
+
+} // namespace veriopt

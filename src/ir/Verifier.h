@@ -1,0 +1,31 @@
+//===- Verifier.h - Structural/SSA well-formedness checks --------*- C++ -*-=//
+//
+// Validates what the parser's local checks cannot: every block terminated,
+// phi incoming lists exactly matching CFG predecessors, SSA dominance of
+// defs over uses, and entry-block invariants. A function that parses AND
+// verifies is "valid IR"; anything else is the Syntax-error category of the
+// Alive2 taxonomy.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_IR_VERIFIER_H
+#define VERIOPT_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace veriopt {
+
+class Function;
+class Module;
+
+/// All problems found in \p F, rendered as human-readable strings
+/// (empty == well-formed).
+std::vector<std::string> verifyFunction(const Function &F);
+
+/// Convenience single-result form; \p FirstError receives the first problem.
+bool isWellFormed(const Function &F, std::string *FirstError = nullptr);
+
+} // namespace veriopt
+
+#endif // VERIOPT_IR_VERIFIER_H

@@ -1,0 +1,67 @@
+//===- Action.h - The policy model's action vocabulary -----------*- C++ -*-=//
+//
+// The simulated LLM emits IR by choosing a short sequence of actions:
+// whole-output decisions (copy/stop), semantics-preserving rewrites
+// (instcombine rule families, mem2reg, simplifycfg, dce), and corruption
+// operators that model hallucination. The corruption operators are
+// calibrated against the base-model failure taxonomy of Table I: syntax-
+// class corruptions produce unparseable IR, semantic-class corruptions
+// produce parseable but inequivalent IR.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_MODEL_ACTION_H
+#define VERIOPT_MODEL_ACTION_H
+
+namespace veriopt {
+
+enum class Action : unsigned {
+  // Whole-output decisions.
+  Stop, ///< finish: emit the working function as-is
+  Copy, ///< emit the input verbatim (the base model's favourite move)
+  // Verified rewrite families (correct by construction).
+  OptConstFold,
+  OptAlgebraic,
+  OptBitwise,
+  OptShift,
+  OptCompare,
+  OptSelect,
+  OptCast,
+  OptMemory,
+  OptScalar,
+  OptDCE,
+  OptMem2Reg,
+  OptSimplifyCFG,
+  // Hallucination: syntax-class (output fails to parse/verify).
+  CorruptUndefName,
+  CorruptBadType,
+  CorruptTruncate,
+  CorruptFormat, ///< break the <answer> envelope (format reward t_i = 0)
+  // Hallucination: semantic-class (parses, not equivalent).
+  CorruptConstant,
+  CorruptSwapSub,
+  CorruptFlipPred,
+  CorruptDropStore,
+  Count,
+};
+
+inline constexpr unsigned NumActions = static_cast<unsigned>(Action::Count);
+
+const char *actionName(Action A);
+
+inline bool isOptAction(Action A) {
+  return A >= Action::OptConstFold && A <= Action::OptSimplifyCFG;
+}
+inline bool isSyntaxCorruption(Action A) {
+  return A >= Action::CorruptUndefName && A <= Action::CorruptFormat;
+}
+inline bool isSemanticCorruption(Action A) {
+  return A >= Action::CorruptConstant && A <= Action::CorruptDropStore;
+}
+inline bool isCorruption(Action A) {
+  return isSyntaxCorruption(A) || isSemanticCorruption(A);
+}
+
+} // namespace veriopt
+
+#endif // VERIOPT_MODEL_ACTION_H

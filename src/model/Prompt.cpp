@@ -1,0 +1,71 @@
+//===- Prompt.cpp - Prompt templates -------------------------------------------//
+
+#include "model/Prompt.h"
+
+namespace veriopt {
+
+std::string renderPrompt(const std::string &InputIR, PromptMode Mode) {
+  std::string Out;
+  Out += "You are a compiler optimization expert. Apply peephole "
+         "optimizations (as LLVM's -instcombine would) to the following "
+         "LLVM IR function while preserving its exact semantics.\n";
+  if (Mode == PromptMode::Augmented)
+    Out += "Reason inside a <think> tag: make a first attempt, state an "
+           "Alive2-style verdict for it, then give the final IR inside an "
+           "<answer> tag.\n";
+  else
+    Out += "Reply with the optimized IR inside an <answer> tag.\n";
+  Out += "\nInput IR:\n" + InputIR + "\n";
+  return Out;
+}
+
+std::string renderCompletion(PromptMode Mode, bool FormatOk,
+                             const std::string &ThinkAttempt,
+                             const std::string &ThinkDiagnosis,
+                             const std::string &Answer) {
+  std::string Out;
+  if (Mode == PromptMode::Augmented) {
+    Out += "<think>\n";
+    Out += ThinkAttempt;
+    if (!ThinkAttempt.empty() && ThinkAttempt.back() != '\n')
+      Out += "\n";
+    Out += ThinkDiagnosis;
+    if (!ThinkDiagnosis.empty() && ThinkDiagnosis.back() != '\n')
+      Out += "\n";
+    Out += "</think>\n";
+  }
+  if (FormatOk) {
+    Out += "<answer>\n" + Answer;
+    if (!Answer.empty() && Answer.back() != '\n')
+      Out += "\n";
+    Out += "</answer>\n";
+  } else {
+    // Hallucinated envelope: tag misspelled and left unclosed, the failure
+    // mode observed with the raw base model (§V-A).
+    Out += "<answr>\n" + Answer + "\n";
+  }
+  return Out;
+}
+
+std::string extractAnswer(const std::string &CompletionText, bool &Ok) {
+  const std::string Open = "<answer>";
+  const std::string Close = "</answer>";
+  size_t Start = CompletionText.find(Open);
+  size_t End = CompletionText.rfind(Close);
+  if (Start == std::string::npos || End == std::string::npos ||
+      End < Start + Open.size()) {
+    Ok = false;
+    return "";
+  }
+  Ok = true;
+  size_t Begin = Start + Open.size();
+  std::string Payload = CompletionText.substr(Begin, End - Begin);
+  // Trim leading/trailing newlines.
+  while (!Payload.empty() && Payload.front() == '\n')
+    Payload.erase(Payload.begin());
+  while (!Payload.empty() && Payload.back() == '\n')
+    Payload.pop_back();
+  return Payload;
+}
+
+} // namespace veriopt

@@ -1,0 +1,43 @@
+//===- Prompt.h - Prompt templates (paper Figs. 1 and 2) ---------*- C++ -*-=//
+//
+// Renders the two prompt formats the paper trains with:
+//  - Generic (Fig. 1): instruction + input IR, expecting <answer>...</answer>.
+//  - Augmented (Fig. 2): adds a <think> section holding a first attempt and,
+//    when that attempt is wrong, an Alive2-style diagnostic, followed by the
+//    corrected <answer>.
+//
+// These strings are what the reward function's format check (t_i) inspects
+// and what the token-level loss normalization counts.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_MODEL_PROMPT_H
+#define VERIOPT_MODEL_PROMPT_H
+
+#include <string>
+
+namespace veriopt {
+
+enum class PromptMode {
+  Generic,   ///< Fig. 1: direct answer
+  Augmented, ///< Fig. 2: <think> attempt + diagnosis, then <answer>
+};
+
+/// The instruction text + input IR (Fig. 1's upper box).
+std::string renderPrompt(const std::string &InputIR, PromptMode Mode);
+
+/// Assemble a completion's text. For Generic mode, Think* fields are
+/// ignored. When \p FormatOk is false the <answer> envelope is deliberately
+/// broken (the CorruptFormat failure mode).
+std::string renderCompletion(PromptMode Mode, bool FormatOk,
+                             const std::string &ThinkAttempt,
+                             const std::string &ThinkDiagnosis,
+                             const std::string &Answer);
+
+/// Extract the <answer>...</answer> payload; empty optional-like behaviour
+/// via the \p Ok flag (false when the envelope is malformed).
+std::string extractAnswer(const std::string &CompletionText, bool &Ok);
+
+} // namespace veriopt
+
+#endif // VERIOPT_MODEL_PROMPT_H

@@ -1,0 +1,133 @@
+//===- Mem2Reg.cpp - Promote allocas to SSA registers --------------------------//
+//
+// Promotes allocas whose only users are whole-slot loads and stores through
+// the raw pointer. Strategy: place a phi for the slot in every non-entry
+// reachable block (maximal SSA), walk each block once to rewire loads and
+// stores, then let the instcombine/DCE cleanup drop the redundant phis.
+// Slots read before any store yield zero (dialect semantics: allocas are
+// zero-initialized).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pass.h"
+
+#include "analysis/CFG.h"
+
+#include <unordered_map>
+
+namespace veriopt {
+
+namespace {
+
+class Mem2Reg : public Pass {
+public:
+  const char *name() const override { return "mem2reg"; }
+
+  bool run(Function &F, PassTrace *Trace) override {
+    if (F.empty())
+      return false;
+    CFG G(F);
+    bool Changed = false;
+    // Collect candidates first: rewriting invalidates user lists.
+    std::vector<AllocaInst *> Candidates;
+    for (auto &BB : F) {
+      if (!G.isReachable(BB.get()))
+        continue;
+      for (auto &I : *BB)
+        if (auto *A = dyn_cast<AllocaInst>(I.get()))
+          if (isPromotable(A, G))
+            Candidates.push_back(A);
+    }
+    for (AllocaInst *A : Candidates) {
+      promote(F, G, A);
+      if (Trace)
+        Trace->record("mem2reg-promote");
+      Changed = true;
+    }
+    return Changed;
+  }
+
+private:
+  static bool isPromotable(AllocaInst *A, const CFG &G) {
+    for (Instruction *U : A->users()) {
+      if (!U->getParent() || !G.isReachable(U->getParent()))
+        return false;
+      if (auto *Ld = dyn_cast<LoadInst>(U)) {
+        if (Ld->getPointer() != A || Ld->getType() != A->getAllocatedType())
+          return false;
+        continue;
+      }
+      if (auto *St = dyn_cast<StoreInst>(U)) {
+        // The alloca must be the address, not the stored value, and the
+        // store must cover the whole slot.
+        if (St->getPointer() != A || St->getValueOperand() == A ||
+            St->getValueOperand()->getType() != A->getAllocatedType())
+          return false;
+        continue;
+      }
+      return false; // GEP, call argument, ret, ... : address escapes
+    }
+    return true;
+  }
+
+  void promote(Function &F, const CFG &G, AllocaInst *A) {
+    Type *Ty = A->getAllocatedType();
+    Value *Zero = F.getConstant(Ty, APInt64::zero(Ty->getBitWidth()));
+
+    // Maximal phi placement.
+    std::unordered_map<BasicBlock *, PhiInst *> Phis;
+    for (BasicBlock *BB : G.rpo()) {
+      if (BB == F.getEntryBlock())
+        continue;
+      assert(!BB->empty() && "well-formed blocks are never empty");
+      auto Phi = std::make_unique<PhiInst>(Ty);
+      PhiInst *P = Phi.get();
+      BB->insertBefore(BB->front(), std::move(Phi));
+      Phis[BB] = P;
+    }
+
+    // Per-block rewrite; record the value live at each block's end.
+    std::unordered_map<BasicBlock *, Value *> EndVal;
+    for (BasicBlock *BB : G.rpo()) {
+      Value *Cur = BB == F.getEntryBlock()
+                       ? Zero
+                       : static_cast<Value *>(Phis[BB]);
+      std::vector<Instruction *> Dead;
+      for (auto &IPtr : *BB) {
+        Instruction *I = IPtr.get();
+        if (auto *Ld = dyn_cast<LoadInst>(I)) {
+          if (Ld->getPointer() == A) {
+            Ld->replaceAllUsesWith(Cur);
+            Dead.push_back(Ld);
+          }
+          continue;
+        }
+        if (auto *St = dyn_cast<StoreInst>(I)) {
+          if (St->getPointer() == A) {
+            Cur = St->getValueOperand();
+            Dead.push_back(St);
+          }
+          continue;
+        }
+      }
+      for (Instruction *I : Dead)
+        BB->erase(I);
+      EndVal[BB] = Cur;
+    }
+
+    // Wire up phi incomings.
+    for (auto &[BB, P] : Phis)
+      for (BasicBlock *Pred : G.preds(BB))
+        P->addIncoming(G.isReachable(Pred) ? EndVal[Pred] : Zero, Pred);
+
+    // The alloca itself is now dead.
+    assert(!A->hasUses() && "promoted alloca still has users");
+    A->getParent()->erase(A);
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> createMem2RegPass() { return std::make_unique<Mem2Reg>(); }
+
+} // namespace veriopt

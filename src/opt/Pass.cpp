@@ -1,0 +1,40 @@
+//===- Pass.cpp - Pass manager and pipelines ----------------------------------//
+
+#include "opt/Pass.h"
+
+namespace veriopt {
+
+bool PassManager::runOnce(Function &F, PassTrace *Trace) {
+  bool Changed = false;
+  for (auto &P : Passes)
+    Changed |= P->run(F, Trace);
+  return Changed;
+}
+
+bool PassManager::runToFixpoint(Function &F, PassTrace *Trace,
+                                unsigned MaxIterations) {
+  bool Any = false;
+  for (unsigned I = 0; I < MaxIterations; ++I) {
+    if (!runOnce(F, Trace))
+      break;
+    Any = true;
+  }
+  return Any;
+}
+
+bool runReferencePipeline(Function &F, PassTrace *Trace) {
+  PassManager PM;
+  PM.add(createInstCombinePass());
+  return PM.runToFixpoint(F, Trace);
+}
+
+bool runExtendedPipeline(Function &F, PassTrace *Trace) {
+  PassManager PM;
+  PM.add(createMem2RegPass());
+  PM.add(createInstCombinePass());
+  PM.add(createSimplifyCFGPass());
+  PM.add(createDCEPass());
+  return PM.runToFixpoint(F, Trace);
+}
+
+} // namespace veriopt

@@ -1,0 +1,108 @@
+//===- Pass.h - Function pass interface and manager --------------*- C++ -*-=//
+//
+// Passes mutate a Function in place and report whether they changed it.
+// Every rule application is recorded in a PassTrace: the trace is both a
+// debugging aid and the *oracle action sequence* the SFT stage trains the
+// policy on (the rewrite the reference optimizer actually performed).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_OPT_PASS_H
+#define VERIOPT_OPT_PASS_H
+
+#include "ir/Function.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace veriopt {
+
+/// Records which rewrites fired, in order.
+struct PassTrace {
+  std::vector<std::string> Applied;
+
+  void record(const std::string &Rule) { Applied.push_back(Rule); }
+  bool empty() const { return Applied.empty(); }
+};
+
+/// A function transformation.
+class Pass {
+public:
+  virtual ~Pass() = default;
+  virtual const char *name() const = 0;
+  /// Returns true if the function changed. \p Trace may be null.
+  virtual bool run(Function &F, PassTrace *Trace) = 0;
+};
+
+/// Runs passes in sequence, optionally iterating the whole pipeline to a
+/// fixpoint (bounded).
+class PassManager {
+public:
+  void add(std::unique_ptr<Pass> P) { Passes.push_back(std::move(P)); }
+
+  /// One sweep over all passes; true if anything changed.
+  bool runOnce(Function &F, PassTrace *Trace = nullptr);
+
+  /// Iterate sweeps until nothing changes (at most \p MaxIterations).
+  bool runToFixpoint(Function &F, PassTrace *Trace = nullptr,
+                     unsigned MaxIterations = 8);
+
+private:
+  std::vector<std::unique_ptr<Pass>> Passes;
+};
+
+//===--- Pass factories ------------------------------------------------------//
+
+/// Rule families of the peephole pass. The policy model's action space
+/// selects these individually: a "small model" that has only learned some
+/// families produces partially-optimized (still correct) output, which is
+/// what creates the win/tie/loss spread against the full pass (Fig. 6).
+enum class RuleCat : unsigned {
+  ConstFold, ///< constant folding of any opcode
+  Algebraic, ///< add/sub/mul/div identities, reassociation, strength red.
+  Bitwise,   ///< and/or/xor identities and cancellation
+  Shift,     ///< shift identities and shift-pair masks
+  Compare,   ///< icmp folds and canonicalizations
+  Select,    ///< select folds
+  Cast,      ///< cast chains
+  Memory,    ///< store-to-load forwarding, load CSE, dead stores
+  Scalar,    ///< gep/phi cleanups
+  Count,
+};
+
+inline constexpr unsigned ruleCatBit(RuleCat C) {
+  return 1u << static_cast<unsigned>(C);
+}
+inline constexpr unsigned AllRuleCats =
+    (1u << static_cast<unsigned>(RuleCat::Count)) - 1;
+
+/// The reference peephole optimizer (the paper's `opt -instcombine`
+/// stand-in): algebraic/bitwise/icmp/select/cast folds, block-local
+/// store-to-load forwarding and dead-store elimination, plus DCE of
+/// side-effect-free dead instructions. \p CatMask restricts which rule
+/// families may fire (default: all).
+std::unique_ptr<Pass> createInstCombinePass(unsigned CatMask = AllRuleCats);
+
+/// Dead-code elimination only.
+std::unique_ptr<Pass> createDCEPass();
+
+/// CFG cleanup: unreachable-block removal, constant-branch folding, block
+/// merging, and diamond-to-select conversion.
+std::unique_ptr<Pass> createSimplifyCFGPass();
+
+/// Promote load/store-only allocas to SSA registers.
+std::unique_ptr<Pass> createMem2RegPass();
+
+/// The reference pipeline used to produce training labels:
+/// InstCombine-lite run to fixpoint (as `opt -instcombine` behaves).
+bool runReferencePipeline(Function &F, PassTrace *Trace = nullptr);
+
+/// The extended pipeline the trained model can discover (instcombine +
+/// mem2reg + simplifycfg to fixpoint) — the source of the paper's
+/// "emergent" optimizations that beat -instcombine (Figs. 9/10).
+bool runExtendedPipeline(Function &F, PassTrace *Trace = nullptr);
+
+} // namespace veriopt
+
+#endif // VERIOPT_OPT_PASS_H

@@ -1,0 +1,348 @@
+//===- SimplifyCFG.cpp - CFG cleanup pass --------------------------------------//
+//
+// The simplifycfg-lite pass: unreachable-block removal, constant-branch
+// folding, same-destination branch collapsing, straight-line block merging,
+// empty-block forwarding, and diamond-to-select conversion (the shape the
+// paper's Fig. 10 shows the trained model discovering).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pass.h"
+
+#include "analysis/CFG.h"
+
+#include <unordered_set>
+
+namespace veriopt {
+
+namespace {
+
+class SimplifyCFG : public Pass {
+public:
+  const char *name() const override { return "simplifycfg"; }
+
+  bool run(Function &F, PassTrace *Trace) override {
+    this->Trace = Trace;
+    bool Any = false;
+    bool Changed = true;
+    unsigned Guard = 0;
+    while (Changed && ++Guard < 64) {
+      Changed = false;
+      Changed |= foldConstantBranches(F);
+      Changed |= collapseSameTargetBranches(F);
+      Changed |= removeUnreachable(F);
+      Changed |= mergeStraightLine(F);
+      Changed |= forwardEmptyBlocks(F);
+      Changed |= diamondToSelect(F);
+      Any |= Changed;
+    }
+    return Any;
+  }
+
+private:
+  void record(const char *Rule) {
+    if (Trace)
+      Trace->record(Rule);
+  }
+
+  /// Remove BB from every phi in \p Succ.
+  static void removePhiEdge(BasicBlock *Succ, BasicBlock *From) {
+    for (PhiInst *P : Succ->phis()) {
+      for (unsigned I = 0; I < P->getNumIncoming(); ++I)
+        if (P->getIncomingBlock(I) == From) {
+          P->removeIncoming(I);
+          break;
+        }
+    }
+  }
+
+  bool foldConstantBranches(Function &F) {
+    bool Changed = false;
+    for (auto &BB : F) {
+      auto *Br = dyn_cast_or_null(BB->getTerminator());
+      if (!Br || !Br->isConditional())
+        continue;
+      auto *C = dyn_cast<ConstantInt>(Br->getCondition());
+      if (!C)
+        continue;
+      BasicBlock *Live = C->isOne() ? Br->getTrueSuccessor()
+                                    : Br->getFalseSuccessor();
+      BasicBlock *Dead = C->isOne() ? Br->getFalseSuccessor()
+                                    : Br->getTrueSuccessor();
+      if (Dead != Live)
+        removePhiEdge(Dead, BB.get());
+      Br->makeUnconditional(Live);
+      record("br-const-fold");
+      Changed = true;
+    }
+    return Changed;
+  }
+
+  bool collapseSameTargetBranches(Function &F) {
+    bool Changed = false;
+    for (auto &BB : F) {
+      auto *Br = dyn_cast_or_null(BB->getTerminator());
+      if (!Br || !Br->isConditional())
+        continue;
+      if (Br->getTrueSuccessor() != Br->getFalseSuccessor())
+        continue;
+      BasicBlock *Succ = Br->getTrueSuccessor();
+      // Phis in Succ see this block twice; drop one entry.
+      removePhiEdge(Succ, BB.get());
+      Br->makeUnconditional(Succ);
+      record("br-same-target");
+      Changed = true;
+    }
+    return Changed;
+  }
+
+  bool removeUnreachable(Function &F) {
+    CFG G(F);
+    auto Dead = G.unreachableBlocks();
+    if (Dead.empty())
+      return false;
+    std::unordered_set<BasicBlock *> DeadSet(Dead.begin(), Dead.end());
+    // Unlink phi edges from dead predecessors first.
+    for (auto &BB : F) {
+      if (DeadSet.count(BB.get()))
+        continue;
+      for (PhiInst *P : BB->phis())
+        for (int I = static_cast<int>(P->getNumIncoming()) - 1; I >= 0; --I)
+          if (DeadSet.count(P->getIncomingBlock(I)))
+            P->removeIncoming(I);
+    }
+    // Sever dataflow uses from dead instructions into live code and between
+    // dead blocks, then erase.
+    for (BasicBlock *BB : Dead)
+      for (auto &I : *BB)
+        I->dropAllReferences();
+    for (BasicBlock *BB : Dead) {
+      // Any remaining uses of a dead block's values must come from other
+      // dead blocks whose references were just dropped.
+      F.eraseBlock(BB);
+      record("remove-unreachable");
+    }
+    return true;
+  }
+
+  bool mergeStraightLine(Function &F) {
+    // pred -> BB where pred ends in an unconditional br and BB has exactly
+    // one predecessor: splice BB into pred.
+    CFG G(F);
+    for (auto &BBPtr : F) {
+      BasicBlock *BB = BBPtr.get();
+      if (BB == F.getEntryBlock())
+        continue;
+      const auto &Preds = G.preds(BB);
+      if (Preds.size() != 1)
+        continue;
+      BasicBlock *Pred = Preds[0];
+      auto *Br = dyn_cast_or_null(Pred->getTerminator());
+      if (!Br || Br->isConditional())
+        continue;
+      assert(Br->getSuccessor(0) == BB && "pred/succ mismatch");
+      // Phis in BB have a single incoming: fold them.
+      for (PhiInst *P : BB->phis()) {
+        assert(P->getNumIncoming() == 1 && "single-pred block phi arity");
+        Value *In = P->getIncomingValue(0);
+        P->replaceAllUsesWith(In);
+      }
+      std::vector<Instruction *> Phis;
+      for (PhiInst *P : BB->phis())
+        Phis.push_back(P);
+      for (Instruction *P : Phis)
+        BB->erase(P);
+      // Remove pred's terminator, splice BB's instructions.
+      Pred->erase(Br);
+      std::vector<Instruction *> Moved;
+      while (!BB->empty()) {
+        auto Inst = BB->remove(BB->front());
+        Moved.push_back(Inst.get());
+        Pred->push_back(std::move(Inst));
+      }
+      // Successors' phis must now name Pred instead of BB.
+      if (Instruction *T = Pred->getTerminator())
+        if (auto *NewBr = dyn_cast<BrInst>(T))
+          for (unsigned SI = 0; SI < NewBr->getNumSuccessors(); ++SI)
+            for (PhiInst *P : NewBr->getSuccessor(SI)->phis())
+              for (unsigned I = 0; I < P->getNumIncoming(); ++I)
+                if (P->getIncomingBlock(I) == BB)
+                  P->setIncomingBlock(I, Pred);
+      F.eraseBlock(BB);
+      record("merge-blocks");
+      return true; // CFG changed: restart the scan
+    }
+    return false;
+  }
+
+  bool forwardEmptyBlocks(Function &F) {
+    // A block containing only `br label %target` can be bypassed when the
+    // retarget keeps phi inputs unambiguous.
+    CFG G(F);
+    for (auto &BBPtr : F) {
+      BasicBlock *BB = BBPtr.get();
+      if (BB == F.getEntryBlock() || BB->size() != 1)
+        continue;
+      auto *Br = dyn_cast_or_null(BB->getTerminator());
+      if (!Br || Br->isConditional())
+        continue;
+      BasicBlock *Target = Br->getSuccessor(0);
+      if (Target == BB)
+        continue; // self-loop
+      const auto &Preds = G.preds(BB);
+      if (Preds.empty())
+        continue;
+      // Reject when a predecessor already feeds Target directly and Target
+      // has phis (would need double entries with distinct values).
+      bool Conflict = false;
+      for (BasicBlock *Pred : Preds)
+        for (BasicBlock *S : G.succs(Pred))
+          if (S == Target && !Target->phis().empty())
+            Conflict = true;
+      if (Conflict)
+        continue;
+      // Retarget all predecessors.
+      for (BasicBlock *Pred : Preds) {
+        auto *PBr = cast<BrInst>(Pred->getTerminator());
+        for (unsigned SI = 0; SI < PBr->getNumSuccessors(); ++SI)
+          if (PBr->getSuccessor(SI) == BB)
+            PBr->setSuccessor(SI, Target);
+      }
+      // Phi entries for BB become entries for each predecessor.
+      for (PhiInst *P : Target->phis()) {
+        Value *V = P->getIncomingValueFor(BB);
+        assert(V && "phi missing entry for forwarded block");
+        for (unsigned I = 0; I < P->getNumIncoming(); ++I)
+          if (P->getIncomingBlock(I) == BB) {
+            P->setIncomingBlock(I, Preds[0]);
+            break;
+          }
+        for (size_t K = 1; K < Preds.size(); ++K)
+          P->addIncoming(V, Preds[K]);
+      }
+      F.eraseBlock(BB);
+      record("forward-empty-block");
+      return true;
+    }
+    return false;
+  }
+
+  /// May \p I be executed unconditionally without changing behaviour?
+  /// Poison is fine (an unselected select arm does not propagate it), but
+  /// UB-capable and memory-touching instructions are not.
+  static bool isSpeculatable(const Instruction *I) {
+    if (I->isTerminator())
+      return true; // dropped during hoisting
+    if (I->isDivRem() || I->mayReadMemory() || I->mayWriteMemory() ||
+        isa<AllocaInst>(I) || isa<PhiInst>(I))
+      return false;
+    return true;
+  }
+
+  bool diamondToSelect(Function &F) {
+    // Pattern:   head: br %c, %t, %f
+    //            t: <speculatable> br %join    f: <speculatable> br %join
+    //            join: %p = phi [a, t], [b, f] ...
+    // Arms may also be the join itself (triangle). Speculatable arm bodies
+    // are hoisted into head (LLVM's SpeculativelyExecuteBB), then the phis
+    // become selects.
+    CFG G(F);
+    for (auto &BBPtr : F) {
+      BasicBlock *Head = BBPtr.get();
+      auto *Br = dyn_cast_or_null(Head->getTerminator());
+      if (!Br || !Br->isConditional())
+        continue;
+      BasicBlock *T = Br->getTrueSuccessor();
+      BasicBlock *FB = Br->getFalseSuccessor();
+      if (T == FB)
+        continue;
+      constexpr unsigned MaxSpeculated = 8;
+      auto isHoistableArm = [&](BasicBlock *BB, BasicBlock *&Succ) {
+        if (BB->size() > MaxSpeculated + 1 || G.preds(BB).size() != 1)
+          return false;
+        auto *B = dyn_cast_or_null(BB->getTerminator());
+        if (!B || B->isConditional())
+          return false;
+        for (const auto &I : *BB)
+          if (!isSpeculatable(I.get()))
+            return false;
+        Succ = B->getSuccessor(0);
+        return true;
+      };
+      BasicBlock *JT = nullptr, *JF = nullptr;
+      bool THoist = isHoistableArm(T, JT);
+      bool FHoist = isHoistableArm(FB, JF);
+      BasicBlock *Join = nullptr;
+      if (THoist && FHoist && JT == JF)
+        Join = JT;
+      else if (THoist && JT == FB)
+        Join = FB; // triangle: false edge goes straight to join
+      else if (FHoist && JF == T)
+        Join = T;
+      else
+        continue;
+      if (Join == Head || Join->phis().empty())
+        continue;
+      // Join must see exactly the diamond's two edges.
+      if (G.preds(Join).size() != 2)
+        continue;
+      // Hoist the arm bodies into head, before the branch.
+      for (BasicBlock *Arm : {T, FB}) {
+        if (Arm == Join)
+          continue;
+        while (Arm->front() != Arm->getTerminator()) {
+          auto Inst = Arm->remove(Arm->front());
+          Head->insertBefore(Br, std::move(Inst));
+        }
+      }
+      return rewriteDiamond(F, Head, Br, T, FB, Join);
+    }
+    return false;
+  }
+
+  bool rewriteDiamond(Function &F, BasicBlock *Head, BrInst *Br,
+                      BasicBlock *T, BasicBlock *FB, BasicBlock *Join) {
+    Value *Cond = Br->getCondition();
+    // For each phi, find the values arriving via the true and false edges.
+    auto edgeBlock = [&](bool TrueEdge) -> BasicBlock * {
+      BasicBlock *Arm = TrueEdge ? T : FB;
+      // If the arm is the join itself (triangle), the edge source is Head.
+      return Arm == Join ? Head : Arm;
+    };
+    std::vector<PhiInst *> Phis = Join->phis();
+    for (PhiInst *P : Phis) {
+      Value *TV = P->getIncomingValueFor(edgeBlock(true));
+      Value *FV = P->getIncomingValueFor(edgeBlock(false));
+      if (!TV || !FV)
+        return false; // unexpected shape
+      auto Sel = std::make_unique<SelectInst>(Cond, TV, FV);
+      Instruction *Placed = Head->insertBefore(Br, std::move(Sel));
+      Placed->setName(P->getName());
+      P->replaceAllUsesWith(Placed);
+    }
+    for (PhiInst *P : Phis)
+      Join->erase(P);
+    // Head now branches straight to join.
+    Br->makeUnconditional(Join);
+    // The arms (if distinct blocks) become unreachable; clean them now.
+    record("diamond-to-select");
+    removeUnreachable(F);
+    mergeStraightLine(F);
+    return true;
+  }
+
+  /// dyn_cast helper tolerating null terminators.
+  static BrInst *dyn_cast_or_null(Instruction *I) {
+    return I ? dyn_cast<BrInst>(I) : nullptr;
+  }
+
+  PassTrace *Trace = nullptr;
+};
+
+} // namespace
+
+std::unique_ptr<Pass> createSimplifyCFGPass() {
+  return std::make_unique<SimplifyCFG>();
+}
+
+} // namespace veriopt

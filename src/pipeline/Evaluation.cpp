@@ -1,0 +1,178 @@
+//===- Evaluation.cpp - The paper's evaluation harness -------------------------//
+
+#include "pipeline/Evaluation.h"
+
+#include "cost/CostModel.h"
+#include "ir/Parser.h"
+#include "support/Stats.h"
+#include "verify/AliveLite.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace veriopt {
+
+namespace {
+
+/// Fill metric fields of \p E from the output function actually kept
+/// (after fallback).
+void fillMetrics(SampleEval &E, const Sample &S, const Function *Out) {
+  E.LatO0 = estimateLatency(*S.source());
+  E.ICountO0 = instructionCount(*S.source());
+  E.SizeO0 = binarySize(*S.source());
+  E.LatRef = estimateLatency(*S.Reference);
+  E.ICountRef = instructionCount(*S.Reference);
+  E.SizeRef = binarySize(*S.Reference);
+  const Function *Kept = Out ? Out : S.source();
+  E.LatOut = estimateLatency(*Kept);
+  E.ICountOut = instructionCount(*Kept);
+  E.SizeOut = binarySize(*Kept);
+}
+
+void aggregate(EvalResult &R) {
+  auto fold = [](MetricAgg &Agg, auto Getter,
+                 const std::vector<SampleEval> &Per) {
+    std::vector<double> Rel, Ratio;
+    for (const SampleEval &E : Per) {
+      auto [Base, Out] = Getter(E);
+      if (Out < Base)
+        ++Agg.Better;
+      else if (Out > Base)
+        ++Agg.Worse;
+      else
+        ++Agg.Tie;
+      if (Base > 0) {
+        Rel.push_back((Out - Base) / Base);
+        Ratio.push_back(std::max(Out, 0.25) / Base);
+      }
+    }
+    Agg.MeanRelChange = mean(Rel);
+    Agg.GeoRatio = geomean(Ratio);
+  };
+  fold(R.Latency,
+       [](const SampleEval &E) { return std::pair(E.LatO0, E.LatOut); },
+       R.PerSample);
+  fold(R.Size,
+       [](const SampleEval &E) {
+         return std::pair<double, double>(E.SizeO0, E.SizeOut);
+       },
+       R.PerSample);
+  fold(R.ICount,
+       [](const SampleEval &E) {
+         return std::pair<double, double>(E.ICountO0, E.ICountOut);
+       },
+       R.PerSample);
+
+  std::vector<double> Speedups, FallbackGain;
+  for (const SampleEval &E : R.PerSample) {
+    double Out = std::max(E.LatOut, 0.25);
+    double Ref = std::max(E.LatRef, 0.25);
+    Speedups.push_back(E.LatO0 > 0 ? std::max(E.LatO0, 0.25) / Out : 1.0);
+    if (E.LatOut < E.LatRef)
+      ++R.VsRefBetter;
+    else if (E.LatOut > E.LatRef)
+      ++R.VsRefWorse;
+    else
+      ++R.VsRefTie;
+    FallbackGain.push_back(Ref / std::min(Out, Ref));
+  }
+  R.GeoSpeedupVsO0 = geomean(Speedups);
+  R.FallbackGainOverRef = geomean(FallbackGain) - 1.0;
+}
+
+} // namespace
+
+EvalResult evaluateModel(const RewritePolicyModel &Model,
+                         const std::vector<Sample> &Valid, PromptMode Mode,
+                         const VerifyOptions &VOpts) {
+  EvalResult R;
+  R.ModelName = Model.config().Name;
+  RNG Rng(0xE7A1); // greedy decoding ignores it; kept for API symmetry
+
+  for (const Sample &S : Valid) {
+    Completion C = Model.generate(*S.source(), Mode, Rng, /*Greedy=*/true);
+    SampleEval E;
+    ++R.Taxonomy.Total;
+
+    std::unique_ptr<Module> OutM;
+    const Function *OutF = nullptr;
+    VerifyResult VR;
+    if (!C.FormatOk) {
+      VR.Status = VerifyStatus::SyntaxError;
+      VR.Kind = DiagKind::ParseError;
+    } else {
+      VR = verifyCandidateText(*S.source(), C.AnswerIR, VOpts);
+      if (VR.equivalent()) {
+        auto Parsed = parseModule(C.AnswerIR);
+        assert(Parsed && "equivalent answer must parse");
+        OutM = Parsed.takeValue();
+        OutF = OutM->getMainFunction();
+      }
+    }
+    E.Status = VR.Status;
+    E.IsCopy = C.FormatOk && C.AnswerIR == S.SrcText;
+
+    switch (VR.Status) {
+    case VerifyStatus::Equivalent:
+      ++R.Taxonomy.Correct;
+      R.Taxonomy.CorrectCopies += E.IsCopy;
+      break;
+    case VerifyStatus::NotEquivalent:
+      ++R.Taxonomy.SemanticError;
+      break;
+    case VerifyStatus::SyntaxError:
+      ++R.Taxonomy.SyntaxError;
+      break;
+    case VerifyStatus::Inconclusive:
+      ++R.Taxonomy.Inconclusive;
+      break;
+    }
+
+    // Fallback to -O0 when the output is not verifiably correct (§V-B).
+    E.UsedFallback = OutF == nullptr;
+    fillMetrics(E, S, OutF);
+    R.PerSample.push_back(E);
+  }
+  aggregate(R);
+  return R;
+}
+
+EvalResult evaluateReferencePass(const std::vector<Sample> &Valid) {
+  EvalResult R;
+  R.ModelName = "instcombine";
+  for (const Sample &S : Valid) {
+    SampleEval E;
+    ++R.Taxonomy.Total;
+    ++R.Taxonomy.Correct; // pairs were filtered to be verified (§IV-A)
+    E.Status = VerifyStatus::Equivalent;
+    E.IsCopy = S.RefText == S.SrcText;
+    R.Taxonomy.CorrectCopies += E.IsCopy;
+    fillMetrics(E, S, S.Reference.get());
+    R.PerSample.push_back(E);
+  }
+  aggregate(R);
+  return R;
+}
+
+std::string renderTaxonomy(const std::string &Title,
+                           const VerifyTaxonomy &T) {
+  std::ostringstream OS;
+  OS << Title << "\n";
+  OS << "  Category                         Count   Proportion (%)\n";
+  auto Row = [&](const char *Name, unsigned N) {
+    OS << "  " << Name;
+    for (size_t Pad = std::string(Name).size(); Pad < 33; ++Pad)
+      OS << ' ';
+    char Buf[64];
+    snprintf(Buf, sizeof(Buf), "%5u   %5.1f\n", N, T.pct(N));
+    OS << Buf;
+  };
+  Row("Correct (verified)", T.Correct);
+  Row("- Copy of input (no optimization)", T.CorrectCopies);
+  Row("Semantic Error (Not Equivalent)", T.SemanticError);
+  Row("Syntax Error (Invalid IR)", T.SyntaxError);
+  Row("Inconclusive", T.Inconclusive);
+  return OS.str();
+}
+
+} // namespace veriopt

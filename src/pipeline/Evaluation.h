@@ -1,0 +1,88 @@
+//===- Evaluation.h - The paper's evaluation harness -------------*- C++ -*-=//
+//
+// Computes every statistic the paper's tables and figures report:
+//  - the Alive verification taxonomy (Tables I/II): correct (with the
+//    trivial-copy sub-row), semantic error, syntax error, inconclusive;
+//  - per-sample Better/Worse/Tie and mean relative change vs -O0 for
+//    latency / binary size / instruction count, with the -O0 fallback on
+//    verification failure (Table III);
+//  - geomean improvements and pairwise win/tie/loss against the reference
+//    pass, plus the best-of-both fallback composition (Figs. 5-7).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_PIPELINE_EVALUATION_H
+#define VERIOPT_PIPELINE_EVALUATION_H
+
+#include "model/Policy.h"
+#include "data/Dataset.h"
+
+#include <string>
+#include <vector>
+
+namespace veriopt {
+
+/// Table I/II row counts.
+struct VerifyTaxonomy {
+  unsigned Total = 0;
+  unsigned Correct = 0;
+  unsigned CorrectCopies = 0; ///< sub-row of Correct
+  unsigned SemanticError = 0;
+  unsigned SyntaxError = 0;
+  unsigned Inconclusive = 0;
+
+  double pct(unsigned N) const {
+    return Total ? 100.0 * N / Total : 0.0;
+  }
+  /// The paper's headline: verified AND different from the input.
+  double differentCorrectRate() const {
+    return Total ? 100.0 * (Correct - CorrectCopies) / Total : 0.0;
+  }
+};
+
+/// Better/Worse/Tie counts plus mean relative change for one metric
+/// (Table III rows). Negative mean = improvement.
+struct MetricAgg {
+  unsigned Better = 0, Worse = 0, Tie = 0;
+  double MeanRelChange = 0; ///< mean of (out - base) / base
+  double GeoRatio = 1.0;    ///< geomean of out/base (lower = better)
+};
+
+/// One sample's end-to-end evaluation.
+struct SampleEval {
+  VerifyStatus Status = VerifyStatus::Inconclusive;
+  bool IsCopy = false;
+  bool UsedFallback = false; ///< verification failed -> -O0 output kept
+  double LatO0 = 0, LatOut = 0, LatRef = 0;
+  unsigned ICountO0 = 0, ICountOut = 0, ICountRef = 0;
+  unsigned SizeO0 = 0, SizeOut = 0, SizeRef = 0;
+};
+
+struct EvalResult {
+  std::string ModelName;
+  VerifyTaxonomy Taxonomy;
+  MetricAgg Latency, Size, ICount; ///< vs -O0, fallback applied
+  double GeoSpeedupVsO0 = 1.0;     ///< geomean LatO0/LatOut
+  /// Pairwise vs the reference pass on latency (Fig. 6(c)).
+  unsigned VsRefBetter = 0, VsRefWorse = 0, VsRefTie = 0;
+  /// Fallback composition: min(model, reference) per sample, geomean
+  /// improvement over reference alone (the paper's +17% result).
+  double FallbackGainOverRef = 0;
+  std::vector<SampleEval> PerSample;
+};
+
+/// Evaluate a policy on \p Valid with greedy decoding.
+EvalResult evaluateModel(const RewritePolicyModel &Model,
+                         const std::vector<Sample> &Valid, PromptMode Mode,
+                         const VerifyOptions &VOpts = VerifyOptions());
+
+/// The reference pass itself as a "model" row (its outputs are the
+/// Sample::Reference functions).
+EvalResult evaluateReferencePass(const std::vector<Sample> &Valid);
+
+/// Render a taxonomy as a paper-style table block.
+std::string renderTaxonomy(const std::string &Title, const VerifyTaxonomy &T);
+
+} // namespace veriopt
+
+#endif // VERIOPT_PIPELINE_EVALUATION_H

@@ -1,0 +1,141 @@
+//===- Pipeline.cpp - The four-model training pipeline ------------------------//
+
+#include "pipeline/Pipeline.h"
+
+namespace veriopt {
+
+RewardFn makeAnswerReward(const VerifyOptions &VOpts) {
+  return [VOpts](const Sample &S, Completion &C) {
+    RewardBreakdown B = answerReward(S, C, VOpts);
+    RolloutScore Score;
+    Score.Reward = B.Total;
+    Score.Equivalent = B.Equivalent;
+    Score.ExactMatch = B.ExactMatch;
+    Score.IsCopy = B.IsCopy;
+    Score.AnswerVerify = B.Verify;
+    return Score;
+  };
+}
+
+RewardFn makeCorrectnessReward(const VerifyOptions &VOpts) {
+  return [VOpts](const Sample &S, Completion &C) {
+    RewardBreakdown B = answerReward(S, C, VOpts);
+    VerifyResult AttemptV = verifyAttempt(S, C, VOpts);
+    RolloutScore Score;
+    Score.Reward = B.Total + cotReward(C, AttemptV);
+    Score.Equivalent = B.Equivalent;
+    Score.ExactMatch = B.ExactMatch;
+    Score.IsCopy = B.IsCopy;
+    Score.AnswerVerify = B.Verify;
+    return Score;
+  };
+}
+
+RewardFn makeLatencyReward(const VerifyOptions &VOpts,
+                           const LatencyRewardParams &P) {
+  return [VOpts, P](const Sample &S, Completion &C) {
+    RewardBreakdown B = answerReward(S, C, VOpts);
+    RolloutScore Score;
+    // Eq. (4): equivalence-gated shaped speedup. Alive2 stays in the loop
+    // as the gate even though the instcombine labels are gone.
+    Score.Reward = latencyReward(S, C, B.Equivalent, P);
+    Score.Equivalent = B.Equivalent;
+    Score.ExactMatch = B.ExactMatch;
+    Score.IsCopy = B.IsCopy;
+    Score.AnswerVerify = B.Verify;
+    return Score;
+  };
+}
+
+PipelineArtifacts runTrainingPipeline(const Dataset &DS,
+                                      const PipelineOptions &Opts) {
+  PipelineArtifacts Art;
+  Art.Base = std::make_unique<RewritePolicyModel>(Opts.BaseModel);
+  Art.UMax = computeUMax(DS.Train);
+
+  //===--- Stage 1: MODEL-ZERO + diagnostic-augmented sample harvesting ----===//
+
+  Art.ModelZero = std::make_unique<RewritePolicyModel>(Opts.BaseModel);
+  {
+    // Wrap the answer reward so every failed rollout becomes a
+    // correction-augmented sample (wrong attempt, Alive verdict class,
+    // oracle target) — the model-adaptive dataset of §III-C1.
+    RewardFn Inner = makeAnswerReward(Opts.TrainVerify);
+    RewritePolicyModel *Zero = Art.ModelZero.get();
+    auto Harvest = [&Art, Inner, Zero](const Sample &S, Completion &C) {
+      RolloutScore Score = Inner(S, C);
+      bool Failed = Score.AnswerVerify.Status == VerifyStatus::SyntaxError ||
+                    Score.AnswerVerify.Status == VerifyStatus::NotEquivalent;
+      // Cap harvesting so a few hard prompts do not dominate the SFT set.
+      if (Failed && Art.Augmented.size() < 4 * 1024) {
+        SFTExample Ex;
+        Ex.S = &S;
+        Ex.TargetActions = oracleActions(S.RefTrace, *Zero);
+        Ex.IsCorrection = true;
+        Ex.AttemptActions = C.Actions;
+        Ex.DiagClassTarget = diagKindClass(Score.AnswerVerify.Kind);
+        Art.Augmented.push_back(std::move(Ex));
+        ++Art.CorrectionSamples;
+      }
+      return Score;
+    };
+    GRPOOptions G = Opts.GRPO;
+    G.Mode = PromptMode::Generic;
+    G.Seed = Opts.Seed * 3 + 1;
+    GRPOTrainer Trainer(*Art.ModelZero, Harvest, G);
+    Art.Stage1Log = Trainer.train(DS.Train, Opts.Stage1Steps);
+  }
+
+  // First-time augmented samples: the plain O0 -> instcombine pairs.
+  for (const Sample &S : DS.Train) {
+    SFTExample Ex;
+    Ex.S = &S;
+    Ex.TargetActions = oracleActions(S.RefTrace, *Art.ModelZero);
+    Ex.IsCorrection = false;
+    Ex.DiagClassTarget = 0; // a clean attempt verifies
+    Art.Augmented.push_back(std::move(Ex));
+    ++Art.FirstTimeSamples;
+  }
+
+  //===--- Stage 2: WARM-UP SFT, then GRPO -> MODEL-CORRECTNESS -----------===//
+
+  // SFT starts from the pretrained base model (Fig. 3), not MODEL-ZERO.
+  Art.WarmUp = std::make_unique<RewritePolicyModel>(Opts.BaseModel);
+  {
+    SFTOptions SFT = Opts.SFT;
+    SFT.Epochs = Opts.Stage2SFTEpochs;
+    SFT.LearningRate = Opts.Stage2SFTLearningRate;
+    SFT.Seed = Opts.Seed * 5 + 2;
+    sftTrain(*Art.WarmUp, Art.Augmented, SFT);
+  }
+
+  Art.Correctness = std::make_unique<RewritePolicyModel>(*Art.WarmUp);
+  {
+    GRPOOptions G = Opts.GRPO;
+    G.Mode = PromptMode::Augmented;
+    G.Seed = Opts.Seed * 7 + 3;
+    GRPOTrainer Trainer(*Art.Correctness,
+                        makeCorrectnessReward(Opts.TrainVerify), G);
+    Art.Stage2Log = Trainer.train(DS.Train, Opts.Stage2Steps);
+  }
+
+  //===--- Stage 3: incremental latency GRPO -> MODEL-LATENCY -------------===//
+
+  Art.Latency = std::make_unique<RewritePolicyModel>(*Art.Correctness);
+  {
+    LatencyRewardParams P;
+    P.UMax = Art.UMax;
+    GRPOOptions G = Opts.GRPO;
+    G.Mode = PromptMode::Generic; // the <think> section is dropped (§III-C3)
+    G.Temperature = Opts.Stage3Temperature;
+    G.LearningRate = Opts.Stage3LearningRate;
+    G.Seed = Opts.Seed * 11 + 4;
+    GRPOTrainer Trainer(*Art.Latency, makeLatencyReward(Opts.TrainVerify, P),
+                        G);
+    Art.Stage3Log = Trainer.train(DS.Train, Opts.Stage3Steps);
+  }
+
+  return Art;
+}
+
+} // namespace veriopt

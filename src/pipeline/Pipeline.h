@@ -1,0 +1,95 @@
+//===- Pipeline.h - The four-model training pipeline -------------*- C++ -*-=//
+//
+// Implements the paper's §III-C training scheme end to end:
+//
+//  Stage 1  MODEL-ZERO: GRPO with the generic prompt directly on the base
+//           policy. Its main product is not the policy but the stream of
+//           *diagnostic-augmented samples* harvested from failed rollouts
+//           (wrong attempt + Alive verdict + reference answer).
+//  Stage 2  WARM-UP: SFT of a fresh base policy on the augmented samples
+//           (first-time + correction), then GRPO with augmented prompts and
+//           the CoT reward, yielding MODEL-CORRECTNESS.
+//  Stage 3  MODEL-LATENCY: incremental GRPO from MODEL-CORRECTNESS with the
+//           Eq.(4) latency reward (labels dropped; Alive2 stays in the
+//           reward as the equivalence gate; generic prompt again).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_PIPELINE_PIPELINE_H
+#define VERIOPT_PIPELINE_PIPELINE_H
+
+#include "rl/Trainer.h"
+
+#include <memory>
+
+namespace veriopt {
+
+struct PipelineOptions {
+  DatasetOptions Data;
+  ModelConfig BaseModel = presetQwen3B();
+
+  unsigned Stage1Steps = 50;
+  unsigned Stage2SFTEpochs = 2; ///< a light warm-up: rudimentary skills only
+  double Stage2SFTLearningRate = 0.05;
+  unsigned Stage2Steps = 80;
+  unsigned Stage3Steps = 200;
+  /// Stage-3 explores aggressively: the latency reward must *discover*
+  /// rewrites beyond the instcombine labels (mem2reg/simplifycfg), which
+  /// start with low probability after imitation.
+  double Stage3Temperature = 1.9;
+  /// The latency stage needs a larger step size: its reward is sparse
+  /// (zero unless strictly faster) and the actions it must discover start
+  /// rare, so the clipped token-normalized gradients are small.
+  double Stage3LearningRate = 0.5;
+
+  GRPOOptions GRPO; ///< shared defaults; Mode is set per stage
+  SFTOptions SFT;
+  /// Verification budget during training (cheaper than evaluation).
+  VerifyOptions TrainVerify = trainVerifyDefaults();
+  uint64_t Seed = 2026;
+
+  static VerifyOptions trainVerifyDefaults() {
+    VerifyOptions V;
+    V.FalsifyTrials = 12;
+    V.SolverConflictBudget = 50000;
+    return V;
+  }
+};
+
+/// Everything the pipeline produces: the four model snapshots, training
+/// logs (Fig. 4), the harvested sample set, and U_max.
+struct PipelineArtifacts {
+  std::unique_ptr<RewritePolicyModel> Base;        ///< untouched base
+  std::unique_ptr<RewritePolicyModel> ModelZero;   ///< stage-1 policy
+  std::unique_ptr<RewritePolicyModel> WarmUp;      ///< post-SFT snapshot
+  std::unique_ptr<RewritePolicyModel> Correctness; ///< stage-2 result
+  std::unique_ptr<RewritePolicyModel> Latency;     ///< stage-3 result
+
+  std::vector<TrainLogEntry> Stage1Log;
+  std::vector<TrainLogEntry> Stage2Log; ///< Fig. 4(a)
+  std::vector<TrainLogEntry> Stage3Log; ///< Fig. 4(b)
+
+  std::vector<SFTExample> Augmented; ///< harvested diagnostic samples
+  unsigned CorrectionSamples = 0;
+  unsigned FirstTimeSamples = 0;
+  double UMax = 3.0;
+};
+
+/// Run the full pipeline over \p DS (built by the caller so benches can
+/// share one dataset across many experiments).
+PipelineArtifacts runTrainingPipeline(const Dataset &DS,
+                                      const PipelineOptions &Opts);
+
+/// Stage-1 style reward (Eq. 1) bound to a verification budget.
+RewardFn makeAnswerReward(const VerifyOptions &VOpts);
+
+/// Stage-2 reward: Eq. (1) on the answer plus Eq. (2) on the think section.
+RewardFn makeCorrectnessReward(const VerifyOptions &VOpts);
+
+/// Stage-3 reward: Eq. (4) with the given parameters.
+RewardFn makeLatencyReward(const VerifyOptions &VOpts,
+                           const LatencyRewardParams &P);
+
+} // namespace veriopt
+
+#endif // VERIOPT_PIPELINE_PIPELINE_H

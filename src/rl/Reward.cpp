@@ -1,0 +1,84 @@
+//===- Reward.cpp - Verifier-guided reward functions ---------------------------//
+
+#include "rl/Reward.h"
+
+#include "cost/CostModel.h"
+#include "ir/Parser.h"
+#include "support/Stats.h"
+#include "textgen/Bleu.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace veriopt {
+
+RewardBreakdown answerReward(const Sample &S, const Completion &C,
+                             const VerifyOptions &VOpts) {
+  RewardBreakdown Out;
+  Out.FormatOk = C.FormatOk;
+  Out.IsCopy = C.AnswerIR == S.SrcText;
+
+  if (Out.FormatOk) {
+    Out.Verify = verifyCandidateText(*S.source(), C.AnswerIR, VOpts);
+    Out.Equivalent = Out.Verify.equivalent();
+  } else {
+    Out.Verify.Status = VerifyStatus::SyntaxError;
+    Out.Verify.Kind = DiagKind::ParseError;
+    Out.Verify.Diagnostic = "ERROR: completion violates the answer format";
+  }
+  Out.ExactMatch = Out.Equivalent && C.AnswerIR == S.RefText;
+  Out.Bleu = bleuText(S.RefText, C.AnswerIR);
+
+  double T = Out.FormatOk ? 1.0 : 0.0;
+  double A = Out.Equivalent ? 1.0 : 0.0;
+  double M = Out.ExactMatch ? 1.0 : 0.0;
+  Out.Total = T * (1.0 + A * (1.0 + M)) + Out.Bleu; // Eq. (1)
+  return Out;
+}
+
+VerifyResult verifyAttempt(const Sample &S, const Completion &C,
+                           const VerifyOptions &VOpts) {
+  return verifyCandidateText(*S.source(), C.ThinkAttemptIR, VOpts);
+}
+
+double cotReward(const Completion &C, const VerifyResult &AttemptVerify) {
+  bool ModelSaysOk = C.PredictedDiagClass == 0;
+  bool AliveSaysOk = AttemptVerify.equivalent();
+  if (ModelSaysOk && AliveSaysOk)
+    return 1.0; // agreement on OK
+  if (!ModelSaysOk && !AliveSaysOk)
+    return 0.5 + 0.5 * bleuText(AttemptVerify.Diagnostic,
+                                C.PredictedMessage); // agreement on ERR
+  return 0.0; // disagreement
+}
+
+double latencyReward(const Sample &S, const Completion &C, bool Equivalent,
+                     const LatencyRewardParams &P) {
+  if (!Equivalent)
+    return 0.0; // S = 0
+  auto M = parseModule(C.AnswerIR);
+  if (!M || !M.value()->getMainFunction())
+    return 0.0;
+  double T0 = estimateLatency(*S.source());
+  double T1 = estimateLatency(*M.value()->getMainFunction());
+  if (T1 <= 0)
+    T1 = 0.5; // fully-folded function: credit the maximum
+  double U = T0 / T1;
+  if (U <= 1.0)
+    return 0.0;
+  double Norm = std::min(1.0, (U - 1.0) / (P.UMax - 1.0));
+  return std::pow(Norm, P.Gamma); // Eq. (4)
+}
+
+double computeUMax(const std::vector<Sample> &Train) {
+  std::vector<double> Speedups;
+  for (const Sample &S : Train) {
+    double T0 = estimateLatency(*S.source());
+    double T1 = estimateLatency(*S.Reference);
+    if (T1 > 0)
+      Speedups.push_back(T0 / T1);
+  }
+  return std::max(1.5, percentile(Speedups, 80.0));
+}
+
+} // namespace veriopt

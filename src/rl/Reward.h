@@ -1,0 +1,66 @@
+//===- Reward.h - Verifier-guided reward functions ---------------*- C++ -*-=//
+//
+// The paper's reward signals:
+//  - Eq. (1): hierarchical answer reward r = t(1 + a(1 + m)) + b over
+//    format compliance t, Alive-verified equivalence a, exact reference
+//    match m, and BLEU similarity b.
+//  - Eq. (2): chain-of-thought reward comparing the model's self-diagnosis
+//    of its <think> attempt against the actual Alive verdict.
+//  - Eq. (3)/(4): latency reward — normalized, gamma-shaped speedup over
+//    the -O0 baseline, gated on semantic equivalence, with U_max set to the
+//    80th percentile of the reference pass's speedups on the training set.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_RL_REWARD_H
+#define VERIOPT_RL_REWARD_H
+
+#include "data/Dataset.h"
+#include "model/Policy.h"
+#include "verify/AliveLite.h"
+
+namespace veriopt {
+
+/// Everything one evaluation of a completion yields. Carries the verify
+/// result so stage 1 can harvest diagnostics from the same pass.
+struct RewardBreakdown {
+  bool FormatOk = false;   // t
+  bool Equivalent = false; // a
+  bool ExactMatch = false; // m
+  double Bleu = 0;         // b
+  double Total = 0;        // Eq. (1)
+  bool IsCopy = false;     ///< answer textually equals the input
+  VerifyResult Verify;     ///< verdict on the *answer*
+};
+
+/// Evaluate Eq. (1) for a completion's answer against the sample's source
+/// and reference.
+RewardBreakdown answerReward(const Sample &S, const Completion &C,
+                             const VerifyOptions &VOpts = VerifyOptions());
+
+/// Eq. (2): 1 when model and Alive agree the think-attempt verifies;
+/// 0.5 + 0.5*BLEU(model message, alive message) when both agree it fails;
+/// 0 on disagreement. \p AttemptVerify is Alive's verdict on the attempt.
+double cotReward(const Completion &C, const VerifyResult &AttemptVerify);
+
+/// Verify the <think> attempt of an augmented completion.
+VerifyResult verifyAttempt(const Sample &S, const Completion &C,
+                           const VerifyOptions &VOpts = VerifyOptions());
+
+struct LatencyRewardParams {
+  double UMax = 3.0;   ///< saturation threshold (80th pct of reference)
+  double Gamma = 2.0;  ///< convex shaping (> 1 emphasizes larger speedups)
+};
+
+/// Eq. (3)/(4): 0 unless the answer is equivalent and strictly faster than
+/// the -O0 source; otherwise the shaped, saturated speedup.
+double latencyReward(const Sample &S, const Completion &C, bool Equivalent,
+                     const LatencyRewardParams &P);
+
+/// Compute U_max from the reference pass's speedups over a training set
+/// (80th percentile, floored at 1.5 to keep the reward well-defined).
+double computeUMax(const std::vector<Sample> &Train);
+
+} // namespace veriopt
+
+#endif // VERIOPT_RL_REWARD_H

@@ -1,0 +1,167 @@
+//===- Trainer.cpp - GRPO and SFT trainers --------------------------------------//
+
+#include "rl/Trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace veriopt {
+
+double clipGradient(std::vector<double> &Grad, double MaxNorm) {
+  double Norm = 0;
+  for (double G : Grad)
+    Norm += G * G;
+  Norm = std::sqrt(Norm);
+  if (Norm > MaxNorm && Norm > 0) {
+    double Scale = MaxNorm / Norm;
+    for (double &G : Grad)
+      G *= Scale;
+  }
+  return Norm;
+}
+
+GRPOTrainer::GRPOTrainer(RewritePolicyModel &Model, RewardFn Reward,
+                         const GRPOOptions &Opts)
+    : Model(Model), Reward(std::move(Reward)), Opts(Opts), R(Opts.Seed) {}
+
+TrainLogEntry GRPOTrainer::step(const std::vector<const Sample *> &Batch) {
+  struct Rollout {
+    const Sample *S;
+    Completion C;
+    RolloutScore Score;
+    double Advantage = 0;
+  };
+  std::vector<Rollout> Rollouts;
+  Rollouts.reserve(Batch.size() * Opts.GroupSize);
+
+  double RewardSum = 0;
+  unsigned EquivCount = 0, CopyCount = 0;
+  uint64_t TotalTokens = 0;
+
+  for (const Sample *S : Batch) {
+    size_t GroupStart = Rollouts.size();
+    for (unsigned G = 0; G < Opts.GroupSize; ++G) {
+      Rollout Ro;
+      Ro.S = S;
+      Ro.C = Model.generate(*S->source(), Opts.Mode, R, /*Greedy=*/false,
+                            Opts.Temperature);
+      Ro.Score = Reward(*S, Ro.C);
+      RewardSum += Ro.Score.Reward;
+      EquivCount += Ro.Score.Equivalent;
+      CopyCount += Ro.Score.IsCopy;
+      TotalTokens += Ro.C.TokenCount;
+      Rollouts.push_back(std::move(Ro));
+    }
+    // Group-relative advantages.
+    double Mean = 0;
+    for (size_t I = GroupStart; I < Rollouts.size(); ++I)
+      Mean += Rollouts[I].Score.Reward;
+    Mean /= Opts.GroupSize;
+    double Var = 0;
+    for (size_t I = GroupStart; I < Rollouts.size(); ++I) {
+      double D = Rollouts[I].Score.Reward - Mean;
+      Var += D * D;
+    }
+    double Std = std::sqrt(Var / Opts.GroupSize);
+    for (size_t I = GroupStart; I < Rollouts.size(); ++I)
+      Rollouts[I].Advantage =
+          (Rollouts[I].Score.Reward - Mean) / (Std + 1e-4);
+  }
+
+  // Policy gradient with token-level normalization: every token carries
+  // the same weight across the whole batch (DAPO), so long completions do
+  // not get under-penalized.
+  std::vector<double> Grad(Model.numParams(), 0.0);
+  double TokenScale = TotalTokens > 0 ? 1.0 / static_cast<double>(TotalTokens)
+                                      : 0.0;
+  for (const Rollout &Ro : Rollouts) {
+    if (Ro.Advantage == 0)
+      continue;
+    double Scale = Ro.Advantage * TokenScale *
+                   static_cast<double>(Ro.C.TokenCount) /
+                   std::max<size_t>(Ro.C.Actions.size(), 1);
+    Model.accumulateSequenceGrad(*Ro.S->source(), Ro.C.Actions, Scale, Grad);
+    if (Opts.Mode == PromptMode::Augmented) {
+      Model.accumulateDiagGrad(Ro.C.Actions, Ro.C.PredictedDiagClass, Scale,
+                               Grad);
+      if (Ro.C.PredictedDiagClass != 0)
+        Model.accumulateFixGrad(Ro.C.SelfCorrected, Scale, Grad);
+    }
+  }
+
+  TrainLogEntry Log;
+  Log.GradNorm = clipGradient(Grad, Opts.ClipNorm);
+  for (unsigned I = 0; I < Grad.size(); ++I)
+    Model.params()[I] += Opts.LearningRate * Grad[I]; // single update, no KL
+
+  unsigned N = static_cast<unsigned>(Rollouts.size());
+  Log.Step = ++StepCount;
+  Log.MeanReward = N ? RewardSum / N : 0;
+  Log.EMAReward = Smoother.push(Log.MeanReward);
+  Log.EquivalentRate = N ? static_cast<double>(EquivCount) / N : 0;
+  Log.CopyRate = N ? static_cast<double>(CopyCount) / N : 0;
+  return Log;
+}
+
+std::vector<TrainLogEntry>
+GRPOTrainer::train(const std::vector<Sample> &Prompts, unsigned Steps) {
+  std::vector<TrainLogEntry> Logs;
+  assert(!Prompts.empty() && "training set is empty");
+  for (unsigned Step = 0; Step < Steps; ++Step) {
+    std::vector<const Sample *> Batch;
+    for (unsigned I = 0; I < Opts.PromptsPerStep; ++I)
+      Batch.push_back(&Prompts[R.below(Prompts.size())]);
+    Logs.push_back(this->step(Batch));
+  }
+  return Logs;
+}
+
+//===----------------------------------------------------------------------===//
+// SFT
+//===----------------------------------------------------------------------===//
+
+double sftLoss(const RewritePolicyModel &Model,
+               const std::vector<SFTExample> &Data) {
+  if (Data.empty())
+    return 0;
+  double Loss = 0;
+  for (const SFTExample &Ex : Data) {
+    Loss -= Model.sequenceLogProb(*Ex.S->source(), Ex.TargetActions);
+    Loss -= Model.diagLogProb(Ex.AttemptActions, Ex.DiagClassTarget);
+    if (Ex.IsCorrection)
+      Loss -= Model.fixLogProb(true);
+  }
+  return Loss / static_cast<double>(Data.size());
+}
+
+void sftTrain(RewritePolicyModel &Model, const std::vector<SFTExample> &Data,
+              const SFTOptions &Opts) {
+  if (Data.empty())
+    return;
+  RNG R(Opts.Seed);
+  for (unsigned Epoch = 0; Epoch < Opts.Epochs; ++Epoch) {
+    // Shuffled single-example steps (small data; SGD is fine).
+    std::vector<unsigned> Order(Data.size());
+    for (unsigned I = 0; I < Order.size(); ++I)
+      Order[I] = I;
+    for (unsigned I = Order.size(); I > 1; --I)
+      std::swap(Order[I - 1], Order[R.below(I)]);
+
+    for (unsigned Idx : Order) {
+      const SFTExample &Ex = Data[Idx];
+      std::vector<double> Grad(Model.numParams(), 0.0);
+      double Scale = 1.0 / std::max<size_t>(Ex.TargetActions.size(), 1);
+      Model.accumulateSequenceGrad(*Ex.S->source(), Ex.TargetActions, Scale,
+                                   Grad);
+      Model.accumulateDiagGrad(Ex.AttemptActions, Ex.DiagClassTarget, 1.0,
+                               Grad);
+      if (Ex.IsCorrection)
+        Model.accumulateFixGrad(true, 1.0, Grad);
+      clipGradient(Grad, Opts.ClipNorm);
+      for (unsigned I = 0; I < Grad.size(); ++I)
+        Model.params()[I] += Opts.LearningRate * Grad[I];
+    }
+  }
+}
+
+} // namespace veriopt

@@ -1,0 +1,113 @@
+//===- Trainer.h - GRPO and SFT trainers -------------------------*- C++ -*-=//
+//
+// GRPO (Shao et al.) with the paper's §IV-B modifications: no KL penalty
+// (gradient clipping instead), single-update objective, and DAPO-style
+// token-level loss normalization (each completion's policy gradient is
+// weighted by 1 / total-tokens-in-batch rather than per-sequence means).
+//
+// SFT teacher-forces oracle action sequences, the diagnosis head, and the
+// self-correction gate on diagnostic-augmented samples (§III-C2 warm-up).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_RL_TRAINER_H
+#define VERIOPT_RL_TRAINER_H
+
+#include "rl/Reward.h"
+#include "support/Stats.h"
+
+#include <functional>
+
+namespace veriopt {
+
+/// What a stage-specific reward evaluation returns for one completion.
+struct RolloutScore {
+  double Reward = 0;
+  bool Equivalent = false;
+  bool ExactMatch = false;
+  bool IsCopy = false;
+  VerifyResult AnswerVerify;
+};
+
+/// Stage-specific reward: (sample, completion) -> score.
+using RewardFn = std::function<RolloutScore(const Sample &, Completion &)>;
+
+struct GRPOOptions {
+  unsigned GroupSize = 8;      ///< candidates per prompt (the "group")
+  unsigned PromptsPerStep = 4; ///< prompts per update
+  double LearningRate = 0.12;
+  double Temperature = 1.0;
+  double ClipNorm = 4.0; ///< global L2 gradient clip (replaces KL)
+  PromptMode Mode = PromptMode::Generic;
+  uint64_t Seed = 11;
+};
+
+/// One training-step log record (drives the Fig. 4 curves).
+struct TrainLogEntry {
+  unsigned Step = 0;
+  double MeanReward = 0;
+  double EMAReward = 0; ///< 0.95-smoothed, as plotted in the paper
+  double EquivalentRate = 0;
+  double CopyRate = 0;
+  double GradNorm = 0;
+};
+
+/// Group Relative Policy Optimization over a fixed prompt set.
+class GRPOTrainer {
+public:
+  GRPOTrainer(RewritePolicyModel &Model, RewardFn Reward,
+              const GRPOOptions &Opts);
+
+  /// Run \p Steps updates over \p Prompts (cycled, shuffled by seed).
+  /// Returns the per-step log.
+  std::vector<TrainLogEntry> train(const std::vector<Sample> &Prompts,
+                                   unsigned Steps);
+
+  /// Single update from explicit rollouts (exposed for tests).
+  TrainLogEntry step(const std::vector<const Sample *> &Batch);
+
+private:
+  RewritePolicyModel &Model;
+  RewardFn Reward;
+  GRPOOptions Opts;
+  RNG R;
+  unsigned StepCount = 0;
+  EMA Smoother{0.95};
+};
+
+//===--- SFT -----------------------------------------------------------------//
+
+/// One diagnostic-augmented training example (Fig. 2). First-time samples
+/// have IsCorrection = false and an empty AttemptActions; correction
+/// samples carry the corruptions of the failed attempt plus the Alive
+/// verdict class observed for it.
+struct SFTExample {
+  const Sample *S = nullptr;
+  std::vector<Action> TargetActions; ///< oracle sequence, ends with Stop
+  bool IsCorrection = false;
+  std::vector<Action> AttemptActions; ///< actions of the failed attempt
+  unsigned DiagClassTarget = 0;       ///< Alive verdict class for attempt
+};
+
+struct SFTOptions {
+  double LearningRate = 0.08;
+  unsigned Epochs = 12;
+  double ClipNorm = 4.0;
+  uint64_t Seed = 17;
+};
+
+/// Average SFT loss (negative log-likelihood) over the set — exposed so
+/// tests/benches can confirm the warm-up converges.
+double sftLoss(const RewritePolicyModel &Model,
+               const std::vector<SFTExample> &Data);
+
+/// Supervised fine-tuning on diagnostic-augmented samples.
+void sftTrain(RewritePolicyModel &Model, const std::vector<SFTExample> &Data,
+              const SFTOptions &Opts);
+
+/// Utilities shared by trainers.
+double clipGradient(std::vector<double> &Grad, double MaxNorm);
+
+} // namespace veriopt
+
+#endif // VERIOPT_RL_TRAINER_H

@@ -1,0 +1,333 @@
+//===- BitBlaster.cpp - BV-to-SAT Tseitin encoding ----------------------------//
+
+#include "smt/BitBlaster.h"
+
+namespace veriopt {
+
+BitBlaster::BitBlaster(BVContext &Ctx, SatSolver &S) : Ctx(Ctx), Solver(S) {
+  True = freshLit();
+  Solver.addClause(True);
+}
+
+Lit BitBlaster::mkAnd(Lit A, Lit B) {
+  if (isFalse(A) || isFalse(B))
+    return falseLit();
+  if (isTrue(A))
+    return B;
+  if (isTrue(B))
+    return A;
+  if (A == B)
+    return A;
+  if (A == ~B)
+    return falseLit();
+  Lit O = freshLit();
+  Solver.addClause(~O, A);
+  Solver.addClause(~O, B);
+  Solver.addClause(O, ~A, ~B);
+  return O;
+}
+
+Lit BitBlaster::mkXor(Lit A, Lit B) {
+  if (isFalse(A))
+    return B;
+  if (isFalse(B))
+    return A;
+  if (isTrue(A))
+    return ~B;
+  if (isTrue(B))
+    return ~A;
+  if (A == B)
+    return falseLit();
+  if (A == ~B)
+    return trueLit();
+  Lit O = freshLit();
+  Solver.addClause(~O, A, B);
+  Solver.addClause(~O, ~A, ~B);
+  Solver.addClause(O, ~A, B);
+  Solver.addClause(O, A, ~B);
+  return O;
+}
+
+Lit BitBlaster::mkMux(Lit S, Lit T, Lit F) {
+  if (isTrue(S))
+    return T;
+  if (isFalse(S))
+    return F;
+  if (T == F)
+    return T;
+  if (isTrue(T) && isFalse(F))
+    return S;
+  if (isFalse(T) && isTrue(F))
+    return ~S;
+  Lit O = freshLit();
+  Solver.addClause(~S, ~T, O);
+  Solver.addClause(~S, T, ~O);
+  Solver.addClause(S, ~F, O);
+  Solver.addClause(S, F, ~O);
+  return O;
+}
+
+std::vector<Lit> BitBlaster::addBits(const std::vector<Lit> &A,
+                                     const std::vector<Lit> &B, Lit CarryIn,
+                                     Lit *CarryOut) {
+  assert(A.size() == B.size() && "adder width mismatch");
+  std::vector<Lit> Sum(A.size());
+  Lit Carry = CarryIn;
+  for (size_t I = 0; I < A.size(); ++I) {
+    Lit AxB = mkXor(A[I], B[I]);
+    Sum[I] = mkXor(AxB, Carry);
+    // carry' = (a & b) | (carry & (a ^ b))
+    Carry = mkOr(mkAnd(A[I], B[I]), mkAnd(Carry, AxB));
+  }
+  if (CarryOut)
+    *CarryOut = Carry;
+  return Sum;
+}
+
+std::vector<Lit> BitBlaster::negBits(const std::vector<Lit> &A) {
+  std::vector<Lit> NotA(A.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    NotA[I] = ~A[I];
+  std::vector<Lit> Zero(A.size(), falseLit());
+  return addBits(NotA, Zero, trueLit());
+}
+
+std::vector<Lit> BitBlaster::mulBits(const std::vector<Lit> &A,
+                                     const std::vector<Lit> &B) {
+  size_t W = A.size();
+  std::vector<Lit> Acc(W, falseLit());
+  for (size_t I = 0; I < W; ++I) {
+    if (isFalse(B[I]))
+      continue;
+    // Partial product: (A << I) & B[I], truncated to W bits.
+    std::vector<Lit> Part(W, falseLit());
+    for (size_t J = 0; I + J < W; ++J)
+      Part[I + J] = mkAnd(A[J], B[I]);
+    Acc = addBits(Acc, Part, falseLit());
+  }
+  return Acc;
+}
+
+Lit BitBlaster::ultBits(const std::vector<Lit> &A, const std::vector<Lit> &B) {
+  // a < b (unsigned) iff no carry out of a + ~b + 1.
+  std::vector<Lit> NotB(B.size());
+  for (size_t I = 0; I < B.size(); ++I)
+    NotB[I] = ~B[I];
+  Lit CarryOut = trueLit();
+  addBits(A, NotB, trueLit(), &CarryOut);
+  return ~CarryOut;
+}
+
+Lit BitBlaster::eqBits(const std::vector<Lit> &A, const std::vector<Lit> &B) {
+  Lit Acc = trueLit();
+  for (size_t I = 0; I < A.size(); ++I)
+    Acc = mkAnd(Acc, ~mkXor(A[I], B[I]));
+  return Acc;
+}
+
+std::vector<Lit> BitBlaster::divBits(const std::vector<Lit> &A,
+                                     const std::vector<Lit> &B,
+                                     std::vector<Lit> *OutRem) {
+  // Restoring division, MSB first. With B == 0 this yields q = all-ones and
+  // rem = A, matching the SMT-LIB convention used by BVContext's folder.
+  size_t W = A.size();
+  std::vector<Lit> Rem(W, falseLit());
+  std::vector<Lit> Q(W, falseLit());
+  for (size_t Step = 0; Step < W; ++Step) {
+    size_t I = W - 1 - Step;
+    // Rem = (Rem << 1) | A[I]
+    for (size_t J = W - 1; J > 0; --J)
+      Rem[J] = Rem[J - 1];
+    Rem[0] = A[I];
+    // Geq = Rem >= B; Diff = Rem - B.
+    std::vector<Lit> NotB(W);
+    for (size_t J = 0; J < W; ++J)
+      NotB[J] = ~B[J];
+    Lit CarryOut = trueLit();
+    std::vector<Lit> Diff = addBits(Rem, NotB, trueLit(), &CarryOut);
+    Lit Geq = CarryOut;
+    for (size_t J = 0; J < W; ++J)
+      Rem[J] = mkMux(Geq, Diff[J], Rem[J]);
+    Q[I] = Geq;
+  }
+  if (OutRem)
+    *OutRem = Rem;
+  return Q;
+}
+
+std::vector<Lit> BitBlaster::shiftBits(const std::vector<Lit> &A,
+                                       const std::vector<Lit> &Sh, BVOp Op) {
+  size_t W = A.size();
+  Lit Fill = Op == BVOp::AShr ? A[W - 1] : falseLit();
+  std::vector<Lit> Cur = A;
+  // Barrel stages for in-range amounts.
+  for (size_t K = 0; (1ULL << K) < W; ++K) {
+    size_t Amount = 1ULL << K;
+    std::vector<Lit> Shifted(W);
+    for (size_t J = 0; J < W; ++J) {
+      if (Op == BVOp::Shl)
+        Shifted[J] = J >= Amount ? Cur[J - Amount] : falseLit();
+      else
+        Shifted[J] = J + Amount < W ? Cur[J + Amount] : Fill;
+    }
+    for (size_t J = 0; J < W; ++J)
+      Cur[J] = mkMux(Sh[K], Shifted[J], Cur[J]);
+  }
+  // Any set bit at or above log2(W) means the amount is >= W (widths are
+  // powers of two), so the result is all fill bits.
+  Lit Big = falseLit();
+  for (size_t K = 0; K < W; ++K)
+    if ((1ULL << K) >= W)
+      Big = mkOr(Big, Sh[K]);
+  for (size_t J = 0; J < W; ++J)
+    Cur[J] = mkMux(Big, Fill, Cur[J]);
+  return Cur;
+}
+
+const std::vector<Lit> &BitBlaster::blast(const BVExpr *E) {
+  auto It = Cache.find(E);
+  if (It != Cache.end())
+    return It->second;
+
+  std::vector<Lit> Out;
+  switch (E->Op) {
+  case BVOp::Const: {
+    Out.resize(E->Width);
+    for (unsigned I = 0; I < E->Width; ++I)
+      Out[I] = E->ConstVal.getBit(I) ? trueLit() : falseLit();
+    break;
+  }
+  case BVOp::Var: {
+    Out.resize(E->Width);
+    for (unsigned I = 0; I < E->Width; ++I)
+      Out[I] = freshLit();
+    break;
+  }
+  case BVOp::Not: {
+    const auto &A = blast(E->Ops[0]);
+    Out.resize(E->Width);
+    for (unsigned I = 0; I < E->Width; ++I)
+      Out[I] = ~A[I];
+    break;
+  }
+  case BVOp::Neg:
+    Out = negBits(blast(E->Ops[0]));
+    break;
+  case BVOp::Add:
+    Out = addBits(blast(E->Ops[0]), blast(E->Ops[1]), falseLit());
+    break;
+  case BVOp::Sub: {
+    std::vector<Lit> NotB;
+    for (Lit L : blast(E->Ops[1]))
+      NotB.push_back(~L);
+    Out = addBits(blast(E->Ops[0]), NotB, trueLit());
+    break;
+  }
+  case BVOp::Mul:
+    Out = mulBits(blast(E->Ops[0]), blast(E->Ops[1]));
+    break;
+  case BVOp::UDiv:
+    Out = divBits(blast(E->Ops[0]), blast(E->Ops[1]), nullptr);
+    break;
+  case BVOp::URem: {
+    std::vector<Lit> Rem;
+    divBits(blast(E->Ops[0]), blast(E->Ops[1]), &Rem);
+    Out = std::move(Rem);
+    break;
+  }
+  case BVOp::SDiv:
+  case BVOp::SRem:
+    assert(false && "sdiv/srem are derived in BVContext");
+    break;
+  case BVOp::Shl:
+  case BVOp::LShr:
+  case BVOp::AShr:
+    Out = shiftBits(blast(E->Ops[0]), blast(E->Ops[1]), E->Op);
+    break;
+  case BVOp::And: {
+    const auto &A = blast(E->Ops[0]);
+    const auto &B = blast(E->Ops[1]);
+    Out.resize(E->Width);
+    for (unsigned I = 0; I < E->Width; ++I)
+      Out[I] = mkAnd(A[I], B[I]);
+    break;
+  }
+  case BVOp::Or: {
+    const auto &A = blast(E->Ops[0]);
+    const auto &B = blast(E->Ops[1]);
+    Out.resize(E->Width);
+    for (unsigned I = 0; I < E->Width; ++I)
+      Out[I] = mkOr(A[I], B[I]);
+    break;
+  }
+  case BVOp::Xor: {
+    const auto &A = blast(E->Ops[0]);
+    const auto &B = blast(E->Ops[1]);
+    Out.resize(E->Width);
+    for (unsigned I = 0; I < E->Width; ++I)
+      Out[I] = mkXor(A[I], B[I]);
+    break;
+  }
+  case BVOp::Eq:
+    Out.push_back(eqBits(blast(E->Ops[0]), blast(E->Ops[1])));
+    break;
+  case BVOp::Ult:
+    Out.push_back(ultBits(blast(E->Ops[0]), blast(E->Ops[1])));
+    break;
+  case BVOp::Slt: {
+    // Flip sign bits and compare unsigned.
+    std::vector<Lit> A = blast(E->Ops[0]);
+    std::vector<Lit> B = blast(E->Ops[1]);
+    A.back() = ~A.back();
+    B.back() = ~B.back();
+    Out.push_back(ultBits(A, B));
+    break;
+  }
+  case BVOp::ITE: {
+    Lit S = blastBool(E->Ops[0]);
+    const auto &T = blast(E->Ops[1]);
+    const auto &F = blast(E->Ops[2]);
+    Out.resize(E->Width);
+    for (unsigned I = 0; I < E->Width; ++I)
+      Out[I] = mkMux(S, T[I], F[I]);
+    break;
+  }
+  case BVOp::ZExt: {
+    Out = blast(E->Ops[0]);
+    Out.resize(E->Width, falseLit());
+    break;
+  }
+  case BVOp::SExt: {
+    Out = blast(E->Ops[0]);
+    Lit Sign = Out.back();
+    Out.resize(E->Width, Sign);
+    break;
+  }
+  case BVOp::Extract: {
+    const auto &A = blast(E->Ops[0]);
+    Out.assign(A.begin() + E->Lo, A.begin() + E->Lo + E->Width);
+    break;
+  }
+  case BVOp::Concat: {
+    const auto &Hi = blast(E->Ops[0]);
+    const auto &Lo = blast(E->Ops[1]);
+    Out = Lo;
+    Out.insert(Out.end(), Hi.begin(), Hi.end());
+    break;
+  }
+  }
+  assert(Out.size() == E->Width && "blasted width mismatch");
+  return Cache.emplace(E, std::move(Out)).first->second;
+}
+
+APInt64 BitBlaster::read(const BVExpr *E) const {
+  auto It = Cache.find(E);
+  assert(It != Cache.end() && "reading a term that was never blasted");
+  uint64_t Bits = 0;
+  for (unsigned I = 0; I < E->Width; ++I)
+    if (Solver.modelValue(It->second[I]))
+      Bits |= 1ULL << I;
+  return APInt64(E->Width, Bits);
+}
+
+} // namespace veriopt

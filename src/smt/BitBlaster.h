@@ -1,0 +1,75 @@
+//===- BitBlaster.h - BV-to-SAT Tseitin encoding -----------------*- C++ -*-=//
+//
+// Lowers BVExpr terms to CNF over a SatSolver: ripple-carry adders,
+// shift-add multipliers, restoring dividers, barrel shifters, and
+// comparator chains. Each distinct term is encoded once (the term DAG is
+// hash-consed, so sharing is maximal).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_SMT_BITBLASTER_H
+#define VERIOPT_SMT_BITBLASTER_H
+
+#include "smt/BVExpr.h"
+#include "smt/Sat.h"
+
+#include <unordered_map>
+
+namespace veriopt {
+
+class BitBlaster {
+public:
+  BitBlaster(BVContext &Ctx, SatSolver &S);
+
+  /// Encode \p E (LSB-first literal vector). Cached per term.
+  const std::vector<Lit> &blast(const BVExpr *E);
+
+  /// Encode a width-1 term as a single literal.
+  Lit blastBool(const BVExpr *E) {
+    assert(E->Width == 1 && "not a boolean term");
+    return blast(E)[0];
+  }
+
+  /// Assert that a width-1 term holds.
+  void assertTrue(const BVExpr *E) { Solver.addClause(blastBool(E)); }
+
+  Lit trueLit() const { return True; }
+  Lit falseLit() const { return ~True; }
+
+  /// After a Sat result: the value the model assigns to any blasted term.
+  APInt64 read(const BVExpr *E) const;
+
+private:
+  Lit freshLit() { return Lit(Solver.newVar(), false); }
+  bool isTrue(Lit L) const { return L == True; }
+  bool isFalse(Lit L) const { return L == ~True; }
+
+  Lit mkAnd(Lit A, Lit B);
+  Lit mkOr(Lit A, Lit B) { return ~mkAnd(~A, ~B); }
+  Lit mkXor(Lit A, Lit B);
+  Lit mkMux(Lit S, Lit T, Lit F); // S ? T : F
+
+  std::vector<Lit> addBits(const std::vector<Lit> &A,
+                           const std::vector<Lit> &B, Lit CarryIn,
+                           Lit *CarryOut = nullptr);
+  std::vector<Lit> negBits(const std::vector<Lit> &A);
+  std::vector<Lit> mulBits(const std::vector<Lit> &A,
+                           const std::vector<Lit> &B);
+  /// Restoring divider; returns quotient and (via OutRem) the remainder.
+  std::vector<Lit> divBits(const std::vector<Lit> &A,
+                           const std::vector<Lit> &B,
+                           std::vector<Lit> *OutRem);
+  std::vector<Lit> shiftBits(const std::vector<Lit> &A,
+                             const std::vector<Lit> &Sh, BVOp Op);
+  Lit ultBits(const std::vector<Lit> &A, const std::vector<Lit> &B);
+  Lit eqBits(const std::vector<Lit> &A, const std::vector<Lit> &B);
+
+  BVContext &Ctx;
+  SatSolver &Solver;
+  Lit True;
+  std::unordered_map<const BVExpr *, std::vector<Lit>> Cache;
+};
+
+} // namespace veriopt
+
+#endif // VERIOPT_SMT_BITBLASTER_H

@@ -1,0 +1,308 @@
+//===- Sat.cpp - CDCL SAT solver ----------------------------------------------//
+
+#include "smt/Sat.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace veriopt {
+
+// Reason sentinel: -1 means "decision / no reason".
+static constexpr int NoReason = -1;
+
+SatSolver::SatSolver() {
+  // Var 0 is a dummy so variables are 1-based.
+  Assign.push_back(LBool::Undef);
+  SavedPhase.push_back(LBool::False);
+  LevelOf.push_back(0);
+  ReasonOf.push_back(NoReason);
+  Activity.push_back(0);
+  Seen.push_back(0);
+  Watches.resize(2);
+}
+
+unsigned SatSolver::newVar() {
+  unsigned V = static_cast<unsigned>(Assign.size());
+  Assign.push_back(LBool::Undef);
+  SavedPhase.push_back(LBool::False);
+  LevelOf.push_back(0);
+  ReasonOf.push_back(NoReason);
+  Activity.push_back(0);
+  Seen.push_back(0);
+  Watches.resize(Watches.size() + 2);
+  return V;
+}
+
+bool SatSolver::addClause(std::vector<Lit> Ls) {
+  if (Unsatisfiable)
+    return false;
+  assert(TrailLim.empty() && "clauses must be added at decision level 0");
+
+  // Normalize: drop duplicates and false literals; detect tautologies and
+  // already-satisfied clauses.
+  std::sort(Ls.begin(), Ls.end(),
+            [](Lit A, Lit B) { return A.Code < B.Code; });
+  std::vector<Lit> Out;
+  for (size_t I = 0; I < Ls.size(); ++I) {
+    if (I + 1 < Ls.size() && Ls[I] == Ls[I + 1])
+      continue; // duplicate
+    if (I + 1 < Ls.size() && Ls[I].var() == Ls[I + 1].var())
+      return true; // l and ~l: tautology
+    LBool V = value(Ls[I]);
+    if (V == LBool::True)
+      return true; // satisfied at level 0
+    if (V == LBool::False)
+      continue; // falsified at level 0: drop
+    Out.push_back(Ls[I]);
+  }
+
+  if (Out.empty()) {
+    Unsatisfiable = true;
+    return false;
+  }
+  if (Out.size() == 1) {
+    enqueue(Out[0], NoReason);
+    if (propagate() != NoReason) {
+      Unsatisfiable = true;
+      return false;
+    }
+    return true;
+  }
+
+  Clause C;
+  C.Ls = std::move(Out);
+  Clauses.push_back(std::move(C));
+  attach(static_cast<ClauseRef>(Clauses.size() - 1));
+  return true;
+}
+
+void SatSolver::attach(ClauseRef CR) {
+  const Clause &C = Clauses[CR];
+  assert(C.Ls.size() >= 2 && "attaching a short clause");
+  Watches[(~C.Ls[0]).Code].push_back({CR, C.Ls[1]});
+  Watches[(~C.Ls[1]).Code].push_back({CR, C.Ls[0]});
+}
+
+void SatSolver::enqueue(Lit L, ClauseRef Reason) {
+  assert(value(L) == LBool::Undef && "enqueueing an assigned literal");
+  Assign[L.var()] = L.negated() ? LBool::False : LBool::True;
+  LevelOf[L.var()] = static_cast<unsigned>(TrailLim.size());
+  ReasonOf[L.var()] = Reason;
+  Trail.push_back(L);
+}
+
+SatSolver::ClauseRef SatSolver::propagate() {
+  while (QHead < Trail.size()) {
+    Lit P = Trail[QHead++]; // P is true; visit watchers of ~P... (see below)
+    // Watches[P.Code] holds clauses watching ~P (attached via (~lit).Code),
+    // i.e. clauses that may become unit now that P is true.
+    std::vector<Watch> &WList = Watches[P.Code];
+    size_t Keep = 0;
+    for (size_t I = 0; I < WList.size(); ++I) {
+      Watch W = WList[I];
+      // Blocker check: clause already satisfied.
+      if (value(W.Blocker) == LBool::True) {
+        WList[Keep++] = W;
+        continue;
+      }
+      Clause &C = Clauses[W.CR];
+      // Ensure the falsified literal is at slot 1.
+      Lit FalseLit = ~P;
+      if (C.Ls[0] == FalseLit)
+        std::swap(C.Ls[0], C.Ls[1]);
+      assert(C.Ls[1] == FalseLit && "watch list out of sync");
+      // First watch true? Keep with updated blocker.
+      if (value(C.Ls[0]) == LBool::True) {
+        WList[Keep++] = {W.CR, C.Ls[0]};
+        continue;
+      }
+      // Find a new literal to watch.
+      bool Moved = false;
+      for (size_t K = 2; K < C.Ls.size(); ++K) {
+        if (value(C.Ls[K]) != LBool::False) {
+          std::swap(C.Ls[1], C.Ls[K]);
+          Watches[(~C.Ls[1]).Code].push_back({W.CR, C.Ls[0]});
+          Moved = true;
+          break;
+        }
+      }
+      if (Moved)
+        continue; // watch moved elsewhere; drop from this list
+      // Clause is unit or conflicting.
+      WList[Keep++] = W;
+      if (value(C.Ls[0]) == LBool::False) {
+        // Conflict: restore remaining watches and report.
+        for (size_t K = I + 1; K < WList.size(); ++K)
+          WList[Keep++] = WList[K];
+        WList.resize(Keep);
+        QHead = Trail.size();
+        return W.CR;
+      }
+      enqueue(C.Ls[0], W.CR);
+    }
+    WList.resize(Keep);
+  }
+  return NoReason;
+}
+
+void SatSolver::bumpVar(unsigned V) {
+  Activity[V] += ActivityInc;
+  if (Activity[V] > 1e100) {
+    for (double &A : Activity)
+      A *= 1e-100;
+    ActivityInc *= 1e-100;
+  }
+}
+
+void SatSolver::decayActivities() { ActivityInc *= (1.0 / 0.95); }
+
+void SatSolver::analyze(ClauseRef Confl, std::vector<Lit> &Learnt,
+                        unsigned &BtLevel) {
+  Learnt.clear();
+  Learnt.push_back(Lit()); // slot for the asserting literal
+  unsigned CurLevel = static_cast<unsigned>(TrailLim.size());
+  int Counter = 0;
+  Lit P;
+  bool PValid = false;
+  size_t Index = Trail.size();
+
+  ClauseRef Reason = Confl;
+  while (true) {
+    assert(Reason != NoReason && "conflict analysis lost its reason");
+    Clause &C = Clauses[Reason];
+    if (C.Learnt)
+      C.Activity += 1.0;
+    for (Lit Q : C.Ls) {
+      if (PValid && Q == P)
+        continue;
+      unsigned V = Q.var();
+      if (Seen[V] || LevelOf[V] == 0)
+        continue;
+      Seen[V] = 1;
+      bumpVar(V);
+      if (LevelOf[V] >= CurLevel)
+        ++Counter;
+      else
+        Learnt.push_back(Q);
+    }
+    // Walk the trail backwards to the next marked literal.
+    while (!Seen[Trail[Index - 1].var()])
+      --Index;
+    --Index;
+    P = Trail[Index];
+    PValid = true;
+    Reason = ReasonOf[P.var()];
+    Seen[P.var()] = 0;
+    if (--Counter == 0)
+      break;
+  }
+  Learnt[0] = ~P;
+
+  // Compute backtrack level (second-highest level in the clause).
+  BtLevel = 0;
+  if (Learnt.size() > 1) {
+    size_t MaxI = 1;
+    for (size_t I = 2; I < Learnt.size(); ++I)
+      if (LevelOf[Learnt[I].var()] > LevelOf[Learnt[MaxI].var()])
+        MaxI = I;
+    std::swap(Learnt[1], Learnt[MaxI]);
+    BtLevel = LevelOf[Learnt[1].var()];
+  }
+  for (Lit L : Learnt)
+    Seen[L.var()] = 0;
+}
+
+void SatSolver::backtrack(unsigned Level) {
+  if (TrailLim.size() <= Level)
+    return;
+  size_t Bound = TrailLim[Level];
+  for (size_t I = Trail.size(); I > Bound; --I) {
+    unsigned V = Trail[I - 1].var();
+    SavedPhase[V] = Assign[V];
+    Assign[V] = LBool::Undef;
+    ReasonOf[V] = NoReason;
+  }
+  Trail.resize(Bound);
+  TrailLim.resize(Level);
+  QHead = Trail.size();
+}
+
+Lit SatSolver::pickBranchLit() {
+  // Highest-activity unassigned variable (linear scan is fine at our sizes;
+  // queries are thousands of vars, not millions).
+  unsigned Best = 0;
+  double BestAct = -1;
+  for (unsigned V = 1; V < Assign.size(); ++V)
+    if (Assign[V] == LBool::Undef && Activity[V] > BestAct) {
+      Best = V;
+      BestAct = Activity[V];
+    }
+  if (Best == 0)
+    return Lit(); // everything assigned
+  bool Neg = SavedPhase[Best] != LBool::True; // phase saving, default false
+  return Lit(Best, Neg);
+}
+
+SatSolver::Result SatSolver::solve(uint64_t ConflictBudget) {
+  if (Unsatisfiable)
+    return Result::Unsat;
+  if (propagate() != NoReason)
+    return Result::Unsat;
+
+  uint64_t RestartLimit = 100;
+  uint64_t ConflictsSinceRestart = 0;
+  uint64_t StartConflicts = Conflicts;
+
+  while (true) {
+    ClauseRef Confl = propagate();
+    if (Confl != NoReason) {
+      ++Conflicts;
+      ++ConflictsSinceRestart;
+      if (TrailLim.empty())
+        return Result::Unsat; // conflict at level 0
+      if (ConflictBudget && Conflicts - StartConflicts >= ConflictBudget) {
+        // Leave the solver reusable: a later solve() must not see a stale
+        // conflicting trail.
+        backtrack(0);
+        return Result::Unknown;
+      }
+
+      std::vector<Lit> Learnt;
+      unsigned BtLevel = 0;
+      analyze(Confl, Learnt, BtLevel);
+      backtrack(BtLevel);
+      if (Learnt.size() == 1) {
+        enqueue(Learnt[0], NoReason);
+      } else {
+        Clause C;
+        C.Ls = std::move(Learnt);
+        C.Learnt = true;
+        Clauses.push_back(std::move(C));
+        ClauseRef CR = static_cast<ClauseRef>(Clauses.size() - 1);
+        attach(CR);
+        enqueue(Clauses[CR].Ls[0], CR);
+      }
+      decayActivities();
+
+      if (ConflictsSinceRestart >= RestartLimit) {
+        ConflictsSinceRestart = 0;
+        RestartLimit = RestartLimit + RestartLimit / 2; // geometric
+        backtrack(0);
+      }
+      continue;
+    }
+
+    Lit Next = pickBranchLit();
+    if (Next.Code == 0)
+      return Result::Sat; // complete assignment, no conflict
+    TrailLim.push_back(static_cast<unsigned>(Trail.size()));
+    enqueue(Next, NoReason);
+  }
+}
+
+bool SatSolver::modelValue(unsigned Var) const {
+  assert(Var < Assign.size() && "model query out of range");
+  return Assign[Var] == LBool::True;
+}
+
+} // namespace veriopt

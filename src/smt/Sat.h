@@ -1,0 +1,128 @@
+//===- Sat.h - CDCL SAT solver -----------------------------------*- C++ -*-=//
+//
+// A compact conflict-driven clause-learning SAT solver: two-watched-literal
+// propagation, VSIDS-style decaying activities with phase saving, first-UIP
+// clause learning, and geometric restarts. It is the decision procedure
+// underneath the bit-vector layer that stands in for Z3 in the Alive-lite
+// translation validator.
+//
+// A conflict budget bounds each query; exhausting it returns Unknown, which
+// the verifier surfaces as the paper's "Inconclusive" outcome.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_SMT_SAT_H
+#define VERIOPT_SMT_SAT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace veriopt {
+
+/// A literal: variable index (1-based) with a sign. Encoded as
+/// 2*var + (negated ? 1 : 0) for dense array indexing.
+struct Lit {
+  unsigned Code = 0;
+
+  Lit() = default;
+  Lit(unsigned Var, bool Negated) : Code(2 * Var + (Negated ? 1 : 0)) {}
+
+  unsigned var() const { return Code >> 1; }
+  bool negated() const { return Code & 1; }
+  Lit operator~() const {
+    Lit L;
+    L.Code = Code ^ 1;
+    return L;
+  }
+  bool operator==(const Lit &O) const { return Code == O.Code; }
+  bool operator!=(const Lit &O) const { return Code != O.Code; }
+};
+
+/// Three-valued assignment.
+enum class LBool : uint8_t { False = 0, True = 1, Undef = 2 };
+
+class SatSolver {
+public:
+  enum class Result { Sat, Unsat, Unknown };
+
+  SatSolver();
+
+  /// Allocate a fresh variable; returns its index (>= 1).
+  unsigned newVar();
+
+  unsigned numVars() const {
+    return static_cast<unsigned>(Activity.size()) - 1; // var 0 is a dummy
+  }
+  unsigned numClauses() const { return static_cast<unsigned>(Clauses.size()); }
+  uint64_t conflicts() const { return Conflicts; }
+
+  /// Add a clause (disjunction of literals). Returns false if the formula
+  /// became trivially unsatisfiable (empty clause / conflicting units).
+  bool addClause(std::vector<Lit> Ls);
+  bool addClause(Lit A) { return addClause(std::vector<Lit>{A}); }
+  bool addClause(Lit A, Lit B) { return addClause(std::vector<Lit>{A, B}); }
+  bool addClause(Lit A, Lit B, Lit C) {
+    return addClause(std::vector<Lit>{A, B, C});
+  }
+
+  /// Solve with a conflict budget (0 = unlimited).
+  Result solve(uint64_t ConflictBudget = 0);
+
+  /// Model access after Sat.
+  bool modelValue(unsigned Var) const;
+  bool modelValue(Lit L) const {
+    return modelValue(L.var()) != L.negated();
+  }
+
+private:
+  struct Clause {
+    std::vector<Lit> Ls;
+    bool Learnt = false;
+    double Activity = 0;
+  };
+  using ClauseRef = int;
+
+  struct Watch {
+    ClauseRef CR;
+    Lit Blocker;
+  };
+
+  LBool value(Lit L) const {
+    LBool V = Assign[L.var()];
+    if (V == LBool::Undef)
+      return V;
+    return (V == LBool::True) != L.negated() ? LBool::True : LBool::False;
+  }
+
+  void attach(ClauseRef CR);
+  void enqueue(Lit L, ClauseRef Reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef Confl, std::vector<Lit> &Learnt, unsigned &BtLevel);
+  void backtrack(unsigned Level);
+  Lit pickBranchLit();
+  void bumpVar(unsigned V);
+  void decayActivities();
+  bool ensureUnassignedExists();
+
+  std::vector<Clause> Clauses;
+  std::vector<std::vector<Watch>> Watches; // indexed by Lit code
+  std::vector<LBool> Assign;               // per var
+  std::vector<LBool> SavedPhase;           // per var
+  std::vector<unsigned> LevelOf;           // per var
+  std::vector<ClauseRef> ReasonOf;         // per var
+  std::vector<Lit> Trail;
+  std::vector<unsigned> TrailLim; // decision-level boundaries
+  size_t QHead = 0;
+
+  std::vector<double> Activity; // per var
+  double ActivityInc = 1.0;
+  std::vector<uint8_t> Seen; // scratch for analyze()
+
+  uint64_t Conflicts = 0;
+  bool Unsatisfiable = false;
+};
+
+} // namespace veriopt
+
+#endif // VERIOPT_SMT_SAT_H

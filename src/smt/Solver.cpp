@@ -1,0 +1,48 @@
+//===- Solver.cpp - One-shot bit-vector satisfiability queries ----------------//
+
+#include "smt/Solver.h"
+
+#include "smt/BitBlaster.h"
+
+namespace veriopt {
+
+SmtCheck checkSat(BVContext &Ctx, const BVExpr *Constraint,
+                  const std::vector<const BVExpr *> &ModelTerms,
+                  uint64_t ConflictBudget) {
+  assert(Constraint->Width == 1 && "constraint must be width 1");
+  SmtCheck Out;
+
+  // Trivial cases survive construction-time folding.
+  if (Constraint->isFalse()) {
+    Out.St = SmtCheck::Unsat;
+    return Out;
+  }
+
+  SatSolver S;
+  BitBlaster BB(Ctx, S);
+  // Blast model terms first so their literals exist even if simplification
+  // removed them from the constraint.
+  for (const BVExpr *T : ModelTerms)
+    BB.blast(T);
+  BB.assertTrue(Constraint);
+
+  switch (S.solve(ConflictBudget)) {
+  case SatSolver::Result::Sat:
+    Out.St = SmtCheck::Sat;
+    for (const BVExpr *T : ModelTerms) {
+      assert(T->Op == BVOp::Var && "model terms must be variables");
+      Out.Model[T->VarId] = BB.read(T);
+    }
+    break;
+  case SatSolver::Result::Unsat:
+    Out.St = SmtCheck::Unsat;
+    break;
+  case SatSolver::Result::Unknown:
+    Out.St = SmtCheck::Unknown;
+    break;
+  }
+  Out.Conflicts = S.conflicts();
+  return Out;
+}
+
+} // namespace veriopt

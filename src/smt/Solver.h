@@ -1,0 +1,31 @@
+//===- Solver.h - One-shot bit-vector satisfiability queries ------*- C++ -*-=//
+
+#ifndef VERIOPT_SMT_SOLVER_H
+#define VERIOPT_SMT_SOLVER_H
+
+#include "smt/BVExpr.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace veriopt {
+
+/// Result of a checkSat query.
+struct SmtCheck {
+  enum Status { Sat, Unsat, Unknown } St = Unknown;
+  /// Satisfying assignment (VarId -> value) for the requested terms.
+  std::unordered_map<unsigned, APInt64> Model;
+  uint64_t Conflicts = 0; ///< SAT search effort actually spent
+};
+
+/// Decide satisfiability of a width-1 constraint. \p ModelTerms lists the
+/// Var terms whose values should be reported on Sat. \p ConflictBudget
+/// bounds the search (0 = unlimited); exhaustion reports Unknown, which the
+/// verifier maps to the paper's Inconclusive outcome.
+SmtCheck checkSat(BVContext &Ctx, const BVExpr *Constraint,
+                  const std::vector<const BVExpr *> &ModelTerms = {},
+                  uint64_t ConflictBudget = 200000);
+
+} // namespace veriopt
+
+#endif // VERIOPT_SMT_SOLVER_H

@@ -1,0 +1,106 @@
+//===- APInt64.cpp - Fixed-width wrap-around integers ---------------------===//
+
+#include "support/APInt64.h"
+
+#include <bit>
+
+namespace veriopt {
+
+unsigned APInt64::countTrailingZeros() const {
+  if (Bits == 0)
+    return Width;
+  return static_cast<unsigned>(std::countr_zero(Bits));
+}
+
+unsigned APInt64::countLeadingZeros() const {
+  if (Bits == 0)
+    return Width;
+  unsigned Lz64 = static_cast<unsigned>(std::countl_zero(Bits));
+  return Lz64 - (64 - Width);
+}
+
+unsigned APInt64::popCount() const {
+  return static_cast<unsigned>(std::popcount(Bits));
+}
+
+APInt64 APInt64::sdiv(const APInt64 &RHS) const {
+  assert(!RHS.isZero() && "sdiv by zero");
+  assert(!(isSignedMin() && RHS.isAllOnes()) && "sdiv overflow");
+  return fromSigned(Width, sext() / RHS.sext());
+}
+
+APInt64 APInt64::srem(const APInt64 &RHS) const {
+  assert(!RHS.isZero() && "srem by zero");
+  assert(!(isSignedMin() && RHS.isAllOnes()) && "srem overflow");
+  return fromSigned(Width, sext() % RHS.sext());
+}
+
+bool APInt64::addOverflowsSigned(const APInt64 &RHS) const {
+  int64_t A = sext(), B = RHS.sext();
+  int64_t Wide;
+  if (__builtin_add_overflow(A, B, &Wide))
+    return true; // only possible at width 64
+  return APInt64::fromSigned(Width, Wide).sext() != Wide;
+}
+
+bool APInt64::addOverflowsUnsigned(const APInt64 &RHS) const {
+  // Sum exceeds the width when the masked result is smaller than an operand,
+  // or when the raw 64-bit add carries out.
+  uint64_t Raw;
+  bool Carry64 = __builtin_add_overflow(Bits, RHS.Bits, &Raw);
+  if (Width == 64)
+    return Carry64;
+  return Raw > ((1ULL << Width) - 1);
+}
+
+bool APInt64::subOverflowsSigned(const APInt64 &RHS) const {
+  int64_t A = sext(), B = RHS.sext();
+  int64_t Wide;
+  if (__builtin_sub_overflow(A, B, &Wide))
+    return true;
+  return APInt64::fromSigned(Width, Wide).sext() != Wide;
+}
+
+bool APInt64::subOverflowsUnsigned(const APInt64 &RHS) const {
+  return Bits < RHS.Bits;
+}
+
+bool APInt64::mulOverflowsSigned(const APInt64 &RHS) const {
+  int64_t A = sext(), B = RHS.sext();
+  int64_t Wide;
+  if (__builtin_mul_overflow(A, B, &Wide))
+    return true;
+  return APInt64::fromSigned(Width, Wide).sext() != Wide;
+}
+
+bool APInt64::mulOverflowsUnsigned(const APInt64 &RHS) const {
+  uint64_t Wide;
+  if (__builtin_mul_overflow(Bits, RHS.Bits, &Wide))
+    return true;
+  if (Width == 64)
+    return false;
+  return Wide > ((1ULL << Width) - 1);
+}
+
+bool APInt64::shlOverflowsUnsigned(const APInt64 &RHS) const {
+  if (RHS.Bits >= Width)
+    return !isZero();
+  // Overflow iff shifting back loses bits.
+  APInt64 Shifted = shl(RHS);
+  return Shifted.lshr(RHS) != *this;
+}
+
+bool APInt64::shlOverflowsSigned(const APInt64 &RHS) const {
+  if (RHS.Bits >= Width)
+    return !isZero();
+  APInt64 Shifted = shl(RHS);
+  return Shifted.ashr(RHS) != *this;
+}
+
+std::string APInt64::toString(bool Signed) const {
+  if (Signed)
+    return std::to_string(sext());
+  return std::to_string(Bits);
+}
+
+} // namespace veriopt

@@ -1,0 +1,198 @@
+//===- APInt64.h - Fixed-width wrap-around integers -------------*- C++ -*-===//
+//
+// A lightweight stand-in for LLVM's APInt, restricted to bit widths in
+// [1, 64]. Values are stored zero-extended in a uint64_t and every operation
+// wraps modulo 2^width, matching LLVM IR integer semantics.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_SUPPORT_APINT64_H
+#define VERIOPT_SUPPORT_APINT64_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace veriopt {
+
+/// Fixed-width two's-complement integer with wrap-around semantics.
+///
+/// The invariant is that all bits above \c Width are zero; every mutating
+/// operation re-establishes it by masking. Signed operations reinterpret the
+/// stored bits as two's complement of the given width.
+class APInt64 {
+public:
+  APInt64() : Width(1), Bits(0) {}
+
+  /// Construct a value of \p Width bits from \p Value (truncated to width).
+  APInt64(unsigned Width, uint64_t Value) : Width(Width), Bits(Value) {
+    assert(Width >= 1 && Width <= 64 && "unsupported bit width");
+    Bits &= mask();
+  }
+
+  /// Construct from a signed value (sign pattern truncated to width).
+  static APInt64 fromSigned(unsigned Width, int64_t Value) {
+    return APInt64(Width, static_cast<uint64_t>(Value));
+  }
+
+  static APInt64 zero(unsigned Width) { return APInt64(Width, 0); }
+  static APInt64 one(unsigned Width) { return APInt64(Width, 1); }
+  static APInt64 allOnes(unsigned Width) { return APInt64(Width, ~0ULL); }
+
+  /// Minimum signed value of the width (e.g. INT32_MIN for width 32).
+  static APInt64 signedMin(unsigned Width) {
+    return APInt64(Width, 1ULL << (Width - 1));
+  }
+  /// Maximum signed value of the width.
+  static APInt64 signedMax(unsigned Width) {
+    return APInt64(Width, (1ULL << (Width - 1)) - 1);
+  }
+
+  unsigned width() const { return Width; }
+  /// Raw bits, zero-extended to 64.
+  uint64_t zext() const { return Bits; }
+  /// Bits reinterpreted as a signed value of the stored width.
+  int64_t sext() const {
+    if (Width == 64)
+      return static_cast<int64_t>(Bits);
+    uint64_t SignBit = 1ULL << (Width - 1);
+    if (Bits & SignBit)
+      return static_cast<int64_t>(Bits | ~mask());
+    return static_cast<int64_t>(Bits);
+  }
+
+  bool isZero() const { return Bits == 0; }
+  bool isOne() const { return Bits == 1; }
+  bool isAllOnes() const { return Bits == mask(); }
+  bool isNegative() const { return Width < 64 ? (Bits >> (Width - 1)) & 1
+                                              : (Bits >> 63) & 1; }
+  bool isSignedMin() const { return Bits == (1ULL << (Width - 1)); }
+  bool isPowerOf2() const { return Bits != 0 && (Bits & (Bits - 1)) == 0; }
+
+  /// Number of trailing zero bits (returns width for zero).
+  unsigned countTrailingZeros() const;
+  /// Number of leading zero bits within the width (returns width for zero).
+  unsigned countLeadingZeros() const;
+  /// Population count.
+  unsigned popCount() const;
+  /// log2 for exact powers of two.
+  unsigned exactLog2() const {
+    assert(isPowerOf2() && "not a power of 2");
+    return countTrailingZeros();
+  }
+
+  bool getBit(unsigned I) const {
+    assert(I < Width && "bit index out of range");
+    return (Bits >> I) & 1;
+  }
+
+  // Arithmetic (wrap-around).
+  APInt64 add(const APInt64 &RHS) const { return bin(Bits + RHS.Bits, RHS); }
+  APInt64 sub(const APInt64 &RHS) const { return bin(Bits - RHS.Bits, RHS); }
+  APInt64 mul(const APInt64 &RHS) const { return bin(Bits * RHS.Bits, RHS); }
+  APInt64 neg() const { return APInt64(Width, 0 - Bits); }
+  APInt64 notOp() const { return APInt64(Width, ~Bits); }
+
+  /// Unsigned division; caller must rule out division by zero.
+  APInt64 udiv(const APInt64 &RHS) const {
+    assert(!RHS.isZero() && "udiv by zero");
+    return bin(Bits / RHS.Bits, RHS);
+  }
+  APInt64 urem(const APInt64 &RHS) const {
+    assert(!RHS.isZero() && "urem by zero");
+    return bin(Bits % RHS.Bits, RHS);
+  }
+  /// Signed division; caller must rule out division by zero and
+  /// INT_MIN / -1 overflow.
+  APInt64 sdiv(const APInt64 &RHS) const;
+  APInt64 srem(const APInt64 &RHS) const;
+
+  // Bitwise.
+  APInt64 andOp(const APInt64 &RHS) const { return bin(Bits & RHS.Bits, RHS); }
+  APInt64 orOp(const APInt64 &RHS) const { return bin(Bits | RHS.Bits, RHS); }
+  APInt64 xorOp(const APInt64 &RHS) const { return bin(Bits ^ RHS.Bits, RHS); }
+
+  /// Shifts: shift amounts >= width produce poison in LLVM; here they are
+  /// defined to yield zero so concrete evaluation is total. UB detection is
+  /// the interpreter's/verifier's job.
+  APInt64 shl(const APInt64 &RHS) const {
+    if (RHS.Bits >= Width)
+      return zero(Width);
+    return APInt64(Width, Bits << RHS.Bits);
+  }
+  APInt64 lshr(const APInt64 &RHS) const {
+    if (RHS.Bits >= Width)
+      return zero(Width);
+    return APInt64(Width, Bits >> RHS.Bits);
+  }
+  APInt64 ashr(const APInt64 &RHS) const {
+    if (RHS.Bits >= Width)
+      return isNegative() ? allOnes(Width) : zero(Width);
+    return fromSigned(Width, sext() >> RHS.Bits);
+  }
+
+  // Width changes.
+  APInt64 truncTo(unsigned NewWidth) const {
+    assert(NewWidth <= Width && "trunc must narrow");
+    return APInt64(NewWidth, Bits);
+  }
+  APInt64 zextTo(unsigned NewWidth) const {
+    assert(NewWidth >= Width && "zext must widen");
+    return APInt64(NewWidth, Bits);
+  }
+  APInt64 sextTo(unsigned NewWidth) const {
+    assert(NewWidth >= Width && "sext must widen");
+    return fromSigned(NewWidth, sext());
+  }
+
+  // Comparisons.
+  bool eq(const APInt64 &RHS) const { return same(RHS) && Bits == RHS.Bits; }
+  bool ne(const APInt64 &RHS) const { return !eq(RHS); }
+  bool ult(const APInt64 &RHS) const { return same(RHS) && Bits < RHS.Bits; }
+  bool ule(const APInt64 &RHS) const { return same(RHS) && Bits <= RHS.Bits; }
+  bool ugt(const APInt64 &RHS) const { return same(RHS) && Bits > RHS.Bits; }
+  bool uge(const APInt64 &RHS) const { return same(RHS) && Bits >= RHS.Bits; }
+  bool slt(const APInt64 &RHS) const { return same(RHS) && sext() < RHS.sext(); }
+  bool sle(const APInt64 &RHS) const { return same(RHS) && sext() <= RHS.sext(); }
+  bool sgt(const APInt64 &RHS) const { return same(RHS) && sext() > RHS.sext(); }
+  bool sge(const APInt64 &RHS) const { return same(RHS) && sext() >= RHS.sext(); }
+
+  bool operator==(const APInt64 &RHS) const {
+    return Width == RHS.Width && Bits == RHS.Bits;
+  }
+  bool operator!=(const APInt64 &RHS) const { return !(*this == RHS); }
+
+  // Overflow predicates (for nsw/nuw UB detection).
+  bool addOverflowsSigned(const APInt64 &RHS) const;
+  bool addOverflowsUnsigned(const APInt64 &RHS) const;
+  bool subOverflowsSigned(const APInt64 &RHS) const;
+  bool subOverflowsUnsigned(const APInt64 &RHS) const;
+  bool mulOverflowsSigned(const APInt64 &RHS) const;
+  bool mulOverflowsUnsigned(const APInt64 &RHS) const;
+  /// True if shl loses set bits (nuw) / changes sign meaning (nsw).
+  bool shlOverflowsUnsigned(const APInt64 &RHS) const;
+  bool shlOverflowsSigned(const APInt64 &RHS) const;
+
+  /// Decimal string (signed rendering when \p Signed).
+  std::string toString(bool Signed = true) const;
+
+private:
+  uint64_t mask() const {
+    return Width == 64 ? ~0ULL : ((1ULL << Width) - 1);
+  }
+  bool same(const APInt64 &RHS) const {
+    assert(Width == RHS.Width && "width mismatch");
+    return true;
+  }
+  APInt64 bin(uint64_t Raw, const APInt64 &RHS) const {
+    assert(Width == RHS.Width && "width mismatch");
+    return APInt64(Width, Raw);
+  }
+
+  unsigned Width;
+  uint64_t Bits;
+};
+
+} // namespace veriopt
+
+#endif // VERIOPT_SUPPORT_APINT64_H

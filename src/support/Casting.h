@@ -1,0 +1,45 @@
+//===- Casting.h - isa/cast/dyn_cast for kind-discriminated types -*- C++ -*-=//
+//
+// A minimal reimplementation of LLVM's custom-RTTI helpers. A class hierarchy
+// participates by providing a static `classof(const Base *)` predicate on
+// every derived class, typically backed by an explicit kind discriminator.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_SUPPORT_CASTING_H
+#define VERIOPT_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace veriopt {
+
+/// True if \p Val is an instance of \p To (per To::classof).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> on null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts the dynamic kind matches.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> of incompatible kind");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> of incompatible kind");
+  return static_cast<const To *>(Val);
+}
+
+/// Downcast returning nullptr when the kind does not match.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return Val && isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return Val && isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace veriopt
+
+#endif // VERIOPT_SUPPORT_CASTING_H

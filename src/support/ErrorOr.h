@@ -1,0 +1,68 @@
+//===- ErrorOr.h - Exception-free fallible results ---------------*- C++ -*-=//
+//
+// The library is built without exceptions (LLVM coding standards); fallible
+// operations return ErrorOr<T>, carrying either a value or an error message.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_SUPPORT_ERROROR_H
+#define VERIOPT_SUPPORT_ERROROR_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace veriopt {
+
+/// A plain error payload: a human-readable message plus an optional
+/// location hint (line number; 0 = unknown).
+struct Error {
+  std::string Message;
+  unsigned Line = 0;
+
+  std::string render() const {
+    if (Line == 0)
+      return Message;
+    return "line " + std::to_string(Line) + ": " + Message;
+  }
+};
+
+/// Either a T or an Error. Moves freely; check with hasValue()/operator bool.
+template <typename T> class ErrorOr {
+public:
+  ErrorOr(T Value) : Storage(std::move(Value)) {}
+  ErrorOr(Error E) : Storage(std::move(E)) {}
+
+  static ErrorOr makeError(std::string Message, unsigned Line = 0) {
+    return ErrorOr(Error{std::move(Message), Line});
+  }
+
+  bool hasValue() const { return std::holds_alternative<T>(Storage); }
+  explicit operator bool() const { return hasValue(); }
+
+  T &value() {
+    assert(hasValue() && "value() on error state");
+    return std::get<T>(Storage);
+  }
+  const T &value() const {
+    assert(hasValue() && "value() on error state");
+    return std::get<T>(Storage);
+  }
+  T takeValue() {
+    assert(hasValue() && "takeValue() on error state");
+    return std::move(std::get<T>(Storage));
+  }
+
+  const Error &error() const {
+    assert(!hasValue() && "error() on value state");
+    return std::get<Error>(Storage);
+  }
+
+private:
+  std::variant<T, Error> Storage;
+};
+
+} // namespace veriopt
+
+#endif // VERIOPT_SUPPORT_ERROROR_H

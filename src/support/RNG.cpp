@@ -1,0 +1,24 @@
+//===- RNG.cpp - Deterministic random number generation -------------------===//
+
+#include "support/RNG.h"
+
+namespace veriopt {
+
+size_t RNG::weightedPick(const std::vector<double> &Weights) {
+  double Total = 0;
+  for (double W : Weights) {
+    assert(W >= 0 && "negative weight");
+    Total += W;
+  }
+  assert(Total > 0 && "all weights zero");
+  double Point = uniform() * Total;
+  double Acc = 0;
+  for (size_t I = 0; I < Weights.size(); ++I) {
+    Acc += Weights[I];
+    if (Point < Acc)
+      return I;
+  }
+  return Weights.size() - 1;
+}
+
+} // namespace veriopt

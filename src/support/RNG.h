@@ -1,0 +1,78 @@
+//===- RNG.h - Deterministic random number generation ------------*- C++ -*-=//
+//
+// All stochastic components (dataset generation, policy sampling, SAT
+// decision tie-breaking, differential testing) draw from this SplitMix64-
+// based generator so every experiment is reproducible from a single seed,
+// mirroring the paper's determinism requirements (greedy decoding, fixed
+// splits).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_SUPPORT_RNG_H
+#define VERIOPT_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace veriopt {
+
+/// SplitMix64 generator: tiny state, excellent statistical quality for this
+/// use, and trivially reproducible across platforms.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed = 0x9e3779b97f4a7c15ULL) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound).
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "empty range");
+    // Rejection-free Lemire reduction is overkill here; modulo bias is
+    // negligible for the bounds we use (<< 2^32).
+    return next() % Bound;
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw.
+  bool chance(double P) { return uniform() < P; }
+
+  /// Approximately standard-normal via sum of uniforms (Irwin–Hall, 12
+  /// terms); adequate for parameter-initialization noise.
+  double gaussian() {
+    double Sum = 0;
+    for (int I = 0; I < 12; ++I)
+      Sum += uniform();
+    return Sum - 6.0;
+  }
+
+  /// Pick an index according to non-negative weights (must not all be zero).
+  size_t weightedPick(const std::vector<double> &Weights);
+
+  /// Derive an independent child generator (stable given call order).
+  RNG fork() { return RNG(next()); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace veriopt
+
+#endif // VERIOPT_SUPPORT_RNG_H

@@ -1,0 +1,55 @@
+//===- Stats.cpp - Descriptive statistics ----------------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace veriopt {
+
+double mean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0;
+  double Sum = 0;
+  for (double X : Xs)
+    Sum += X;
+  return Sum / static_cast<double>(Xs.size());
+}
+
+double stddev(const std::vector<double> &Xs) {
+  if (Xs.size() < 2)
+    return 0;
+  double M = mean(Xs);
+  double Sum = 0;
+  for (double X : Xs)
+    Sum += (X - M) * (X - M);
+  return std::sqrt(Sum / static_cast<double>(Xs.size()));
+}
+
+double geomean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0;
+  const double Eps = 1e-9;
+  double LogSum = 0;
+  for (double X : Xs)
+    LogSum += std::log(std::max(X, Eps));
+  return std::exp(LogSum / static_cast<double>(Xs.size()));
+}
+
+double percentile(std::vector<double> Xs, double P) {
+  if (Xs.empty())
+    return 0;
+  std::sort(Xs.begin(), Xs.end());
+  if (P <= 0)
+    return Xs.front();
+  if (P >= 100)
+    return Xs.back();
+  double Rank = P / 100.0 * static_cast<double>(Xs.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  double Frac = Rank - static_cast<double>(Lo);
+  if (Lo + 1 >= Xs.size())
+    return Xs.back();
+  return Xs[Lo] * (1.0 - Frac) + Xs[Lo + 1] * Frac;
+}
+
+} // namespace veriopt

@@ -1,0 +1,57 @@
+//===- Stats.h - Descriptive statistics for the evaluation harness -*- C++ -*-//
+//
+// Small numeric helpers shared by the reward functions, training logs, and
+// the table/figure benches: arithmetic/geometric means, percentiles, and the
+// EMA smoothing the paper uses for Fig. 4 (alpha = 0.95).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_SUPPORT_STATS_H
+#define VERIOPT_SUPPORT_STATS_H
+
+#include <vector>
+
+namespace veriopt {
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(const std::vector<double> &Xs);
+
+/// Population standard deviation; 0 for fewer than two samples.
+double stddev(const std::vector<double> &Xs);
+
+/// Geometric mean of strictly positive samples; 0 for an empty sample.
+/// Non-positive entries are clamped to a small epsilon so a single
+/// degenerate ratio cannot zero out an entire geomean row.
+double geomean(const std::vector<double> &Xs);
+
+/// Linear-interpolated percentile, P in [0, 100]. Sorts a copy.
+double percentile(std::vector<double> Xs, double P);
+
+/// Exponential moving average smoother. EMA(x_t) = A*prev + (1-A)*x_t, as in
+/// the paper's training-dynamics plots (A = 0.95).
+class EMA {
+public:
+  explicit EMA(double Alpha = 0.95) : Alpha(Alpha) {}
+
+  double push(double X) {
+    if (!Primed) {
+      Value = X;
+      Primed = true;
+    } else {
+      Value = Alpha * Value + (1.0 - Alpha) * X;
+    }
+    return Value;
+  }
+
+  double value() const { return Value; }
+  bool primed() const { return Primed; }
+
+private:
+  double Alpha;
+  double Value = 0;
+  bool Primed = false;
+};
+
+} // namespace veriopt
+
+#endif // VERIOPT_SUPPORT_STATS_H

@@ -1,0 +1,107 @@
+//===- Bleu.cpp - IR tokenization and BLEU similarity --------------------------//
+
+#include "textgen/Bleu.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+
+namespace veriopt {
+
+std::vector<std::string> tokenizeIR(const std::string &Text) {
+  std::vector<std::string> Out;
+  size_t I = 0, N = Text.size();
+  auto isIdent = [](char C) {
+    return std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+           C == '.' || C == '$';
+  };
+  while (I < N) {
+    char C = Text[I];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    if (C == '%' || C == '@' || C == '#' || C == '!') {
+      size_t Start = I++;
+      while (I < N && isIdent(Text[I]))
+        ++I;
+      Out.push_back(Text.substr(Start, I - Start));
+      continue;
+    }
+    if (C == '-' && I + 1 < N &&
+        std::isdigit(static_cast<unsigned char>(Text[I + 1]))) {
+      size_t Start = I++;
+      while (I < N && std::isdigit(static_cast<unsigned char>(Text[I])))
+        ++I;
+      Out.push_back(Text.substr(Start, I - Start));
+      continue;
+    }
+    if (isIdent(C)) {
+      size_t Start = I;
+      while (I < N && isIdent(Text[I]))
+        ++I;
+      Out.push_back(Text.substr(Start, I - Start));
+      continue;
+    }
+    Out.push_back(std::string(1, C));
+    ++I;
+  }
+  return Out;
+}
+
+double bleu(const std::vector<std::string> &Reference,
+            const std::vector<std::string> &Candidate, unsigned MaxN) {
+  if (Candidate.empty())
+    return Reference.empty() ? 1.0 : 0.0;
+  if (Reference.empty())
+    return 0.0;
+
+  double LogSum = 0;
+  for (unsigned N = 1; N <= MaxN; ++N) {
+    // Clipped n-gram precision.
+    std::map<std::vector<std::string>, int> RefCounts;
+    if (Reference.size() >= N)
+      for (size_t I = 0; I + N <= Reference.size(); ++I)
+        ++RefCounts[std::vector<std::string>(Reference.begin() + I,
+                                             Reference.begin() + I + N)];
+    int Matched = 0;
+    int Total = 0;
+    std::map<std::vector<std::string>, int> Used;
+    if (Candidate.size() >= N)
+      for (size_t I = 0; I + N <= Candidate.size(); ++I) {
+        std::vector<std::string> Gram(Candidate.begin() + I,
+                                      Candidate.begin() + I + N);
+        ++Total;
+        auto It = RefCounts.find(Gram);
+        if (It != RefCounts.end() && Used[Gram] < It->second) {
+          ++Used[Gram];
+          ++Matched;
+        }
+      }
+    double Precision;
+    if (N == 1) {
+      if (Total == 0 || Matched == 0)
+        return 0.0; // no unigram overlap: score 0
+      Precision = static_cast<double>(Matched) / Total;
+    } else {
+      // +1 smoothing keeps short sequences from collapsing to zero.
+      Precision = (Matched + 1.0) / (Total + 1.0);
+    }
+    LogSum += std::log(Precision);
+  }
+  double GeoMean = std::exp(LogSum / MaxN);
+
+  // Brevity penalty.
+  double R = static_cast<double>(Reference.size());
+  double C = static_cast<double>(Candidate.size());
+  double BP = C >= R ? 1.0 : std::exp(1.0 - R / C);
+  return std::clamp(GeoMean * BP, 0.0, 1.0);
+}
+
+double bleuText(const std::string &Reference, const std::string &Candidate,
+                unsigned MaxN) {
+  return bleu(tokenizeIR(Reference), tokenizeIR(Candidate), MaxN);
+}
+
+} // namespace veriopt

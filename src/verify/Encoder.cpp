@@ -1,0 +1,600 @@
+//===- Encoder.cpp - Symbolic execution to BV terms ---------------------------//
+
+#include "verify/Encoder.h"
+
+#include <unordered_map>
+
+namespace veriopt {
+
+const BVExpr *ExternalWorld::callReturn(BVContext &Ctx,
+                                        const std::string &Callee,
+                                        unsigned Index, unsigned Width) {
+  auto Key = std::make_pair(Callee, Index);
+  auto It = Vars.find(Key);
+  if (It != Vars.end()) {
+    assert(It->second->Width == Width && "call return width changed");
+    return It->second;
+  }
+  const BVExpr *V = Ctx.var(
+      Width, "call:" + Callee + "#" + std::to_string(Index));
+  Vars.emplace(Key, V);
+  return V;
+}
+
+const BVExpr *FnEncoding::returnTerm(BVContext &Ctx) const {
+  const BVExpr *Out = nullptr;
+  for (const PathOutcome &P : Paths) {
+    if (!P.Ret)
+      return nullptr; // void function
+    Out = Out ? Ctx.ite(P.Cond, P.Ret, Out) : P.Ret;
+  }
+  return Out;
+}
+
+const BVExpr *FnEncoding::returnPoison(BVContext &Ctx) const {
+  const BVExpr *Out = nullptr;
+  for (const PathOutcome &P : Paths)
+    Out = Out ? Ctx.ite(P.Cond, P.RetPoison, Out) : P.RetPoison;
+  return Out ? Out : Ctx.falseVal();
+}
+
+const BVExpr *FnEncoding::covered(BVContext &Ctx) const {
+  const BVExpr *Out = Ctx.falseVal();
+  for (const PathOutcome &P : Paths)
+    Out = Ctx.or1(Out, P.Cond);
+  return Out;
+}
+
+namespace {
+
+/// A symbolic runtime value: integer (term + poison flag) or pointer
+/// (allocation id + concrete byte offset). Pointer poison is folded into
+/// the UB events at use sites, since pointer offsets stay concrete.
+struct SymVal {
+  enum Kind { Int, Ptr } K = Int;
+  const BVExpr *Term = nullptr;   // Int
+  const BVExpr *Poison = nullptr; // Int (width 1)
+  unsigned AllocaId = 0;          // Ptr
+  int64_t Offset = 0;             // Ptr
+
+  static SymVal makeInt(const BVExpr *T, const BVExpr *P) {
+    SymVal V;
+    V.K = Int;
+    V.Term = T;
+    V.Poison = P;
+    return V;
+  }
+  static SymVal makePtr(unsigned Id, int64_t Off) {
+    SymVal V;
+    V.K = Ptr;
+    V.AllocaId = Id;
+    V.Offset = Off;
+    return V;
+  }
+};
+
+/// Per-allocation symbolic memory: one 8-bit term and one poison flag per
+/// byte. Zero-initialized (dialect semantics).
+struct SymAllocation {
+  std::vector<const BVExpr *> Bytes;
+  std::vector<const BVExpr *> PoisonBytes;
+};
+
+struct PathState {
+  const BVExpr *Cond;
+  std::unordered_map<const Value *, SymVal> Env;
+  std::vector<SymAllocation> Allocs;
+  std::unordered_map<const BasicBlock *, unsigned> Visits;
+  std::unordered_map<std::string, unsigned> CallCounts;
+  unsigned Steps = 0;
+};
+
+class Encoder {
+public:
+  Encoder(const Function &F, BVContext &Ctx,
+          const std::vector<const BVExpr *> &ArgVars, ExternalWorld &World,
+          const EncodeLimits &Limits)
+      : F(F), Ctx(Ctx), World(World), Limits(Limits) {
+    Enc.UB = Ctx.falseVal();
+    Enc.Truncated = Ctx.falseVal();
+    PathState Init;
+    Init.Cond = Ctx.trueVal();
+    for (unsigned I = 0; I < F.getNumParams(); ++I) {
+      if (!F.getParamType(I)->isInteger()) {
+        unsupported("pointer-typed parameter");
+        return;
+      }
+      assert(I < ArgVars.size() &&
+             ArgVars[I]->Width == F.getParamType(I)->getBitWidth() &&
+             "argument variable mismatch");
+      Init.Env[F.getArg(I)] =
+          SymVal::makeInt(ArgVars[I], Ctx.falseVal());
+    }
+    if (!Enc.Unsupported)
+      Worklist.push_back({F.getEntryBlock(), nullptr, std::move(Init)});
+  }
+
+  FnEncoding run() {
+    while (!Worklist.empty() && !Enc.Unsupported) {
+      Frame Fr = std::move(Worklist.back());
+      Worklist.pop_back();
+      execBlock(Fr.BB, Fr.Prev, std::move(Fr.State));
+    }
+    return std::move(Enc);
+  }
+
+private:
+  struct Frame {
+    const BasicBlock *BB;
+    const BasicBlock *Prev;
+    PathState State;
+  };
+
+  void unsupported(const std::string &Why) {
+    Enc.Unsupported = true;
+    Enc.UnsupportedWhy = Why;
+  }
+
+  /// Record a guarded UB event.
+  void addUB(const PathState &S, const BVExpr *Event) {
+    Enc.UB = Ctx.or1(Enc.UB, Ctx.and1(S.Cond, Event));
+  }
+
+  SymVal get(PathState &S, Value *V) {
+    if (auto *C = dyn_cast<ConstantInt>(V))
+      return SymVal::makeInt(Ctx.constant(C->getValue()), Ctx.falseVal());
+    auto It = S.Env.find(V);
+    assert(It != S.Env.end() && "use of unevaluated value");
+    return It->second;
+  }
+
+  void execBlock(const BasicBlock *BB, const BasicBlock *Prev,
+                 PathState S) {
+    if (Enc.Unsupported)
+      return;
+    unsigned &Visits = S.Visits[BB];
+    if (++Visits > Limits.MaxBlockVisitsPerPath) {
+      Enc.Truncated = Ctx.or1(Enc.Truncated, S.Cond);
+      return;
+    }
+
+    // Phis: parallel evaluation against the incoming edge.
+    std::vector<std::pair<const Value *, SymVal>> PhiVals;
+    for (PhiInst *P : BB->phis()) {
+      Value *In = P->getIncomingValueFor(Prev);
+      assert(In && "phi has no entry for symbolic predecessor");
+      PhiVals.emplace_back(P, get(S, In));
+    }
+    for (auto &[P, V] : PhiVals)
+      S.Env[P] = V;
+
+    for (const auto &IPtr : *BB) {
+      Instruction *I = IPtr.get();
+      if (isa<PhiInst>(I))
+        continue;
+      if (++S.Steps > Limits.MaxStepsPerPath) {
+        Enc.Truncated = Ctx.or1(Enc.Truncated, S.Cond);
+        return;
+      }
+      if (!execInst(S, I))
+        return; // path ended (ret / UB-terminal / branch enqueued / unsup)
+    }
+    assert(false && "block without terminator reached symbolic execution");
+  }
+
+  /// Returns false when the path ends here (including when successors were
+  /// enqueued); true to continue within the block.
+  bool execInst(PathState &S, Instruction *I) {
+    switch (I->getOpcode()) {
+    case Opcode::ICmp: {
+      auto *C = cast<ICmpInst>(I);
+      SymVal L = get(S, C->getLHS()), R = get(S, C->getRHS());
+      const BVExpr *T = nullptr;
+      switch (C->getPredicate()) {
+      case ICmpPred::EQ:
+        T = Ctx.eq(L.Term, R.Term);
+        break;
+      case ICmpPred::NE:
+        T = Ctx.ne(L.Term, R.Term);
+        break;
+      case ICmpPred::UGT:
+        T = Ctx.ugt(L.Term, R.Term);
+        break;
+      case ICmpPred::UGE:
+        T = Ctx.uge(L.Term, R.Term);
+        break;
+      case ICmpPred::ULT:
+        T = Ctx.ult(L.Term, R.Term);
+        break;
+      case ICmpPred::ULE:
+        T = Ctx.ule(L.Term, R.Term);
+        break;
+      case ICmpPred::SGT:
+        T = Ctx.sgt(L.Term, R.Term);
+        break;
+      case ICmpPred::SGE:
+        T = Ctx.sge(L.Term, R.Term);
+        break;
+      case ICmpPred::SLT:
+        T = Ctx.slt(L.Term, R.Term);
+        break;
+      case ICmpPred::SLE:
+        T = Ctx.sle(L.Term, R.Term);
+        break;
+      }
+      S.Env[I] = SymVal::makeInt(T, Ctx.or1(L.Poison, R.Poison));
+      return true;
+    }
+    case Opcode::Select: {
+      auto *Sel = cast<SelectInst>(I);
+      SymVal C = get(S, Sel->getCondition());
+      SymVal T = get(S, Sel->getTrueValue());
+      SymVal E = get(S, Sel->getFalseValue());
+      if (T.K != SymVal::Int || E.K != SymVal::Int) {
+        unsupported("select over pointers");
+        return false;
+      }
+      const BVExpr *Val = Ctx.ite(C.Term, T.Term, E.Term);
+      // Poison: condition poison poisons the result; otherwise the chosen
+      // arm's poison.
+      const BVExpr *P =
+          Ctx.or1(C.Poison, Ctx.ite(C.Term, T.Poison, E.Poison));
+      S.Env[I] = SymVal::makeInt(Val, P);
+      return true;
+    }
+    case Opcode::ZExt:
+    case Opcode::SExt:
+    case Opcode::Trunc: {
+      auto *Cst = cast<CastInst>(I);
+      SymVal V = get(S, Cst->getSrc());
+      unsigned DW = I->getType()->getBitWidth();
+      const BVExpr *T = I->getOpcode() == Opcode::ZExt ? Ctx.zext(V.Term, DW)
+                        : I->getOpcode() == Opcode::SExt
+                            ? Ctx.sext(V.Term, DW)
+                            : Ctx.trunc(V.Term, DW);
+      S.Env[I] = SymVal::makeInt(T, V.Poison);
+      return true;
+    }
+    case Opcode::Alloca: {
+      auto *A = cast<AllocaInst>(I);
+      SymAllocation Al;
+      unsigned N = A->getAllocatedBytes();
+      Al.Bytes.assign(N, Ctx.constant(8, 0));
+      Al.PoisonBytes.assign(N, Ctx.falseVal());
+      unsigned Id = static_cast<unsigned>(S.Allocs.size());
+      S.Allocs.push_back(std::move(Al));
+      S.Env[I] = SymVal::makePtr(Id, 0);
+      return true;
+    }
+    case Opcode::GEP: {
+      auto *G = cast<GEPInst>(I);
+      SymVal P = get(S, G->getPointer());
+      SymVal Off = get(S, G->getOffset());
+      if (P.K != SymVal::Ptr) {
+        unsupported("gep on a non-pointer symbolic value");
+        return false;
+      }
+      if (!Off.Term->isConst()) {
+        unsupported("symbolic pointer arithmetic");
+        return false;
+      }
+      // A poison offset makes the pointer unusable: treat any use as UB by
+      // recording the event now (the offset itself stays concrete).
+      if (!Off.Poison->isFalse())
+        addUB(S, Off.Poison);
+      S.Env[I] =
+          SymVal::makePtr(P.AllocaId, P.Offset + Off.Term->ConstVal.sext());
+      return true;
+    }
+    case Opcode::Load: {
+      auto *L = cast<LoadInst>(I);
+      SymVal P = get(S, L->getPointer());
+      unsigned N = L->getAccessBytes();
+      if (!checkAccess(S, P, N))
+        return false; // unconditional UB on this path
+      SymAllocation &Al = S.Allocs[P.AllocaId];
+      const BVExpr *Val = Al.Bytes[static_cast<size_t>(P.Offset)];
+      const BVExpr *Poison = Al.PoisonBytes[static_cast<size_t>(P.Offset)];
+      for (unsigned B = 1; B < N; ++B) {
+        Val = Ctx.concat(Al.Bytes[static_cast<size_t>(P.Offset) + B], Val);
+        Poison = Ctx.or1(
+            Poison, Al.PoisonBytes[static_cast<size_t>(P.Offset) + B]);
+      }
+      // Sub-byte types (i1) occupy a full byte in memory.
+      unsigned W = L->getType()->getBitWidth();
+      if (W < Val->Width)
+        Val = Ctx.trunc(Val, W);
+      S.Env[I] = SymVal::makeInt(Val, Poison);
+      return true;
+    }
+    case Opcode::Store: {
+      auto *St = cast<StoreInst>(I);
+      SymVal P = get(S, St->getPointer());
+      unsigned N = St->getAccessBytes();
+      if (!checkAccess(S, P, N))
+        return false;
+      SymVal V = get(S, St->getValueOperand());
+      SymAllocation &Al = S.Allocs[P.AllocaId];
+      // Sub-byte types (i1) zero-extend into their byte.
+      const BVExpr *Wide =
+          V.Term->Width < 8 * N ? Ctx.zext(V.Term, 8 * N) : V.Term;
+      for (unsigned B = 0; B < N; ++B) {
+        Al.Bytes[static_cast<size_t>(P.Offset) + B] =
+            Ctx.extract(Wide, B * 8, 8);
+        Al.PoisonBytes[static_cast<size_t>(P.Offset) + B] = V.Poison;
+      }
+      return true;
+    }
+    case Opcode::Br: {
+      auto *B = cast<BrInst>(I);
+      if (!B->isConditional()) {
+        enqueue(B->getSuccessor(0), I->getParent(), std::move(S));
+        return false;
+      }
+      SymVal C = get(S, B->getCondition());
+      // Branching on poison is UB.
+      if (!C.Poison->isFalse())
+        addUB(S, C.Poison);
+      if (static_cast<unsigned>(Enc.Paths.size()) + Worklist.size() + 2 >
+          Limits.MaxPaths) {
+        Enc.Truncated = Ctx.or1(Enc.Truncated, S.Cond);
+        return false;
+      }
+      const BVExpr *TakeTrue = Ctx.and1(S.Cond, C.Term);
+      const BVExpr *TakeFalse = Ctx.and1(S.Cond, Ctx.not1(C.Term));
+      if (!TakeFalse->isFalse()) {
+        PathState FalseState = S; // copy
+        FalseState.Cond = TakeFalse;
+        enqueue(B->getFalseSuccessor(), I->getParent(),
+                std::move(FalseState));
+      }
+      if (!TakeTrue->isFalse()) {
+        S.Cond = TakeTrue;
+        enqueue(B->getTrueSuccessor(), I->getParent(), std::move(S));
+      }
+      return false;
+    }
+    case Opcode::Ret: {
+      auto *R = cast<RetInst>(I);
+      PathOutcome Out;
+      Out.Cond = S.Cond;
+      Out.Ret = nullptr;
+      Out.RetPoison = Ctx.falseVal();
+      if (R->hasReturnValue()) {
+        SymVal V = get(S, R->getReturnValue());
+        if (V.K != SymVal::Int) {
+          unsupported("returning a pointer");
+          return false;
+        }
+        Out.Ret = V.Term;
+        Out.RetPoison = V.Poison;
+      }
+      Enc.Paths.push_back(Out);
+      return false;
+    }
+    case Opcode::Call: {
+      auto *C = cast<CallInst>(I);
+      CallRecord Rec;
+      Rec.Callee = C->getCallee()->getName();
+      Rec.Guard = S.Cond;
+      for (unsigned A = 0; A < C->getNumArgs(); ++A) {
+        SymVal V = get(S, C->getArg(A));
+        if (V.K != SymVal::Int) {
+          unsupported("pointer passed to call");
+          return false;
+        }
+        // Passing poison to a call is UB.
+        if (!V.Poison->isFalse())
+          addUB(S, V.Poison);
+        Rec.Args.push_back(V.Term);
+      }
+      Rec.Index = S.CallCounts[Rec.Callee]++;
+      if (!I->getType()->isVoid()) {
+        const BVExpr *Rv = World.callReturn(
+            Ctx, Rec.Callee, Rec.Index, I->getType()->getBitWidth());
+        S.Env[I] = SymVal::makeInt(Rv, Ctx.falseVal());
+      }
+      Enc.Calls.push_back(std::move(Rec));
+      return true;
+    }
+    default:
+      break;
+    }
+    assert(I->isBinaryOp() && "unhandled opcode in encoder");
+    return execBinary(S, cast<BinaryInst>(I));
+  }
+
+  /// Concrete bounds check; out-of-bounds is UB on the whole path (the
+  /// offset is concrete, so conditional OOB cannot arise).
+  bool checkAccess(PathState &S, const SymVal &P, unsigned N) {
+    if (P.K != SymVal::Ptr || P.AllocaId >= S.Allocs.size()) {
+      unsupported("memory access through a non-alloca pointer");
+      return false;
+    }
+    const SymAllocation &Al = S.Allocs[P.AllocaId];
+    if (P.Offset < 0 ||
+        static_cast<uint64_t>(P.Offset) + N > Al.Bytes.size()) {
+      addUB(S, Ctx.trueVal());
+      return false;
+    }
+    return true;
+  }
+
+  bool execBinary(PathState &S, BinaryInst *I) {
+    SymVal L = get(S, I->getLHS()), R = get(S, I->getRHS());
+    unsigned W = I->getType()->getBitWidth();
+    Opcode Op = I->getOpcode();
+    const BVExpr *Zero = Ctx.constant(APInt64::zero(W));
+
+    if (I->isDivRem()) {
+      // Division on poison and the classic corner cases are immediate UB.
+      const BVExpr *Event = Ctx.or1(L.Poison, R.Poison);
+      Event = Ctx.or1(Event, Ctx.eq(R.Term, Zero));
+      if (Op == Opcode::SDiv || Op == Opcode::SRem) {
+        const BVExpr *Min = Ctx.constant(APInt64::signedMin(W));
+        const BVExpr *MinusOne = Ctx.constant(APInt64::allOnes(W));
+        Event = Ctx.or1(Event, Ctx.and1(Ctx.eq(L.Term, Min),
+                                        Ctx.eq(R.Term, MinusOne)));
+      }
+      if (!Event->isFalse())
+        addUB(S, Event);
+      const BVExpr *T = nullptr;
+      switch (Op) {
+      case Opcode::UDiv:
+        T = Ctx.udiv(L.Term, R.Term);
+        break;
+      case Opcode::SDiv:
+        T = Ctx.sdiv(L.Term, R.Term);
+        break;
+      case Opcode::URem:
+        T = Ctx.urem(L.Term, R.Term);
+        break;
+      default:
+        T = Ctx.srem(L.Term, R.Term);
+        break;
+      }
+      const BVExpr *P = Ctx.falseVal();
+      if (I->isExact()) {
+        // exact udiv/sdiv: poison when the division has a remainder.
+        const BVExpr *Rem = (Op == Opcode::UDiv)
+                                ? Ctx.urem(L.Term, R.Term)
+                                : Ctx.srem(L.Term, R.Term);
+        P = Ctx.ne(Rem, Zero);
+      }
+      S.Env[I] = SymVal::makeInt(T, P);
+      return true;
+    }
+
+    const BVExpr *T = nullptr;
+    const BVExpr *P = Ctx.or1(L.Poison, R.Poison);
+    auto addOverflowPoison = [&](const BVExpr *Cond) {
+      P = Ctx.or1(P, Cond);
+    };
+
+    switch (Op) {
+    case Opcode::Add: {
+      T = Ctx.add(L.Term, R.Term);
+      if (I->hasNSW()) {
+        // Signed overflow: operands same sign, result different sign.
+        const BVExpr *LS = Ctx.slt(L.Term, Zero);
+        const BVExpr *RS = Ctx.slt(R.Term, Zero);
+        const BVExpr *TS = Ctx.slt(T, Zero);
+        addOverflowPoison(
+            Ctx.and1(Ctx.eq(LS, RS), Ctx.ne(LS, TS)));
+      }
+      if (I->hasNUW())
+        addOverflowPoison(Ctx.ult(T, L.Term)); // wrapped below an operand
+      break;
+    }
+    case Opcode::Sub: {
+      T = Ctx.sub(L.Term, R.Term);
+      if (I->hasNSW()) {
+        const BVExpr *LS = Ctx.slt(L.Term, Zero);
+        const BVExpr *RS = Ctx.slt(R.Term, Zero);
+        const BVExpr *TS = Ctx.slt(T, Zero);
+        addOverflowPoison(Ctx.and1(Ctx.ne(LS, RS), Ctx.ne(LS, TS)));
+      }
+      if (I->hasNUW())
+        addOverflowPoison(Ctx.ult(L.Term, R.Term));
+      break;
+    }
+    case Opcode::Mul: {
+      T = Ctx.mul(L.Term, R.Term);
+      if (I->hasNSW()) {
+        if (W < 64) {
+          // Check in double width: sext(result) == sext(l)*sext(r)?
+          const BVExpr *Wide =
+              Ctx.mul(Ctx.sext(L.Term, 2 * W > 64 ? 64 : 2 * W),
+                      Ctx.sext(R.Term, 2 * W > 64 ? 64 : 2 * W));
+          addOverflowPoison(
+              Ctx.ne(Wide, Ctx.sext(T, 2 * W > 64 ? 64 : 2 * W)));
+        } else {
+          // 64-bit: overflow iff l != 0 and (t / l != r or sign corner).
+          const BVExpr *NonZero = Ctx.ne(L.Term, Zero);
+          const BVExpr *DivBack = Ctx.sdiv(T, L.Term);
+          const BVExpr *Mismatch = Ctx.ne(DivBack, R.Term);
+          const BVExpr *MinCorner =
+              Ctx.and1(Ctx.eq(L.Term, Ctx.constant(APInt64::allOnes(64))),
+                       Ctx.eq(T, Ctx.constant(APInt64::signedMin(64))));
+          addOverflowPoison(
+              Ctx.and1(NonZero, Ctx.or1(Mismatch, MinCorner)));
+        }
+      }
+      if (I->hasNUW()) {
+        if (W < 64) {
+          const BVExpr *Wide =
+              Ctx.mul(Ctx.zext(L.Term, 2 * W > 64 ? 64 : 2 * W),
+                      Ctx.zext(R.Term, 2 * W > 64 ? 64 : 2 * W));
+          addOverflowPoison(
+              Ctx.ne(Wide, Ctx.zext(T, 2 * W > 64 ? 64 : 2 * W)));
+        } else {
+          const BVExpr *NonZero = Ctx.ne(L.Term, Zero);
+          addOverflowPoison(
+              Ctx.and1(NonZero, Ctx.ne(Ctx.udiv(T, L.Term), R.Term)));
+        }
+      }
+      break;
+    }
+    case Opcode::Shl: {
+      T = Ctx.shl(L.Term, R.Term);
+      const BVExpr *Big =
+          Ctx.uge(R.Term, Ctx.constant(APInt64(W, W)));
+      addOverflowPoison(Big);
+      if (I->hasNUW())
+        addOverflowPoison(Ctx.ne(Ctx.lshr(T, R.Term), L.Term));
+      if (I->hasNSW())
+        addOverflowPoison(Ctx.ne(Ctx.ashr(T, R.Term), L.Term));
+      break;
+    }
+    case Opcode::LShr: {
+      T = Ctx.lshr(L.Term, R.Term);
+      addOverflowPoison(Ctx.uge(R.Term, Ctx.constant(APInt64(W, W))));
+      if (I->isExact())
+        addOverflowPoison(Ctx.ne(Ctx.shl(T, R.Term), L.Term));
+      break;
+    }
+    case Opcode::AShr: {
+      T = Ctx.ashr(L.Term, R.Term);
+      addOverflowPoison(Ctx.uge(R.Term, Ctx.constant(APInt64(W, W))));
+      if (I->isExact())
+        addOverflowPoison(Ctx.ne(Ctx.shl(T, R.Term), L.Term));
+      break;
+    }
+    case Opcode::And:
+      T = Ctx.bvand(L.Term, R.Term);
+      break;
+    case Opcode::Or:
+      T = Ctx.bvor(L.Term, R.Term);
+      break;
+    case Opcode::Xor:
+      T = Ctx.bvxor(L.Term, R.Term);
+      break;
+    default:
+      assert(false && "not a binary opcode");
+    }
+    S.Env[I] = SymVal::makeInt(T, P);
+    return true;
+  }
+
+  void enqueue(const BasicBlock *BB, const BasicBlock *Prev, PathState S) {
+    Worklist.push_back({BB, Prev, std::move(S)});
+  }
+
+  const Function &F;
+  BVContext &Ctx;
+  ExternalWorld &World;
+  EncodeLimits Limits;
+  FnEncoding Enc;
+  std::vector<Frame> Worklist;
+};
+
+} // namespace
+
+FnEncoding encodeFunction(const Function &F, BVContext &Ctx,
+                          const std::vector<const BVExpr *> &ArgVars,
+                          ExternalWorld &World, const EncodeLimits &Limits) {
+  Encoder E(F, Ctx, ArgVars, World, Limits);
+  return E.run();
+}
+
+} // namespace veriopt

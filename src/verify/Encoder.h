@@ -1,0 +1,88 @@
+//===- Encoder.h - Symbolic execution to BV terms (internal) -----*- C++ -*-=//
+//
+// Path-based symbolic executor: enumerates CFG paths up to the unroll
+// bound, producing per-path return terms, a UB condition, a truncation
+// condition, and the external-call trace. Shared between the refinement
+// builder (AliveLite.cpp) and the encoder property tests.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_VERIFY_ENCODER_H
+#define VERIOPT_VERIFY_ENCODER_H
+
+#include "ir/Function.h"
+#include "smt/BVExpr.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace veriopt {
+
+/// Shared "external world": the return value of the k-th call to a given
+/// callee is the same free variable in source and target, so both sides are
+/// verified against every possible behaviour of the outside world.
+class ExternalWorld {
+public:
+  const BVExpr *callReturn(BVContext &Ctx, const std::string &Callee,
+                           unsigned Index, unsigned Width);
+
+  /// All call-return variables created so far (for model extraction).
+  std::vector<const BVExpr *> vars() const {
+    std::vector<const BVExpr *> Out;
+    for (const auto &[Key, V] : Vars)
+      Out.push_back(V);
+    return Out;
+  }
+
+private:
+  std::map<std::pair<std::string, unsigned>, const BVExpr *> Vars;
+};
+
+/// One completed execution path.
+struct PathOutcome {
+  const BVExpr *Cond;      ///< path condition (width 1)
+  const BVExpr *Ret;       ///< return term (null for void)
+  const BVExpr *RetPoison; ///< width-1 poison flag of the return value
+};
+
+/// One external call site occurrence along some path.
+struct CallRecord {
+  std::string Callee;
+  unsigned Index; ///< per-callee occurrence number along the path
+  const BVExpr *Guard; ///< path condition under which the call happens
+  std::vector<const BVExpr *> Args;
+};
+
+struct EncodeLimits {
+  unsigned MaxPaths = 128;
+  unsigned MaxBlockVisitsPerPath = 5;
+  unsigned MaxStepsPerPath = 4096;
+};
+
+/// The symbolic summary of a function.
+struct FnEncoding {
+  std::vector<PathOutcome> Paths;
+  const BVExpr *UB = nullptr;        ///< inputs triggering UB (width 1)
+  const BVExpr *Truncated = nullptr; ///< inputs leaving the unroll bound
+  std::vector<CallRecord> Calls;
+  bool Unsupported = false;
+  std::string UnsupportedWhy;
+
+  /// ITE-chain of return values over the paths (null for void functions).
+  const BVExpr *returnTerm(BVContext &Ctx) const;
+  /// ITE-chain of return-poison flags over the paths.
+  const BVExpr *returnPoison(BVContext &Ctx) const;
+  /// Disjunction of all complete-path conditions.
+  const BVExpr *covered(BVContext &Ctx) const;
+};
+
+/// Symbolically execute \p F. \p ArgVars supplies the shared argument
+/// variables (one width-matched Var term per integer parameter).
+FnEncoding encodeFunction(const Function &F, BVContext &Ctx,
+                          const std::vector<const BVExpr *> &ArgVars,
+                          ExternalWorld &World, const EncodeLimits &Limits);
+
+} // namespace veriopt
+
+#endif // VERIOPT_VERIFY_ENCODER_H

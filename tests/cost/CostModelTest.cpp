@@ -1,0 +1,96 @@
+//===- CostModelTest.cpp - Latency/size/ICount model tests ----------------===//
+
+#include "cost/CostModel.h"
+
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+namespace veriopt {
+namespace {
+
+std::unique_ptr<Module> parseOk(const char *Src) {
+  auto M = parseModule(Src);
+  EXPECT_TRUE(M.hasValue()) << M.error().render();
+  return M.takeValue();
+}
+
+TEST(CostModel, DivisionDominatesALU) {
+  EXPECT_GT(opcodeLatency(Opcode::SDiv), 5 * opcodeLatency(Opcode::Add));
+  EXPECT_GT(opcodeLatency(Opcode::Mul), opcodeLatency(Opcode::Add));
+  EXPECT_GT(opcodeLatency(Opcode::Load), opcodeLatency(Opcode::Store));
+}
+
+TEST(CostModel, FreeOpcodes) {
+  EXPECT_EQ(opcodeLatency(Opcode::Alloca), 0.0);
+  EXPECT_EQ(opcodeLatency(Opcode::Phi), 0.0);
+}
+
+TEST(CostModel, OptimizationReducesAllThreeMetrics) {
+  // -O0 style: everything through memory.
+  auto Raw = parseOk(R"(
+define i32 @f(i32 %x) {
+  %s = alloca i32
+  store i32 %x, ptr %s
+  %a = load i32, ptr %s
+  %m = mul i32 %a, 2
+  store i32 %m, ptr %s
+  %b = load i32, ptr %s
+  ret i32 %b
+}
+)");
+  // Optimized equivalent.
+  auto Opt = parseOk(R"(
+define i32 @f(i32 %x) {
+  %m = shl i32 %x, 1
+  ret i32 %m
+}
+)");
+  const Function &FR = *Raw->getMainFunction();
+  const Function &FO = *Opt->getMainFunction();
+  EXPECT_LT(estimateLatency(FO), estimateLatency(FR));
+  EXPECT_LT(instructionCount(FO), instructionCount(FR));
+  EXPECT_LT(binarySize(FO), binarySize(FR));
+}
+
+TEST(CostModel, ConstantGEPIsFree) {
+  auto M = parseOk(R"(
+define i32 @f(ptr %p, i64 %i) {
+  %a = getelementptr i8, ptr %p, i64 4
+  %b = getelementptr i8, ptr %p, i64 %i
+  %v = load i32, ptr %a
+  %w = load i32, ptr %b
+  %s = add i32 %v, %w
+  ret i32 %s
+}
+)");
+  const Function &F = *M->getMainFunction();
+  double ConstGep = 0, DynGep = 0;
+  for (const auto &I : *F.getEntryBlock())
+    if (auto *G = dyn_cast<GEPInst>(I.get())) {
+      if (isa<ConstantInt>(G->getOffset()))
+        ConstGep = instructionLatency(*I);
+      else
+        DynGep = instructionLatency(*I);
+    }
+  EXPECT_EQ(ConstGep, 0.0);
+  EXPECT_GT(DynGep, 0.0);
+}
+
+TEST(CostModel, BinarySizeWideImmediates) {
+  auto Small = parseOk("define i32 @f(i32 %x) {\n  %r = add i32 %x, 7\n"
+                       "  ret i32 %r\n}\n");
+  auto Wide = parseOk("define i32 @f(i32 %x) {\n  %r = add i32 %x, 100000\n"
+                      "  ret i32 %r\n}\n");
+  EXPECT_GT(binarySize(*Wide->getMainFunction()),
+            binarySize(*Small->getMainFunction()));
+}
+
+TEST(CostModel, InstructionCountMatchesIR) {
+  auto M = parseOk("define i32 @f(i32 %x) {\n  %a = add i32 %x, 1\n"
+                   "  %b = mul i32 %a, %a\n  ret i32 %b\n}\n");
+  EXPECT_EQ(instructionCount(*M->getMainFunction()), 3u);
+}
+
+} // namespace
+} // namespace veriopt

@@ -1,0 +1,261 @@
+//===- InterpreterTest.cpp - Concrete execution semantics -----------------===//
+
+#include "interp/Interpreter.h"
+
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+namespace veriopt {
+namespace {
+
+ExecResult run(const char *Src, std::vector<APInt64> Args = {}) {
+  auto M = parseModule(Src);
+  EXPECT_TRUE(M.hasValue()) << M.error().render();
+  return interpret(*M.value()->getMainFunction(), Args);
+}
+
+TEST(Interpreter, Arithmetic) {
+  auto R = run("define i32 @f(i32 %a, i32 %b) {\n"
+               "  %s = add i32 %a, %b\n  %m = mul i32 %s, 3\n"
+               "  ret i32 %m\n}\n",
+               {APInt64(32, 4), APInt64(32, 5)});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.RetVal.zext(), 27u);
+  EXPECT_FALSE(R.RetPoison);
+}
+
+TEST(Interpreter, BranchesAndPhi) {
+  const char *Src = R"(
+define i32 @abs(i32 %x) {
+  %neg = icmp slt i32 %x, 0
+  br i1 %neg, label %flip, label %keep
+flip:
+  %m = sub i32 0, %x
+  br label %join
+keep:
+  br label %join
+join:
+  %r = phi i32 [ %m, %flip ], [ %x, %keep ]
+  ret i32 %r
+}
+)";
+  EXPECT_EQ(run(Src, {APInt64::fromSigned(32, -9)}).RetVal.zext(), 9u);
+  EXPECT_EQ(run(Src, {APInt64(32, 9)}).RetVal.zext(), 9u);
+}
+
+TEST(Interpreter, LoopComputesSum) {
+  const char *Src = R"(
+define i32 @sum(i32 %n) {
+entryblk:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entryblk ], [ %ni, %body ]
+  %acc = phi i32 [ 0, %entryblk ], [ %nacc, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %done
+body:
+  %ni = add i32 %i, 1
+  %nacc = add i32 %acc, %ni
+  br label %head
+done:
+  ret i32 %acc
+}
+)";
+  EXPECT_EQ(run(Src, {APInt64(32, 10)}).RetVal.zext(), 55u);
+  EXPECT_EQ(run(Src, {APInt64(32, 0)}).RetVal.zext(), 0u);
+}
+
+TEST(Interpreter, InfiniteLoopTimesOut) {
+  auto R = run("define void @f() {\nentryblk:\n  br label %entryblk\n}\n");
+  EXPECT_EQ(R.St, ExecResult::Timeout);
+}
+
+TEST(Interpreter, MemoryZeroInitAndByteAccess) {
+  // Fig. 8 shape: two i32 stores into an i64 slot, load the whole i64.
+  const char *Src = R"(
+define i64 @get_d() {
+  %s = alloca i64
+  store i32 305419896, ptr %s
+  %hi = getelementptr i8, ptr %s, i64 4
+  store i32 -559038737, ptr %hi
+  %v = load i64, ptr %s
+  ret i64 %v
+}
+)";
+  auto R = run(Src);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.RetVal.zext(), 0xDEADBEEF12345678ull);
+}
+
+TEST(Interpreter, AllocaIsZeroInitialized) {
+  auto R = run("define i32 @f() {\n  %s = alloca i32\n"
+               "  %v = load i32, ptr %s\n  ret i32 %v\n}\n");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.RetVal.zext(), 0u);
+  EXPECT_FALSE(R.RetPoison);
+}
+
+TEST(Interpreter, OutOfBoundsStoreIsUB) {
+  auto R = run("define void @f() {\n  %s = alloca i32\n"
+               "  %p = getelementptr i8, ptr %s, i64 4\n"
+               "  store i32 1, ptr %p\n  ret void\n}\n");
+  EXPECT_EQ(R.St, ExecResult::UndefinedBehavior);
+  EXPECT_NE(R.Reason.find("out-of-bounds"), std::string::npos);
+}
+
+TEST(Interpreter, DivisionByZeroIsUB) {
+  auto R = run("define i32 @f(i32 %a, i32 %b) {\n"
+               "  %q = sdiv i32 %a, %b\n  ret i32 %q\n}\n",
+               {APInt64(32, 5), APInt64(32, 0)});
+  EXPECT_EQ(R.St, ExecResult::UndefinedBehavior);
+}
+
+TEST(Interpreter, SignedDivOverflowIsUB) {
+  auto R = run("define i32 @f(i32 %a) {\n  %q = sdiv i32 %a, -1\n"
+               "  ret i32 %q\n}\n",
+               {APInt64::signedMin(32)});
+  EXPECT_EQ(R.St, ExecResult::UndefinedBehavior);
+}
+
+TEST(Interpreter, NSWOverflowMakesPoison) {
+  auto R = run("define i32 @f(i32 %a) {\n  %s = add nsw i32 %a, 1\n"
+               "  ret i32 %s\n}\n",
+               {APInt64::signedMax(32)});
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.RetPoison);
+  // Without nsw the same computation is well-defined.
+  auto R2 = run("define i32 @f(i32 %a) {\n  %s = add i32 %a, 1\n"
+                "  ret i32 %s\n}\n",
+                {APInt64::signedMax(32)});
+  EXPECT_FALSE(R2.RetPoison);
+}
+
+TEST(Interpreter, BranchOnPoisonIsUB) {
+  auto R = run(R"(
+define i32 @f(i32 %a) {
+  %s = add nsw i32 %a, 1
+  %c = icmp eq i32 %s, 0
+  br i1 %c, label %t, label %e
+t:
+  ret i32 1
+e:
+  ret i32 2
+}
+)",
+               {APInt64::signedMax(32)});
+  EXPECT_EQ(R.St, ExecResult::UndefinedBehavior);
+  EXPECT_NE(R.Reason.find("poison"), std::string::npos);
+}
+
+TEST(Interpreter, PoisonFlowsThroughMemory) {
+  auto R = run(R"(
+define i32 @f(i32 %a) {
+  %slot = alloca i32
+  %s = add nsw i32 %a, 1
+  store i32 %s, ptr %slot
+  %v = load i32, ptr %slot
+  ret i32 %v
+}
+)",
+               {APInt64::signedMax(32)});
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.RetPoison);
+}
+
+TEST(Interpreter, ShiftOutOfRangeIsPoison) {
+  auto R = run("define i32 @f(i32 %a, i32 %s) {\n"
+               "  %r = shl i32 %a, %s\n  ret i32 %r\n}\n",
+               {APInt64(32, 1), APInt64(32, 40)});
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.RetPoison);
+}
+
+TEST(Interpreter, SelectOnPoisonIsPoisonNotUB) {
+  auto R = run(R"(
+define i32 @f(i32 %a) {
+  %s = add nsw i32 %a, 1
+  %c = icmp eq i32 %s, 0
+  %r = select i1 %c, i32 1, i32 2
+  ret i32 %r
+}
+)",
+               {APInt64::signedMax(32)});
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.RetPoison);
+}
+
+TEST(Interpreter, ExactFlagPoison) {
+  auto Exact = run("define i32 @f(i32 %a) {\n"
+                   "  %r = lshr exact i32 %a, 1\n  ret i32 %r\n}\n",
+                   {APInt64(32, 3)});
+  ASSERT_TRUE(Exact.ok());
+  EXPECT_TRUE(Exact.RetPoison);
+  auto Clean = run("define i32 @f(i32 %a) {\n"
+                   "  %r = lshr exact i32 %a, 1\n  ret i32 %r\n}\n",
+                   {APInt64(32, 4)});
+  EXPECT_FALSE(Clean.RetPoison);
+  EXPECT_EQ(Clean.RetVal.zext(), 2u);
+}
+
+TEST(Interpreter, CallsAreDeterministicAndLogged) {
+  const char *Src = R"(
+declare i32 @osc(i32)
+define i32 @f(i32 %x) {
+  %a = call i32 @osc(i32 %x)
+  %b = call i32 @osc(i32 %x)
+  %s = add i32 %a, %b
+  ret i32 %s
+}
+)";
+  auto R1 = run(Src, {APInt64(32, 7)});
+  auto R2 = run(Src, {APInt64(32, 7)});
+  ASSERT_TRUE(R1.ok());
+  ASSERT_EQ(R1.Calls.size(), 2u);
+  EXPECT_EQ(R1.RetVal.zext(), R2.RetVal.zext());
+  // Same args but different occurrence index => independent return values.
+  EXPECT_NE(R1.Calls[0].ReturnBits, R1.Calls[1].ReturnBits);
+}
+
+TEST(Interpreter, PointerArgsUnsupported) {
+  auto R = run("define i32 @f(ptr %p) {\n  %v = load i32, ptr %p\n"
+               "  ret i32 %v\n}\n",
+               {});
+  EXPECT_EQ(R.St, ExecResult::Unsupported);
+}
+
+TEST(Interpreter, DynamicLatencyCountsExecutedOps) {
+  const char *Src = R"(
+define i32 @f(i1 %c) {
+  br i1 %c, label %slow, label %fast
+slow:
+  %q = sdiv i32 100, 7
+  br label %join
+fast:
+  br label %join
+join:
+  %r = phi i32 [ %q, %slow ], [ 0, %fast ]
+  ret i32 %r
+}
+)";
+  auto Slow = run(Src, {APInt64(1, 1)});
+  auto Fast = run(Src, {APInt64(1, 0)});
+  ASSERT_TRUE(Slow.ok());
+  ASSERT_TRUE(Fast.ok());
+  EXPECT_GT(dynamicLatency(Slow), dynamicLatency(Fast));
+}
+
+TEST(Interpreter, CastRoundTrips) {
+  auto R = run("define i64 @f(i8 %x) {\n  %w = sext i8 %x to i64\n"
+               "  ret i64 %w\n}\n",
+               {APInt64::fromSigned(8, -5)});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.RetVal.sext(), -5);
+  auto Z = run("define i64 @f(i8 %x) {\n  %w = zext i8 %x to i64\n"
+               "  ret i64 %w\n}\n",
+               {APInt64::fromSigned(8, -5)});
+  EXPECT_EQ(Z.RetVal.zext(), 251u);
+}
+
+} // namespace
+} // namespace veriopt

@@ -1,0 +1,153 @@
+//===- CFGTest.cpp - CFG, RPO, dominators ---------------------------------===//
+
+#include "analysis/CFG.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+namespace veriopt {
+namespace {
+
+std::unique_ptr<Module> parseOk(const char *Src) {
+  auto M = parseModule(Src);
+  EXPECT_TRUE(M.hasValue()) << M.error().render();
+  return M.takeValue();
+}
+
+const char *Diamond = R"(
+define i32 @f(i1 %c) {
+entryblk:
+  br i1 %c, label %left, label %right
+left:
+  br label %join
+right:
+  br label %join
+join:
+  %r = phi i32 [ 1, %left ], [ 2, %right ]
+  ret i32 %r
+}
+)";
+
+TEST(CFG, SuccessorsAndPredecessors) {
+  auto M = parseOk(Diamond);
+  Function *F = M->getMainFunction();
+  BasicBlock *E = F->findBlock("entryblk");
+  BasicBlock *L = F->findBlock("left");
+  BasicBlock *R = F->findBlock("right");
+  BasicBlock *J = F->findBlock("join");
+  CFG G(*F);
+  EXPECT_EQ(G.succs(E).size(), 2u);
+  EXPECT_EQ(G.preds(E).size(), 0u);
+  EXPECT_EQ(G.preds(J).size(), 2u);
+  EXPECT_EQ(G.succs(L).size(), 1u);
+  EXPECT_EQ(G.succs(L)[0], J);
+  EXPECT_EQ(G.succs(R)[0], J);
+  EXPECT_FALSE(G.hasCycle());
+}
+
+TEST(CFG, RPOEntryFirstJoinLast) {
+  auto M = parseOk(Diamond);
+  Function *F = M->getMainFunction();
+  CFG G(*F);
+  const auto &Order = G.rpo();
+  ASSERT_EQ(Order.size(), 4u);
+  EXPECT_EQ(Order.front(), F->findBlock("entryblk"));
+  EXPECT_EQ(Order.back(), F->findBlock("join"));
+}
+
+TEST(CFG, DetectsCycle) {
+  auto M = parseOk(R"(
+define i32 @loop(i32 %n) {
+entryblk:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entryblk ], [ %ni, %head ]
+  %ni = add i32 %i, 1
+  %c = icmp ult i32 %ni, %n
+  br i1 %c, label %head, label %done
+done:
+  ret i32 %ni
+}
+)");
+  CFG G(*M->getMainFunction());
+  EXPECT_TRUE(G.hasCycle());
+}
+
+TEST(CFG, UnreachableBlocks) {
+  auto M = parseOk(R"(
+define i32 @f() {
+  ret i32 0
+dead:
+  br label %dead
+}
+)");
+  Function *F = M->getMainFunction();
+  CFG G(*F);
+  auto Un = G.unreachableBlocks();
+  ASSERT_EQ(Un.size(), 1u);
+  EXPECT_EQ(Un[0], F->findBlock("dead"));
+  EXPECT_FALSE(G.isReachable(Un[0]));
+  // A cycle among unreachable blocks does not count.
+  EXPECT_FALSE(G.hasCycle());
+}
+
+TEST(Dominators, DiamondStructure) {
+  auto M = parseOk(Diamond);
+  Function *F = M->getMainFunction();
+  BasicBlock *E = F->findBlock("entryblk");
+  BasicBlock *L = F->findBlock("left");
+  BasicBlock *R = F->findBlock("right");
+  BasicBlock *J = F->findBlock("join");
+  DominatorTree DT(*F);
+  EXPECT_EQ(DT.idom(E), nullptr);
+  EXPECT_EQ(DT.idom(L), E);
+  EXPECT_EQ(DT.idom(R), E);
+  EXPECT_EQ(DT.idom(J), E); // join is NOT dominated by either arm
+  EXPECT_TRUE(DT.dominates(E, J));
+  EXPECT_FALSE(DT.dominates(L, J));
+  EXPECT_TRUE(DT.dominates(L, L));
+}
+
+TEST(Dominators, LoopHeaderDominatesBody) {
+  auto M = parseOk(R"(
+define i32 @loop(i32 %n) {
+entryblk:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entryblk ], [ %ni, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %done
+body:
+  %ni = add i32 %i, 1
+  br label %head
+done:
+  ret i32 %i
+}
+)");
+  Function *F = M->getMainFunction();
+  DominatorTree DT(*F);
+  BasicBlock *Head = F->findBlock("head");
+  BasicBlock *Body = F->findBlock("body");
+  BasicBlock *Done = F->findBlock("done");
+  EXPECT_TRUE(DT.dominates(Head, Body));
+  EXPECT_TRUE(DT.dominates(Head, Done));
+  EXPECT_FALSE(DT.dominates(Body, Done));
+  EXPECT_EQ(DT.idom(Body), Head);
+  EXPECT_EQ(DT.idom(Done), Head);
+}
+
+TEST(Dominators, DominatesUseSameBlock) {
+  auto M = parseOk("define i32 @f(i32 %x) {\n  %a = add i32 %x, 1\n"
+                   "  %b = mul i32 %a, 2\n  ret i32 %b\n}\n");
+  Function *F = M->getMainFunction();
+  DominatorTree DT(*F);
+  BasicBlock *E = F->getEntryBlock();
+  auto It = E->begin();
+  Instruction *A = It->get();
+  Instruction *B = std::next(It)->get();
+  EXPECT_TRUE(DT.dominatesUse(A, B, 0));
+  EXPECT_FALSE(DT.dominatesUse(B, A, 0));
+}
+
+} // namespace
+} // namespace veriopt

@@ -1,0 +1,96 @@
+//===- CloneTest.cpp - Deep-copy semantics of Function::clone -------------===//
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+namespace veriopt {
+namespace {
+
+const char *LoopSrc = R"(
+declare void @sink(i32)
+define i32 @f(i32 %n, i1 %flag) {
+entryblk:
+  %s = alloca i32
+  store i32 0, ptr %s
+  br i1 %flag, label %head, label %done
+head:
+  %i = phi i32 [ 0, %entryblk ], [ %ni, %head ]
+  %ni = add nsw i32 %i, 1
+  call void @sink(i32 %ni)
+  %c = icmp ult i32 %ni, %n
+  br i1 %c, label %head, label %done
+done:
+  %v = load i32, ptr %s
+  %r = add i32 %v, %n
+  ret i32 %r
+}
+)";
+
+TEST(Clone, PreservesText) {
+  auto M = parseModule(LoopSrc);
+  ASSERT_TRUE(M.hasValue()) << M.error().render();
+  Function *F = M.value()->getMainFunction();
+  auto C = F->clone();
+  EXPECT_EQ(printFunction(*F), printFunction(*C));
+  EXPECT_TRUE(isWellFormed(*C));
+}
+
+TEST(Clone, IsDeep) {
+  auto M = parseModule(LoopSrc);
+  ASSERT_TRUE(M.hasValue());
+  Function *F = M.value()->getMainFunction();
+  auto C = F->clone();
+  std::string Before = printFunction(*F);
+  // Mutate the clone: flip the add's nsw flag and rename a value.
+  for (auto &BB : *C)
+    for (auto &I : *BB)
+      if (I->getOpcode() == Opcode::Add && I->hasNSW()) {
+        I->setNSW(false);
+        I->setName("mutated");
+      }
+  EXPECT_EQ(printFunction(*F), Before) << "mutating clone changed original";
+  EXPECT_NE(printFunction(*C), Before);
+}
+
+TEST(Clone, SharesCalleeDeclarations) {
+  auto M = parseModule(LoopSrc);
+  ASSERT_TRUE(M.hasValue());
+  Function *F = M.value()->getMainFunction();
+  Function *Sink = M.value()->getFunction("sink");
+  auto C = F->clone();
+  bool Found = false;
+  for (auto &BB : *C)
+    for (auto &I : *BB)
+      if (auto *Call = dyn_cast<CallInst>(I.get())) {
+        EXPECT_EQ(Call->getCallee(), Sink);
+        Found = true;
+      }
+  EXPECT_TRUE(Found);
+}
+
+TEST(Clone, ConstantsAreRehomed) {
+  auto M = parseModule("define i32 @f() {\n  ret i32 42\n}\n");
+  ASSERT_TRUE(M.hasValue());
+  Function *F = M.value()->getMainFunction();
+  auto C = F->clone();
+  auto *OrigRet = cast<RetInst>(F->getEntryBlock()->getTerminator());
+  auto *CloneRet = cast<RetInst>(C->getEntryBlock()->getTerminator());
+  // Same value, different owner objects: the clone is self-contained.
+  EXPECT_NE(OrigRet->getReturnValue(), CloneRet->getReturnValue());
+  EXPECT_EQ(cast<ConstantInt>(CloneRet->getReturnValue())->getValue().zext(),
+            42u);
+}
+
+TEST(Clone, Declaration) {
+  Function Decl("ext", Type::getVoid(), {Type::getInt64()}, true);
+  auto C = Decl.clone();
+  EXPECT_TRUE(C->isDeclaration());
+  EXPECT_EQ(C->getNumParams(), 1u);
+  EXPECT_EQ(C->getName(), "ext");
+}
+
+} // namespace
+} // namespace veriopt

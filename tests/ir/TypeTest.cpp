@@ -1,0 +1,51 @@
+//===- TypeTest.cpp - Type interning and properties -----------------------===//
+
+#include "ir/Type.h"
+
+#include <gtest/gtest.h>
+
+namespace veriopt {
+namespace {
+
+TEST(Type, Interning) {
+  EXPECT_EQ(Type::getInt32(), Type::getInt(32));
+  EXPECT_EQ(Type::getPtr(), Type::getPtr());
+  EXPECT_EQ(Type::getVoid(), Type::getVoid());
+  EXPECT_NE(Type::getInt32(), Type::getInt64());
+}
+
+TEST(Type, Predicates) {
+  EXPECT_TRUE(Type::getVoid()->isVoid());
+  EXPECT_TRUE(Type::getInt1()->isBool());
+  EXPECT_FALSE(Type::getInt8()->isBool());
+  EXPECT_TRUE(Type::getPtr()->isPointer());
+  EXPECT_TRUE(Type::getInt16()->isInteger(16));
+  EXPECT_FALSE(Type::getInt16()->isInteger(32));
+}
+
+TEST(Type, StoreSizes) {
+  EXPECT_EQ(Type::getInt1()->getStoreSize(), 1u);
+  EXPECT_EQ(Type::getInt8()->getStoreSize(), 1u);
+  EXPECT_EQ(Type::getInt16()->getStoreSize(), 2u);
+  EXPECT_EQ(Type::getInt32()->getStoreSize(), 4u);
+  EXPECT_EQ(Type::getInt64()->getStoreSize(), 8u);
+  EXPECT_EQ(Type::getPtr()->getStoreSize(), 8u);
+}
+
+TEST(Type, Names) {
+  EXPECT_EQ(Type::getVoid()->getName(), "void");
+  EXPECT_EQ(Type::getInt1()->getName(), "i1");
+  EXPECT_EQ(Type::getInt64()->getName(), "i64");
+  EXPECT_EQ(Type::getPtr()->getName(), "ptr");
+}
+
+TEST(Type, LegalWidths) {
+  EXPECT_TRUE(Type::isLegalIntWidth(1));
+  EXPECT_TRUE(Type::isLegalIntWidth(64));
+  EXPECT_FALSE(Type::isLegalIntWidth(0));
+  EXPECT_FALSE(Type::isLegalIntWidth(7));
+  EXPECT_FALSE(Type::isLegalIntWidth(128));
+}
+
+} // namespace
+} // namespace veriopt

@@ -1,0 +1,163 @@
+//===- VerifierTest.cpp - SSA/structural verification ---------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+namespace veriopt {
+namespace {
+
+TEST(Verifier, AcceptsWellFormed) {
+  auto M = parseModule(R"(
+define i32 @f(i32 %x) {
+  %c = icmp sgt i32 %x, 0
+  br i1 %c, label %pos, label %neg
+pos:
+  %a = add i32 %x, 1
+  br label %join
+neg:
+  %b = sub i32 %x, 1
+  br label %join
+join:
+  %r = phi i32 [ %a, %pos ], [ %b, %neg ]
+  ret i32 %r
+}
+)");
+  ASSERT_TRUE(M.hasValue()) << M.error().render();
+  EXPECT_TRUE(verifyFunction(*M.value()->getMainFunction()).empty());
+}
+
+TEST(Verifier, DetectsMissingTerminator) {
+  auto F = std::make_unique<Function>(
+      "f", Type::getInt32(), std::vector<Type *>{Type::getInt32()}, false);
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(BB);
+  B.createAdd(F->getArg(0), F->getArg(0));
+  auto Errors = verifyFunction(*F);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, DetectsEmptyBlock) {
+  auto F = std::make_unique<Function>("f", Type::getVoid(),
+                                      std::vector<Type *>{}, false);
+  BasicBlock *E = F->createBlock("entry");
+  F->createBlock("dangling");
+  IRBuilder B(E);
+  B.createRetVoid();
+  auto Errors = verifyFunction(*F);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("empty"), std::string::npos);
+}
+
+TEST(Verifier, DetectsPhiPredMismatch) {
+  auto F = std::make_unique<Function>("f", Type::getInt32(),
+                                      std::vector<Type *>{Type::getInt1()},
+                                      false);
+  BasicBlock *E = F->createBlock("entry");
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *BB = F->createBlock("b");
+  BasicBlock *J = F->createBlock("join");
+  IRBuilder B(E);
+  B.createCondBr(F->getArg(0), A, BB);
+  B.setInsertBlock(A);
+  B.createBr(J);
+  B.setInsertBlock(BB);
+  B.createBr(J);
+  B.setInsertBlock(J);
+  auto *Phi = B.createPhi(Type::getInt32());
+  Phi->addIncoming(F->getConstant(32, 1), A); // missing incoming for %b
+  B.createRet(Phi);
+  std::string Err;
+  EXPECT_FALSE(isWellFormed(*F, &Err));
+  EXPECT_NE(Err.find("predecessors"), std::string::npos);
+}
+
+TEST(Verifier, DetectsDominanceViolation) {
+  auto F = std::make_unique<Function>("f", Type::getInt32(),
+                                      std::vector<Type *>{Type::getInt1()},
+                                      false);
+  BasicBlock *E = F->createBlock("entry");
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *J = F->createBlock("join");
+  IRBuilder B(E);
+  B.createCondBr(F->getArg(0), A, J);
+  B.setInsertBlock(A);
+  Value *X = B.createAdd(F->getConstant(32, 1), F->getConstant(32, 2));
+  B.createBr(J);
+  B.setInsertBlock(J);
+  B.createRet(X); // %x does not dominate join (entry->join path skips a)
+  std::string Err;
+  EXPECT_FALSE(isWellFormed(*F, &Err));
+  EXPECT_NE(Err.find("dominate"), std::string::npos);
+}
+
+TEST(Verifier, SameBlockUseBeforeDef) {
+  auto F = std::make_unique<Function>(
+      "f", Type::getInt32(), std::vector<Type *>{Type::getInt32()}, false);
+  BasicBlock *E = F->createBlock("entry");
+  // Build: %u = add %d, 1 ; %d = add %x, 1 ; ret %u  (use before def)
+  auto D = std::make_unique<BinaryInst>(Opcode::Add, F->getArg(0),
+                                        F->getConstant(32, 1));
+  auto U = std::make_unique<BinaryInst>(Opcode::Add, D.get(),
+                                        F->getConstant(32, 1));
+  Instruction *URaw = E->push_back(std::move(U));
+  E->push_back(std::move(D));
+  E->push_back(std::make_unique<RetInst>(URaw));
+  // Reorder: we appended U first, so D comes after its use already.
+  std::string Err;
+  EXPECT_FALSE(isWellFormed(*F, &Err));
+  EXPECT_NE(Err.find("dominate"), std::string::npos);
+}
+
+TEST(Verifier, PhiUseOnlyNeedsIncomingEdgeDominance) {
+  // A value defined in the loop body may feed the header phi.
+  auto M = parseModule(R"(
+define i32 @loop(i32 %n) {
+entryblk:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entryblk ], [ %next, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %done
+body:
+  %next = add i32 %i, 1
+  br label %head
+done:
+  ret i32 %i
+}
+)");
+  ASSERT_TRUE(M.hasValue()) << M.error().render();
+  EXPECT_TRUE(verifyFunction(*M.value()->getMainFunction()).empty());
+}
+
+TEST(Verifier, EntryBlockMayNotHavePhis) {
+  auto M = parseModule(R"(
+define i32 @f(i32 %x) {
+entryblk:
+  br label %entryblk2
+entryblk2:
+  ret i32 %x
+}
+)");
+  ASSERT_TRUE(M.hasValue());
+  // Manually build a function whose entry has a phi.
+  auto F = std::make_unique<Function>("g", Type::getInt32(),
+                                      std::vector<Type *>{}, false);
+  BasicBlock *E = F->createBlock("entry");
+  IRBuilder B(E);
+  auto *Phi = B.createPhi(Type::getInt32());
+  B.createRet(Phi);
+  std::string Err;
+  EXPECT_FALSE(isWellFormed(*F, &Err));
+}
+
+TEST(Verifier, DeclarationsAreTriviallyValid) {
+  Function Decl("ext", Type::getVoid(), {Type::getInt32()}, true);
+  EXPECT_TRUE(verifyFunction(Decl).empty());
+}
+
+} // namespace
+} // namespace veriopt

@@ -1,0 +1,306 @@
+//===- PassesTest.cpp - Mem2Reg / SimplifyCFG / pipelines -----------------===//
+
+#include "opt/Pass.h"
+
+#include "cost/CostModel.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "verify/AliveLite.h"
+
+#include <gtest/gtest.h>
+
+namespace veriopt {
+namespace {
+
+std::unique_ptr<Module> parseOk(const std::string &Src) {
+  auto M = parseModule(Src);
+  EXPECT_TRUE(M.hasValue()) << M.error().render();
+  return M.takeValue();
+}
+
+/// Run a pass pipeline, assert well-formedness and Alive-lite equivalence.
+std::string runChecked(const std::string &Src,
+                       bool (*Pipeline)(Function &, PassTrace *)) {
+  auto M = parseOk(Src);
+  Function *F = M->getMainFunction();
+  auto Original = F->clone();
+  Pipeline(*F, nullptr);
+  std::string Err;
+  EXPECT_TRUE(isWellFormed(*F, &Err)) << Err << "\n" << printFunction(*F);
+  auto VR = verifyRefinement(*Original, *F);
+  EXPECT_EQ(VR.Status, VerifyStatus::Equivalent)
+      << VR.Diagnostic << "\nresult:\n"
+      << printFunction(*F);
+  return printFunction(*F);
+}
+
+bool runExtended(Function &F, PassTrace *T) { return runExtendedPipeline(F, T); }
+
+TEST(Mem2Reg, PromotesSimpleSlot) {
+  std::string Out = runChecked(R"(
+define i32 @f(i32 %x) {
+  %s = alloca i32
+  store i32 %x, ptr %s
+  %v = load i32, ptr %s
+  %r = add i32 %v, 1
+  ret i32 %r
+}
+)",
+                               runExtended);
+  EXPECT_EQ(Out.find("alloca"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("add i32 %x, 1"), std::string::npos) << Out;
+}
+
+TEST(Mem2Reg, UninitializedSlotReadsZero) {
+  std::string Out = runChecked(R"(
+define i32 @f() {
+  %s = alloca i32
+  %v = load i32, ptr %s
+  ret i32 %v
+}
+)",
+                               runExtended);
+  EXPECT_NE(Out.find("ret i32 0"), std::string::npos) << Out;
+}
+
+TEST(Mem2Reg, CrossBlockPromotion) {
+  // Paper Fig. 9 shape: store in entry, load after a branch diamond.
+  std::string Out = runChecked(R"(
+declare void @foo(i32)
+define i64 @f28(i64 %a, i64 %b) {
+  %s = alloca i64
+  %sum = add i64 %a, %b
+  store i64 %sum, ptr %s
+  %c = icmp ugt i64 %sum, %a
+  br i1 %c, label %done, label %callit
+callit:
+  call void @foo(i32 0)
+  br label %done
+done:
+  %v = load i64, ptr %s
+  ret i64 %v
+}
+)",
+                               runExtended);
+  EXPECT_EQ(Out.find("alloca"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("load"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("call void @foo"), std::string::npos) << Out;
+}
+
+TEST(Mem2Reg, LoopCarriedSlot) {
+  std::string Out = runChecked(R"(
+define i32 @sum(i32 %n) {
+entryblk:
+  %acc = alloca i32
+  %i = alloca i32
+  br label %head
+head:
+  %iv = load i32, ptr %i
+  %c = icmp ult i32 %iv, %n
+  br i1 %c, label %body, label %done
+body:
+  %av = load i32, ptr %acc
+  %nacc = add i32 %av, %iv
+  store i32 %nacc, ptr %acc
+  %ni = add i32 %iv, 1
+  store i32 %ni, ptr %i
+  br label %head
+done:
+  %r = load i32, ptr %acc
+  ret i32 %r
+}
+)",
+                               runExtended);
+  EXPECT_EQ(Out.find("alloca"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("phi"), std::string::npos) << Out;
+}
+
+TEST(Mem2Reg, EscapedAllocaNotPromoted) {
+  // A GEP user means partial access: not promotable.
+  std::string Out = runChecked(R"(
+define i32 @f(i64 %x) {
+  %s = alloca i64
+  store i64 %x, ptr %s
+  %hi = getelementptr i8, ptr %s, i64 4
+  %v = load i32, ptr %hi
+  ret i32 %v
+}
+)",
+                               runExtended);
+  EXPECT_NE(Out.find("alloca"), std::string::npos) << Out;
+}
+
+TEST(SimplifyCFG, FoldsConstantBranch) {
+  std::string Out = runChecked(R"(
+define i32 @f(i32 %x) {
+  br i1 true, label %a, label %b
+a:
+  ret i32 1
+b:
+  ret i32 2
+}
+)",
+                               runExtended);
+  EXPECT_NE(Out.find("ret i32 1"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("ret i32 2"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("br"), std::string::npos) << Out;
+}
+
+TEST(SimplifyCFG, MergesStraightLine) {
+  std::string Out = runChecked(R"(
+define i32 @f(i32 %x) {
+  %a = add i32 %x, 1
+  br label %next
+next:
+  %b = mul i32 %a, 3
+  br label %last
+last:
+  ret i32 %b
+}
+)",
+                               runExtended);
+  EXPECT_EQ(Out.find("br"), std::string::npos) << Out;
+}
+
+TEST(SimplifyCFG, DiamondBecomesSelect) {
+  // The paper's Fig. 10 emergent shape.
+  std::string Out = runChecked(R"(
+define i32 @opt_u1(i32 %x) {
+  %c = icmp ult i32 %x, 10
+  br i1 %c, label %small, label %big
+small:
+  br label %join
+big:
+  br label %join
+join:
+  %r = phi i32 [ 0, %small ], [ 1, %big ]
+  ret i32 %r
+}
+)",
+                               runExtended);
+  EXPECT_NE(Out.find("select"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("phi"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("br"), std::string::npos) << Out;
+}
+
+TEST(SimplifyCFG, TriangleBecomesSelect) {
+  std::string Out = runChecked(R"(
+define i32 @f(i32 %x) {
+entryblk:
+  %c = icmp slt i32 %x, 0
+  br i1 %c, label %flip, label %join
+flip:
+  br label %join
+join:
+  %r = phi i32 [ 1, %flip ], [ 0, %entryblk ]
+  ret i32 %r
+}
+)",
+                               runExtended);
+  EXPECT_NE(Out.find("select"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("phi"), std::string::npos) << Out;
+}
+
+TEST(SimplifyCFG, Fig10EndToEnd) {
+  // Full Fig. 10: -O0-style memory + control flow collapses to select
+  // arithmetic under the extended pipeline.
+  std::string Out = runChecked(R"(
+define i32 @opt_u1(i32 %0) {
+  %2 = alloca i32
+  store i32 %0, ptr %2
+  %3 = icmp ult i32 %0, 10
+  br i1 %3, label %4, label %5
+4:
+  br label %10
+5:
+  %6 = load i32, ptr %2
+  %7 = add i32 %6, -12
+  %8 = lshr i32 %7, 2
+  %9 = add i32 %8, 3
+  br label %10
+10:
+  %storemerge = phi i32 [ %9, %5 ], [ 0, %4 ]
+  ret i32 %storemerge
+}
+)",
+                               runExtended);
+  EXPECT_EQ(Out.find("alloca"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("phi"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("select"), std::string::npos) << Out;
+}
+
+TEST(Pipelines, ExtendedBeatsReferenceOnAllocaHeavyCode) {
+  const char *Src = R"(
+define i32 @f(i32 %x) {
+  %s = alloca i32
+  store i32 %x, ptr %s
+  %c = icmp sgt i32 %x, 0
+  br i1 %c, label %pos, label %neg
+pos:
+  %v1 = load i32, ptr %s
+  %d1 = mul i32 %v1, 2
+  store i32 %d1, ptr %s
+  br label %join
+neg:
+  %v2 = load i32, ptr %s
+  %d2 = sub i32 0, %v2
+  store i32 %d2, ptr %s
+  br label %join
+join:
+  %r = load i32, ptr %s
+  ret i32 %r
+}
+)";
+  auto M1 = parseOk(Src);
+  auto M2 = parseOk(Src);
+  Function *Ref = M1->getMainFunction();
+  Function *Ext = M2->getMainFunction();
+  runReferencePipeline(*Ref);
+  runExtendedPipeline(*Ext);
+  EXPECT_LE(estimateLatency(*Ext), estimateLatency(*Ref))
+      << "ref:\n"
+      << printFunction(*Ref) << "ext:\n"
+      << printFunction(*Ext);
+  EXPECT_EQ(printFunction(*Ext).find("alloca"), std::string::npos)
+      << printFunction(*Ext);
+}
+
+TEST(Pipelines, ReferenceMatchesPaperFig8) {
+  // InstCombine-lite forwards the two i32 stores into the i64 load
+  // byte-wise only when sizes line up; here it cannot forward (size
+  // mismatch), matching real instcombine keeping the memory ops (Fig. 8
+  // LHS). The *extended* pipeline cannot promote either (GEP user), so
+  // this stays memory-bound — exactly the case VeriOpt's learned rewrite
+  // (ret i64 0) wins, which AliveLite validated in its own test.
+  auto M = parseOk(R"(
+define i64 @get_d() {
+  %1 = alloca i64
+  store i32 0, ptr %1
+  %hi = getelementptr i8, ptr %1, i64 4
+  store i32 0, ptr %hi
+  %v = load i64, ptr %1
+  ret i64 %v
+}
+)");
+  Function *F = M->getMainFunction();
+  runReferencePipeline(*F);
+  EXPECT_NE(printFunction(*F).find("alloca"), std::string::npos);
+}
+
+TEST(Pipelines, DCERemovesDeadChains) {
+  std::string Out = runChecked(R"(
+define i32 @f(i32 %x) {
+  %d1 = add i32 %x, 1
+  %d2 = mul i32 %d1, %d1
+  %d3 = xor i32 %d2, 7
+  ret i32 %x
+}
+)",
+                               runExtended);
+  EXPECT_EQ(Out.find("add"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("mul"), std::string::npos) << Out;
+}
+
+} // namespace
+} // namespace veriopt

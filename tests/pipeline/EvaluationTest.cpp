@@ -1,0 +1,91 @@
+//===- EvaluationTest.cpp - Metric aggregation and fallback semantics ------===//
+
+#include "pipeline/Evaluation.h"
+
+#include "cost/CostModel.h"
+#include "rl/Reward.h"
+
+#include <gtest/gtest.h>
+
+namespace veriopt {
+namespace {
+
+const Dataset &ds() {
+  static Dataset DS = [] {
+    DatasetOptions O;
+    O.TrainCount = 0;
+    O.ValidCount = 20;
+    O.Seed = 55;
+    return buildDataset(O);
+  }();
+  return DS;
+}
+
+TEST(Evaluation, PerSampleMetricsAreConsistent) {
+  RewritePolicyModel Base(presetQwen3B());
+  auto E = evaluateModel(Base, ds().Valid, PromptMode::Generic);
+  ASSERT_EQ(E.PerSample.size(), ds().Valid.size());
+  for (size_t I = 0; I < E.PerSample.size(); ++I) {
+    const SampleEval &S = E.PerSample[I];
+    const Sample &Orig = ds().Valid[I];
+    EXPECT_DOUBLE_EQ(S.LatO0, estimateLatency(*Orig.source()));
+    EXPECT_DOUBLE_EQ(S.LatRef, estimateLatency(*Orig.Reference));
+    // Fallback invariant: a failed verification keeps the -O0 metrics.
+    if (S.UsedFallback) {
+      EXPECT_DOUBLE_EQ(S.LatOut, S.LatO0);
+      EXPECT_EQ(S.ICountOut, S.ICountO0);
+      EXPECT_EQ(S.SizeOut, S.SizeO0);
+    }
+    // Only verified outputs may differ from -O0.
+    if (S.Status != VerifyStatus::Equivalent)
+      EXPECT_TRUE(S.UsedFallback);
+  }
+}
+
+TEST(Evaluation, BetterWorseTieSumsToTotal) {
+  RewritePolicyModel Base(presetQwen3B());
+  auto E = evaluateModel(Base, ds().Valid, PromptMode::Generic);
+  unsigned N = static_cast<unsigned>(E.PerSample.size());
+  EXPECT_EQ(E.Latency.Better + E.Latency.Worse + E.Latency.Tie, N);
+  EXPECT_EQ(E.Size.Better + E.Size.Worse + E.Size.Tie, N);
+  EXPECT_EQ(E.ICount.Better + E.ICount.Worse + E.ICount.Tie, N);
+  EXPECT_EQ(E.VsRefBetter + E.VsRefWorse + E.VsRefTie, N);
+}
+
+TEST(Evaluation, TaxonomySumsToTotal) {
+  RewritePolicyModel Base(presetQwen3B());
+  auto E = evaluateModel(Base, ds().Valid, PromptMode::Generic);
+  EXPECT_EQ(E.Taxonomy.Correct + E.Taxonomy.SemanticError +
+                E.Taxonomy.SyntaxError + E.Taxonomy.Inconclusive,
+            E.Taxonomy.Total);
+  EXPECT_LE(E.Taxonomy.CorrectCopies, E.Taxonomy.Correct);
+}
+
+TEST(Evaluation, GreedyEvaluationIsReproducible) {
+  RewritePolicyModel Base(presetQwen3B());
+  auto A = evaluateModel(Base, ds().Valid, PromptMode::Generic);
+  auto B = evaluateModel(Base, ds().Valid, PromptMode::Generic);
+  EXPECT_EQ(A.Taxonomy.Correct, B.Taxonomy.Correct);
+  EXPECT_EQ(A.Taxonomy.SyntaxError, B.Taxonomy.SyntaxError);
+  EXPECT_DOUBLE_EQ(A.GeoSpeedupVsO0, B.GeoSpeedupVsO0);
+}
+
+TEST(Evaluation, FallbackGainIsNonNegative) {
+  // min(model, reference) can never be slower than reference.
+  RewritePolicyModel Base(presetQwen3B());
+  auto E = evaluateModel(Base, ds().Valid, PromptMode::Generic);
+  EXPECT_GE(E.FallbackGainOverRef, 0.0);
+}
+
+TEST(Evaluation, ReferenceRowMatchesSampleReferences) {
+  auto R = evaluateReferencePass(ds().Valid);
+  for (size_t I = 0; I < R.PerSample.size(); ++I) {
+    EXPECT_FALSE(R.PerSample[I].UsedFallback);
+    EXPECT_DOUBLE_EQ(R.PerSample[I].LatOut, R.PerSample[I].LatRef);
+  }
+  EXPECT_EQ(R.VsRefWorse, 0u);
+  EXPECT_EQ(R.VsRefBetter, 0u);
+}
+
+} // namespace
+} // namespace veriopt

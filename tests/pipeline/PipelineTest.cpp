@@ -1,0 +1,170 @@
+//===- PipelineTest.cpp - Four-stage pipeline + evaluation integration -----===//
+//
+// Runs a reduced version of the paper's full pipeline and asserts the
+// qualitative results of RQ1-RQ4 hold: the base model is vacuously correct
+// (mostly copies, no speedup); training lifts different-correct rates and
+// speedup stage by stage; the latency model approaches the reference pass.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Evaluation.h"
+#include "pipeline/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace veriopt {
+namespace {
+
+struct PipelineFixture : public ::testing::Test {
+  static const Dataset &dataset() {
+    static Dataset DS = [] {
+      DatasetOptions O;
+      O.TrainCount = 24;
+      O.ValidCount = 16;
+      O.Seed = 77;
+      return buildDataset(O);
+    }();
+    return DS;
+  }
+
+  // Shared across tests (expensive); reduced budgets keep this fast.
+  static PipelineArtifacts &artifacts() {
+    static PipelineArtifacts Art = [] {
+      PipelineOptions P;
+      P.Stage1Steps = 15;
+      P.Stage2Steps = 25;
+      P.Stage3Steps = 60;
+      P.GRPO.GroupSize = 6;
+      P.GRPO.PromptsPerStep = 3;
+      return runTrainingPipeline(dataset(), P);
+    }();
+    return Art;
+  }
+};
+
+TEST_F(PipelineFixture, ProducesAllFourModels) {
+  auto &Art = artifacts();
+  EXPECT_NE(Art.Base, nullptr);
+  EXPECT_NE(Art.ModelZero, nullptr);
+  EXPECT_NE(Art.WarmUp, nullptr);
+  EXPECT_NE(Art.Correctness, nullptr);
+  EXPECT_NE(Art.Latency, nullptr);
+  EXPECT_GE(Art.UMax, 1.5);
+}
+
+TEST_F(PipelineFixture, HarvestsBothSampleKinds) {
+  auto &Art = artifacts();
+  EXPECT_GT(Art.CorrectionSamples, 0u)
+      << "stage 1 found no failures to learn from";
+  EXPECT_EQ(Art.FirstTimeSamples, 24u);
+  EXPECT_EQ(Art.Augmented.size(),
+            Art.CorrectionSamples + Art.FirstTimeSamples);
+}
+
+TEST_F(PipelineFixture, RQ1BaseModelIsVacuouslyCorrect) {
+  auto E = evaluateModel(*artifacts().Base, dataset().Valid,
+                         PromptMode::Generic);
+  // High headline correctness, dominated by copies, negligible speedup.
+  EXPECT_GT(E.Taxonomy.pct(E.Taxonomy.CorrectCopies), 30.0);
+  EXPECT_LT(E.Taxonomy.differentCorrectRate(), 40.0);
+  EXPECT_LT(E.GeoSpeedupVsO0, 1.1);
+}
+
+TEST_F(PipelineFixture, RQ2TrainedModelIsDifferentCorrectAndFast) {
+  auto &Art = artifacts();
+  auto Base = evaluateModel(*Art.Base, dataset().Valid, PromptMode::Generic);
+  auto Lat =
+      evaluateModel(*Art.Latency, dataset().Valid, PromptMode::Generic);
+  EXPECT_GT(Lat.Taxonomy.differentCorrectRate(),
+            3 * Base.Taxonomy.differentCorrectRate())
+      << "paper: 5.4x more successfully-modified code";
+  EXPECT_GT(Lat.GeoSpeedupVsO0, 1.6);
+  EXPECT_LT(Lat.Taxonomy.pct(Lat.Taxonomy.CorrectCopies), 20.0);
+}
+
+TEST_F(PipelineFixture, RQ3ComparableToReferencePass) {
+  auto &Art = artifacts();
+  auto Lat =
+      evaluateModel(*Art.Latency, dataset().Valid, PromptMode::Generic);
+  auto Ref = evaluateReferencePass(dataset().Valid);
+  // Within a reasonable band of the handwritten pass.
+  EXPECT_GT(Lat.GeoSpeedupVsO0, 0.7 * Ref.GeoSpeedupVsO0);
+  // The fallback composition can only help over the reference.
+  EXPECT_GE(Lat.FallbackGainOverRef, 0.0);
+}
+
+TEST_F(PipelineFixture, RQ4AblationLadder) {
+  auto &Art = artifacts();
+  auto Valid = [&](const RewritePolicyModel &M, PromptMode Mode) {
+    return evaluateModel(M, dataset().Valid, Mode);
+  };
+  auto Zero = Valid(*Art.ModelZero, PromptMode::Generic);
+  auto Warm = Valid(*Art.WarmUp, PromptMode::Augmented);
+  auto Corr = Valid(*Art.Correctness, PromptMode::Augmented);
+  auto Lat = Valid(*Art.Latency, PromptMode::Generic);
+  // Speedup ladder: each stage at least holds the previous one (small
+  // tolerance: greedy decoding is discrete).
+  EXPECT_GE(Warm.GeoSpeedupVsO0, Zero.GeoSpeedupVsO0 - 0.05);
+  EXPECT_GE(Corr.GeoSpeedupVsO0, Warm.GeoSpeedupVsO0 - 0.05);
+  EXPECT_GE(Lat.GeoSpeedupVsO0, Corr.GeoSpeedupVsO0 - 0.05);
+  // The endpoints must separate clearly.
+  EXPECT_GT(Lat.GeoSpeedupVsO0, Zero.GeoSpeedupVsO0 + 0.4);
+  // Warm-up gains real different-correct capability over Model-Zero.
+  EXPECT_GT(Warm.Taxonomy.differentCorrectRate(),
+            Zero.Taxonomy.differentCorrectRate());
+}
+
+TEST_F(PipelineFixture, TrainingLogsFeedFig4) {
+  auto &Art = artifacts();
+  EXPECT_EQ(Art.Stage2Log.size(), 25u);
+  EXPECT_EQ(Art.Stage3Log.size(), 60u);
+  for (const auto &L : Art.Stage2Log) {
+    EXPECT_GE(L.MeanReward, 0.0);
+    EXPECT_GE(L.EMAReward, 0.0);
+  }
+  // The latency-stage EMA should end above its start (Fig. 4b's rise).
+  EXPECT_GE(Art.Stage3Log.back().EMAReward,
+            Art.Stage3Log.front().EMAReward - 0.02);
+}
+
+TEST_F(PipelineFixture, CorrectnessStaysHighAfterLatencyStage) {
+  auto &Art = artifacts();
+  auto Corr = evaluateModel(*Art.Correctness, dataset().Valid,
+                            PromptMode::Augmented);
+  auto Lat =
+      evaluateModel(*Art.Latency, dataset().Valid, PromptMode::Generic);
+  // The paper's §V-B: incremental latency training does not cost
+  // correctness (within a small band).
+  EXPECT_GE(Lat.Taxonomy.pct(Lat.Taxonomy.Correct),
+            Corr.Taxonomy.pct(Corr.Taxonomy.Correct) - 15.0);
+}
+
+TEST(Evaluation, TaxonomyRendering) {
+  VerifyTaxonomy T;
+  T.Total = 100;
+  T.Correct = 73;
+  T.CorrectCopies = 57;
+  T.SemanticError = 4;
+  T.SyntaxError = 21;
+  T.Inconclusive = 2;
+  std::string Out = renderTaxonomy("Table I", T);
+  EXPECT_NE(Out.find("Correct (verified)"), std::string::npos);
+  EXPECT_NE(Out.find("73"), std::string::npos);
+  EXPECT_NE(Out.find("21.0"), std::string::npos);
+  EXPECT_NEAR(T.differentCorrectRate(), 16.0, 1e-9);
+}
+
+TEST(Evaluation, ReferencePassRowIsAllCorrect) {
+  DatasetOptions O;
+  O.TrainCount = 0;
+  O.ValidCount = 10;
+  O.Seed = 3;
+  auto DS = buildDataset(O);
+  auto R = evaluateReferencePass(DS.Valid);
+  EXPECT_EQ(R.Taxonomy.Correct, 10u);
+  EXPECT_GT(R.GeoSpeedupVsO0, 1.2);
+  EXPECT_EQ(R.VsRefBetter + R.VsRefWorse, 0u); // ties with itself
+}
+
+} // namespace
+} // namespace veriopt

@@ -1,0 +1,152 @@
+//===- RewardTest.cpp - Eq. (1)/(2)/(4) reward function tests --------------===//
+
+#include "rl/Reward.h"
+
+#include <gtest/gtest.h>
+
+namespace veriopt {
+namespace {
+
+/// One deterministic sample shared across tests.
+const Sample &sample() {
+  static Dataset DS = [] {
+    DatasetOptions O;
+    O.TrainCount = 6;
+    O.ValidCount = 0;
+    O.Seed = 31;
+    return buildDataset(O);
+  }();
+  return DS.Train.front();
+}
+
+Completion completionWithAnswer(std::string IR, bool FormatOk = true) {
+  Completion C;
+  C.AnswerIR = std::move(IR);
+  C.FormatOk = FormatOk;
+  C.Actions = {Action::Stop};
+  C.TokenCount = 10;
+  return C;
+}
+
+TEST(Reward, ExactReferenceMatchScoresHighest) {
+  const Sample &S = sample();
+  auto C = completionWithAnswer(S.RefText);
+  auto B = answerReward(S, C);
+  EXPECT_TRUE(B.FormatOk);
+  EXPECT_TRUE(B.Equivalent);
+  EXPECT_TRUE(B.ExactMatch);
+  EXPECT_DOUBLE_EQ(B.Bleu, 1.0);
+  EXPECT_DOUBLE_EQ(B.Total, 4.0); // 1*(1+1*(1+1)) + 1
+}
+
+TEST(Reward, CopyScoresBetweenGarbageAndOptimized) {
+  const Sample &S = sample();
+  auto Copy = answerReward(S, completionWithAnswer(S.SrcText));
+  auto Exact = answerReward(S, completionWithAnswer(S.RefText));
+  auto Garbage = answerReward(S, completionWithAnswer("not ir at all"));
+  EXPECT_TRUE(Copy.IsCopy);
+  EXPECT_TRUE(Copy.Equivalent);
+  EXPECT_FALSE(Copy.ExactMatch);
+  EXPECT_GT(Exact.Total, Copy.Total);
+  EXPECT_GT(Copy.Total, Garbage.Total);
+}
+
+TEST(Reward, FormatFailureZeroesTheHierarchy) {
+  const Sample &S = sample();
+  auto C = completionWithAnswer(S.RefText, /*FormatOk=*/false);
+  auto B = answerReward(S, C);
+  EXPECT_FALSE(B.FormatOk);
+  // Only the BLEU shaping term remains: t = 0.
+  EXPECT_LE(B.Total, 1.0);
+  EXPECT_GT(B.Total, 0.0); // BLEU still rewards partial overlap
+}
+
+TEST(Reward, SyntaxErrorGetsOnlyBleu) {
+  const Sample &S = sample();
+  // Take the reference and break it.
+  std::string Broken = S.RefText.substr(0, S.RefText.size() * 2 / 3);
+  auto B = answerReward(S, completionWithAnswer(Broken));
+  EXPECT_FALSE(B.Equivalent);
+  EXPECT_EQ(B.Verify.Status, VerifyStatus::SyntaxError);
+  EXPECT_LT(B.Total, 2.0);
+}
+
+TEST(Reward, CoTAgreementOnOk) {
+  Completion C;
+  C.PredictedDiagClass = 0;
+  VerifyResult V;
+  V.Status = VerifyStatus::Equivalent;
+  EXPECT_DOUBLE_EQ(cotReward(C, V), 1.0);
+}
+
+TEST(Reward, CoTDisagreementScoresZero) {
+  Completion C;
+  C.PredictedDiagClass = 0; // model claims OK
+  VerifyResult V;
+  V.Status = VerifyStatus::NotEquivalent; // alive says ERR
+  V.Diagnostic = "ERROR: Value mismatch";
+  EXPECT_DOUBLE_EQ(cotReward(C, V), 0.0);
+  // And the other direction.
+  Completion C2;
+  C2.PredictedDiagClass = 3;
+  C2.PredictedMessage = "ERROR: Value mismatch";
+  VerifyResult V2;
+  V2.Status = VerifyStatus::Equivalent;
+  EXPECT_DOUBLE_EQ(cotReward(C2, V2), 0.0);
+}
+
+TEST(Reward, CoTAgreementOnErrorScalesWithMessageSimilarity) {
+  VerifyResult V;
+  V.Status = VerifyStatus::NotEquivalent;
+  V.Diagnostic = "Transformation doesn't verify!\nERROR: Value mismatch\n";
+  Completion Good;
+  Good.PredictedDiagClass = 3;
+  Good.PredictedMessage = diagClassMessage(3, "f");
+  Completion Bad;
+  Bad.PredictedDiagClass = 6;
+  Bad.PredictedMessage = diagClassMessage(6, "f");
+  double GoodR = cotReward(Good, V);
+  double BadR = cotReward(Bad, V);
+  EXPECT_GE(GoodR, 0.5);
+  EXPECT_GE(BadR, 0.5); // both agree "ERR": at least the base credit
+  EXPECT_GT(GoodR, BadR); // the right message text earns more
+}
+
+TEST(Reward, LatencyRewardGatesOnEquivalence) {
+  const Sample &S = sample();
+  LatencyRewardParams P;
+  P.UMax = 3.0;
+  auto Fast = completionWithAnswer(S.RefText);
+  EXPECT_GT(latencyReward(S, Fast, /*Equivalent=*/true, P), 0.0);
+  EXPECT_DOUBLE_EQ(latencyReward(S, Fast, /*Equivalent=*/false, P), 0.0);
+  // A copy has u == 1: no reward even though it is equivalent.
+  auto Copy = completionWithAnswer(S.SrcText);
+  EXPECT_DOUBLE_EQ(latencyReward(S, Copy, true, P), 0.0);
+}
+
+TEST(Reward, LatencyRewardSaturatesAndShapes) {
+  const Sample &S = sample();
+  LatencyRewardParams P;
+  P.UMax = 2.0;
+  P.Gamma = 2.0;
+  auto Fast = completionWithAnswer(S.RefText);
+  double R1 = latencyReward(S, Fast, true, P);
+  P.UMax = 10.0; // same speedup, further from saturation
+  double R2 = latencyReward(S, Fast, true, P);
+  EXPECT_GE(R1, R2);
+  EXPECT_LE(R1, 1.0);
+}
+
+TEST(Reward, UMaxFromTrainingSet) {
+  DatasetOptions O;
+  O.TrainCount = 20;
+  O.ValidCount = 0;
+  O.Seed = 9;
+  auto DS = buildDataset(O);
+  double U = computeUMax(DS.Train);
+  EXPECT_GE(U, 1.5);
+  EXPECT_LT(U, 20.0);
+}
+
+} // namespace
+} // namespace veriopt

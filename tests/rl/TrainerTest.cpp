@@ -1,0 +1,144 @@
+//===- TrainerTest.cpp - GRPO and SFT trainer tests ------------------------===//
+
+#include "rl/Trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace veriopt {
+namespace {
+
+const Dataset &tinyDataset() {
+  static Dataset DS = [] {
+    DatasetOptions O;
+    O.TrainCount = 16;
+    O.ValidCount = 0;
+    O.Seed = 21;
+    return buildDataset(O);
+  }();
+  return DS;
+}
+
+TEST(Trainer, ClipGradientScalesDown) {
+  std::vector<double> G = {3.0, 4.0}; // norm 5
+  double Norm = clipGradient(G, 1.0);
+  EXPECT_DOUBLE_EQ(Norm, 5.0);
+  EXPECT_NEAR(std::sqrt(G[0] * G[0] + G[1] * G[1]), 1.0, 1e-12);
+  std::vector<double> Small = {0.1, 0.1};
+  clipGradient(Small, 1.0);
+  EXPECT_DOUBLE_EQ(Small[0], 0.1); // untouched below the cap
+}
+
+TEST(Trainer, GRPOImprovesRewardAndKillsCorruption) {
+  const Dataset &DS = tinyDataset();
+  RewritePolicyModel Model(presetQwen3B());
+  VerifyOptions V;
+  V.FalsifyTrials = 8;
+  V.SolverConflictBudget = 20000;
+  GRPOOptions G;
+  G.GroupSize = 6;
+  G.PromptsPerStep = 3;
+  G.Seed = 7;
+  RewardFn Reward = [V](const Sample &S, Completion &C) {
+    RewardBreakdown B = answerReward(S, C, V);
+    RolloutScore Sc;
+    Sc.Reward = B.Total;
+    Sc.Equivalent = B.Equivalent;
+    Sc.IsCopy = B.IsCopy;
+    return Sc;
+  };
+  GRPOTrainer Trainer(Model, Reward, G);
+  auto Logs = Trainer.train(DS.Train, 40);
+  ASSERT_EQ(Logs.size(), 40u);
+  // Early vs late mean rewards (coarse but robust).
+  double Early = 0, Late = 0, EarlyEq = 0, LateEq = 0;
+  for (int I = 0; I < 8; ++I) {
+    Early += Logs[I].MeanReward;
+    Late += Logs[Logs.size() - 1 - I].MeanReward;
+    EarlyEq += Logs[I].EquivalentRate;
+    LateEq += Logs[Logs.size() - 1 - I].EquivalentRate;
+  }
+  EXPECT_GT(Late, Early) << "GRPO failed to improve the answer reward";
+  // Equivalence must at least hold its ground (copies start equivalent, so
+  // it does not have to rise while the policy learns to optimize instead).
+  EXPECT_GT(LateEq, EarlyEq - 1.0);
+  // EMA is a smoothed version of the raw series.
+  EXPECT_NE(Logs.back().EMAReward, 0.0);
+}
+
+TEST(Trainer, GroupRelativeAdvantageNeedsVariation) {
+  // A constant reward yields zero advantage and must not move parameters.
+  const Dataset &DS = tinyDataset();
+  RewritePolicyModel Model(presetQwen3B());
+  auto Before = Model.params();
+  GRPOOptions G;
+  G.GroupSize = 4;
+  G.PromptsPerStep = 2;
+  RewardFn Flat = [](const Sample &, Completion &) {
+    RolloutScore Sc;
+    Sc.Reward = 1.0;
+    return Sc;
+  };
+  GRPOTrainer Trainer(Model, Flat, G);
+  Trainer.train(DS.Train, 5);
+  EXPECT_EQ(Model.params(), Before);
+}
+
+TEST(Trainer, SFTReducesLossAndTeachesOracle) {
+  const Dataset &DS = tinyDataset();
+  RewritePolicyModel Model(presetQwen3B());
+
+  std::vector<SFTExample> Data;
+  for (const Sample &S : DS.Train) {
+    SFTExample Ex;
+    Ex.S = &S;
+    Ex.TargetActions = oracleActions(S.RefTrace, Model);
+    Ex.DiagClassTarget = 0;
+    Data.push_back(Ex);
+    // A synthetic correction example.
+    SFTExample Corr = Data.back();
+    Corr.IsCorrection = true;
+    Corr.AttemptActions = {Action::CorruptConstant, Action::Stop};
+    Corr.DiagClassTarget = 3;
+    Data.push_back(Corr);
+  }
+
+  double Before = sftLoss(Model, Data);
+  SFTOptions Opts;
+  Opts.Epochs = 6;
+  sftTrain(Model, Data, Opts);
+  double After = sftLoss(Model, Data);
+  EXPECT_LT(After, Before) << "SFT failed to reduce the loss";
+
+  // The trained diagnosis head must map the corruption to its class.
+  double LpRight = Model.diagLogProb({Action::CorruptConstant, Action::Stop},
+                                     3);
+  double LpWrong = Model.diagLogProb({Action::CorruptConstant, Action::Stop},
+                                     1);
+  EXPECT_GT(LpRight, LpWrong);
+
+  // And the fix gate should have moved toward "fix".
+  EXPECT_GT(Model.fixLogProb(true), Model.fixLogProb(false));
+}
+
+TEST(Trainer, SFTRaisesOracleSequenceProbability) {
+  const Dataset &DS = tinyDataset();
+  RewritePolicyModel Model(presetQwen3B());
+  const Sample &S = DS.Train.front();
+  auto Target = oracleActions(S.RefTrace, Model);
+  double Before = Model.sequenceLogProb(*S.source(), Target);
+  std::vector<SFTExample> Data;
+  SFTExample Ex;
+  Ex.S = &S;
+  Ex.TargetActions = Target;
+  Data.push_back(Ex);
+  SFTOptions Opts;
+  Opts.Epochs = 10;
+  sftTrain(Model, Data, Opts);
+  double After = Model.sequenceLogProb(*S.source(), Target);
+  EXPECT_GT(After, Before);
+}
+
+} // namespace
+} // namespace veriopt

@@ -1,0 +1,174 @@
+//===- SatTest.cpp - CDCL solver unit + property tests --------------------===//
+
+#include "smt/Sat.h"
+
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+namespace veriopt {
+namespace {
+
+TEST(Sat, TrivialSat) {
+  SatSolver S;
+  unsigned A = S.newVar(), B = S.newVar();
+  S.addClause(Lit(A, false), Lit(B, false));
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+  EXPECT_TRUE(S.modelValue(Lit(A, false)) || S.modelValue(Lit(B, false)));
+}
+
+TEST(Sat, TrivialUnsat) {
+  SatSolver S;
+  unsigned A = S.newVar();
+  S.addClause(Lit(A, false));
+  S.addClause(Lit(A, true));
+  EXPECT_EQ(S.solve(), SatSolver::Result::Unsat);
+}
+
+TEST(Sat, EmptyClauseUnsat) {
+  SatSolver S;
+  EXPECT_FALSE(S.addClause(std::vector<Lit>{}));
+  EXPECT_EQ(S.solve(), SatSolver::Result::Unsat);
+}
+
+TEST(Sat, TautologyIgnored) {
+  SatSolver S;
+  unsigned A = S.newVar();
+  EXPECT_TRUE(S.addClause(Lit(A, false), Lit(A, true)));
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+}
+
+TEST(Sat, UnitPropagationChain) {
+  SatSolver S;
+  // a; a->b; b->c; c->~a is unsat.
+  unsigned A = S.newVar(), B = S.newVar(), C = S.newVar();
+  S.addClause(Lit(A, false));
+  S.addClause(Lit(A, true), Lit(B, false));
+  S.addClause(Lit(B, true), Lit(C, false));
+  S.addClause(Lit(C, true), Lit(A, true));
+  EXPECT_EQ(S.solve(), SatSolver::Result::Unsat);
+}
+
+TEST(Sat, XorChainSat) {
+  // x1 ^ x2 = 1, x2 ^ x3 = 1, ..., satisfiable for any chain length.
+  SatSolver S;
+  std::vector<unsigned> Vars;
+  for (int I = 0; I < 20; ++I)
+    Vars.push_back(S.newVar());
+  for (int I = 0; I + 1 < 20; ++I) {
+    Lit A(Vars[I], false), B(Vars[I + 1], false);
+    S.addClause(A, B);
+    S.addClause(~A, ~B);
+  }
+  ASSERT_EQ(S.solve(), SatSolver::Result::Sat);
+  for (int I = 0; I + 1 < 20; ++I)
+    EXPECT_NE(S.modelValue(Vars[I]), S.modelValue(Vars[I + 1]));
+}
+
+TEST(Sat, PigeonHole3Into2) {
+  // PHP(3,2): 3 pigeons, 2 holes — classic small UNSAT instance that
+  // requires real conflict analysis.
+  SatSolver S;
+  unsigned P[3][2];
+  for (auto &Row : P)
+    for (unsigned &V : Row)
+      V = S.newVar();
+  for (int I = 0; I < 3; ++I)
+    S.addClause(Lit(P[I][0], false), Lit(P[I][1], false));
+  for (int H = 0; H < 2; ++H)
+    for (int I = 0; I < 3; ++I)
+      for (int J = I + 1; J < 3; ++J)
+        S.addClause(Lit(P[I][H], true), Lit(P[J][H], true));
+  EXPECT_EQ(S.solve(), SatSolver::Result::Unsat);
+}
+
+TEST(Sat, ConflictBudgetReportsUnknown) {
+  // PHP(7,6) is hard enough that a budget of 1 conflict cannot finish.
+  SatSolver S;
+  const int N = 7, H = 6;
+  std::vector<std::vector<unsigned>> P(N, std::vector<unsigned>(H));
+  for (auto &Row : P)
+    for (unsigned &V : Row)
+      V = S.newVar();
+  for (int I = 0; I < N; ++I) {
+    std::vector<Lit> Cl;
+    for (int K = 0; K < H; ++K)
+      Cl.push_back(Lit(P[I][K], false));
+    S.addClause(Cl);
+  }
+  for (int K = 0; K < H; ++K)
+    for (int I = 0; I < N; ++I)
+      for (int J = I + 1; J < N; ++J)
+        S.addClause(Lit(P[I][K], true), Lit(P[J][K], true));
+  EXPECT_EQ(S.solve(1), SatSolver::Result::Unknown);
+  // And with no budget it proves unsatisfiability.
+  EXPECT_EQ(S.solve(0), SatSolver::Result::Unsat);
+}
+
+/// Brute-force reference: try all assignments over <= 16 vars.
+bool bruteForceSat(unsigned NumVars,
+                   const std::vector<std::vector<Lit>> &Clauses) {
+  for (uint64_t Mask = 0; Mask < (1ULL << NumVars); ++Mask) {
+    bool All = true;
+    for (const auto &C : Clauses) {
+      bool Any = false;
+      for (Lit L : C) {
+        bool V = (Mask >> (L.var() - 1)) & 1;
+        if (V != L.negated()) {
+          Any = true;
+          break;
+        }
+      }
+      if (!Any) {
+        All = false;
+        break;
+      }
+    }
+    if (All)
+      return true;
+  }
+  return false;
+}
+
+/// Random 3-SAT instances cross-checked against brute force, over a sweep of
+/// clause/variable ratios spanning the SAT/UNSAT phase transition.
+class RandomSat : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSat, AgreesWithBruteForce) {
+  int ClauseCount = GetParam();
+  RNG R(1000 + ClauseCount);
+  const unsigned NumVars = 10;
+  for (int Trial = 0; Trial < 30; ++Trial) {
+    std::vector<std::vector<Lit>> Clauses;
+    SatSolver S;
+    for (unsigned V = 0; V < NumVars; ++V)
+      S.newVar();
+    bool AddedOk = true;
+    for (int C = 0; C < ClauseCount; ++C) {
+      std::vector<Lit> Cl;
+      for (int K = 0; K < 3; ++K)
+        Cl.push_back(Lit(1 + static_cast<unsigned>(R.below(NumVars)),
+                         R.chance(0.5)));
+      Clauses.push_back(Cl);
+      AddedOk = S.addClause(Cl) && AddedOk;
+    }
+    bool Ref = bruteForceSat(NumVars, Clauses);
+    auto Got = AddedOk ? S.solve() : SatSolver::Result::Unsat;
+    EXPECT_EQ(Got == SatSolver::Result::Sat, Ref) << "trial " << Trial;
+    // On SAT, the model must actually satisfy every clause.
+    if (Got == SatSolver::Result::Sat) {
+      for (const auto &C : Clauses) {
+        bool Any = false;
+        for (Lit L : C)
+          Any |= S.modelValue(L);
+        EXPECT_TRUE(Any);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, RandomSat,
+                         ::testing::Values(20, 35, 42, 50, 70));
+
+} // namespace
+} // namespace veriopt

@@ -1,0 +1,138 @@
+//===- APInt64Test.cpp - Unit + property tests for APInt64 ----------------===//
+
+#include "support/APInt64.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+namespace veriopt {
+namespace {
+
+TEST(APInt64, BasicConstruction) {
+  APInt64 A(8, 0x1FF); // truncates to width
+  EXPECT_EQ(A.zext(), 0xFFu);
+  EXPECT_TRUE(A.isAllOnes());
+  EXPECT_EQ(A.sext(), -1);
+  EXPECT_TRUE(A.isNegative());
+
+  APInt64 B(1, 1);
+  EXPECT_TRUE(B.isOne());
+  EXPECT_TRUE(B.isAllOnes());
+  EXPECT_EQ(B.sext(), -1);
+}
+
+TEST(APInt64, SignedBoundaries) {
+  EXPECT_EQ(APInt64::signedMin(8).sext(), -128);
+  EXPECT_EQ(APInt64::signedMax(8).sext(), 127);
+  EXPECT_EQ(APInt64::signedMin(64).sext(), INT64_MIN);
+  EXPECT_EQ(APInt64::signedMax(64).sext(), INT64_MAX);
+  EXPECT_TRUE(APInt64::signedMin(32).isSignedMin());
+}
+
+TEST(APInt64, WrapAroundArithmetic) {
+  APInt64 Max = APInt64::allOnes(16);
+  EXPECT_TRUE(Max.add(APInt64::one(16)).isZero());
+  EXPECT_EQ(APInt64::zero(16).sub(APInt64::one(16)).zext(), 0xFFFFu);
+  EXPECT_EQ(APInt64(8, 16).mul(APInt64(8, 16)).zext(), 0u);
+}
+
+TEST(APInt64, DivisionSemantics) {
+  // Signed division truncates toward zero.
+  EXPECT_EQ(APInt64::fromSigned(32, -7).sdiv(APInt64(32, 2)).sext(), -3);
+  EXPECT_EQ(APInt64::fromSigned(32, -7).srem(APInt64(32, 2)).sext(), -1);
+  EXPECT_EQ(APInt64(32, 7).udiv(APInt64(32, 2)).zext(), 3u);
+  EXPECT_EQ(APInt64(32, 7).urem(APInt64(32, 2)).zext(), 1u);
+}
+
+TEST(APInt64, ShiftEdgeCases) {
+  APInt64 V(8, 0x80);
+  EXPECT_EQ(V.ashr(APInt64(8, 7)).zext(), 0xFFu); // sign-fill
+  EXPECT_EQ(V.lshr(APInt64(8, 7)).zext(), 1u);
+  // Out-of-range shifts are total (defined to 0 / sign-fill).
+  EXPECT_TRUE(V.shl(APInt64(8, 8)).isZero());
+  EXPECT_TRUE(V.lshr(APInt64(8, 200)).isZero());
+  EXPECT_TRUE(V.ashr(APInt64(8, 8)).isAllOnes());
+  EXPECT_TRUE(APInt64(8, 1).ashr(APInt64(8, 9)).isZero());
+}
+
+TEST(APInt64, WidthChanges) {
+  APInt64 V(16, 0xFF80);
+  EXPECT_EQ(V.truncTo(8).zext(), 0x80u);
+  EXPECT_EQ(V.truncTo(8).sextTo(16).zext(), 0xFF80u);
+  EXPECT_EQ(V.truncTo(8).zextTo(16).zext(), 0x0080u);
+}
+
+TEST(APInt64, BitQueries) {
+  APInt64 V(32, 0x00F0);
+  EXPECT_EQ(V.countTrailingZeros(), 4u);
+  EXPECT_EQ(V.countLeadingZeros(), 24u);
+  EXPECT_EQ(V.popCount(), 4u);
+  EXPECT_FALSE(V.isPowerOf2());
+  EXPECT_TRUE(APInt64(32, 64).isPowerOf2());
+  EXPECT_EQ(APInt64(32, 64).exactLog2(), 6u);
+  EXPECT_EQ(APInt64::zero(32).countTrailingZeros(), 32u);
+  EXPECT_EQ(APInt64::zero(32).countLeadingZeros(), 32u);
+}
+
+TEST(APInt64, OverflowPredicates) {
+  APInt64 Max8 = APInt64::signedMax(8);
+  EXPECT_TRUE(Max8.addOverflowsSigned(APInt64(8, 1)));
+  EXPECT_FALSE(Max8.addOverflowsUnsigned(APInt64(8, 1)));
+  EXPECT_TRUE(APInt64::allOnes(8).addOverflowsUnsigned(APInt64(8, 1)));
+  EXPECT_TRUE(APInt64::zero(8).subOverflowsUnsigned(APInt64(8, 1)));
+  EXPECT_TRUE(
+      APInt64::signedMin(8).subOverflowsSigned(APInt64(8, 1)));
+  EXPECT_TRUE(APInt64(8, 16).mulOverflowsUnsigned(APInt64(8, 16)));
+  EXPECT_FALSE(APInt64(8, 15).mulOverflowsUnsigned(APInt64(8, 17)));
+  EXPECT_TRUE(APInt64(8, 64).shlOverflowsUnsigned(APInt64(8, 2)));
+  EXPECT_FALSE(APInt64(8, 63).shlOverflowsUnsigned(APInt64(8, 1)));
+  EXPECT_TRUE(APInt64(8, 64).shlOverflowsSigned(APInt64(8, 1)));
+}
+
+TEST(APInt64, ToString) {
+  EXPECT_EQ(APInt64::fromSigned(32, -159).toString(), "-159");
+  EXPECT_EQ(APInt64(32, 159).toString(false), "159");
+  EXPECT_EQ(APInt64::allOnes(8).toString(), "-1");
+}
+
+/// Property sweep: every operation must agree with native 64-bit arithmetic
+/// reduced mod 2^width, across all supported widths.
+class APInt64Property : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(APInt64Property, MatchesNativeReference) {
+  unsigned W = GetParam();
+  RNG R(12345 + W);
+  uint64_t Mask = W == 64 ? ~0ULL : ((1ULL << W) - 1);
+  for (int Iter = 0; Iter < 2000; ++Iter) {
+    uint64_t A = R.next() & Mask, B = R.next() & Mask;
+    APInt64 X(W, A), Y(W, B);
+    EXPECT_EQ(X.add(Y).zext(), (A + B) & Mask);
+    EXPECT_EQ(X.sub(Y).zext(), (A - B) & Mask);
+    EXPECT_EQ(X.mul(Y).zext(), (A * B) & Mask);
+    EXPECT_EQ(X.andOp(Y).zext(), (A & B));
+    EXPECT_EQ(X.orOp(Y).zext(), (A | B));
+    EXPECT_EQ(X.xorOp(Y).zext(), (A ^ B));
+    EXPECT_EQ(X.notOp().zext(), (~A) & Mask);
+    EXPECT_EQ(X.neg().zext(), (0 - A) & Mask);
+    if (B != 0) {
+      EXPECT_EQ(X.udiv(Y).zext(), (A / B) & Mask);
+      EXPECT_EQ(X.urem(Y).zext(), (A % B) & Mask);
+    }
+    uint64_t Sh = B % (W + 4); // include some out-of-range shifts
+    APInt64 ShV(W, Sh);
+    uint64_t ShlRef = Sh >= W ? 0 : (A << Sh) & Mask;
+    uint64_t LshrRef = Sh >= W ? 0 : (A & Mask) >> Sh;
+    EXPECT_EQ(X.shl(ShV).zext(), ShlRef);
+    EXPECT_EQ(X.lshr(ShV).zext(), LshrRef);
+    // Comparison cross-check.
+    EXPECT_EQ(X.ult(Y), A < B);
+    EXPECT_EQ(X.slt(Y), X.sext() < Y.sext());
+    EXPECT_EQ(X.eq(Y), A == B);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, APInt64Property,
+                         ::testing::Values(1u, 8u, 16u, 32u, 64u));
+
+} // namespace
+} // namespace veriopt

@@ -1,0 +1,95 @@
+//===- RNGTest.cpp - Determinism and distribution sanity ------------------===//
+
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace veriopt {
+namespace {
+
+TEST(RNG, DeterministicFromSeed) {
+  RNG A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RNG, DifferentSeedsDiverge) {
+  RNG A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += (A.next() == B.next());
+  EXPECT_EQ(Same, 0);
+}
+
+TEST(RNG, BelowStaysInRange) {
+  RNG R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(17), 17u);
+}
+
+TEST(RNG, RangeInclusive) {
+  RNG R(9);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 500; ++I) {
+    int64_t V = R.range(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 7u); // all values hit
+}
+
+TEST(RNG, UniformInUnitInterval) {
+  RNG R(11);
+  double Sum = 0;
+  for (int I = 0; I < 10000; ++I) {
+    double U = R.uniform();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+    Sum += U;
+  }
+  EXPECT_NEAR(Sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RNG, ChanceRespectsProbability) {
+  RNG R(13);
+  int Hits = 0;
+  for (int I = 0; I < 10000; ++I)
+    Hits += R.chance(0.25);
+  EXPECT_NEAR(Hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(RNG, WeightedPickFollowsWeights) {
+  RNG R(17);
+  std::vector<double> W = {1.0, 0.0, 3.0};
+  int Counts[3] = {0, 0, 0};
+  for (int I = 0; I < 8000; ++I)
+    ++Counts[R.weightedPick(W)];
+  EXPECT_EQ(Counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(Counts[2]) / Counts[0], 3.0, 0.4);
+}
+
+TEST(RNG, ForkIndependence) {
+  RNG A(5);
+  RNG C1 = A.fork();
+  RNG C2 = A.fork();
+  EXPECT_NE(C1.next(), C2.next());
+}
+
+TEST(RNG, GaussianMoments) {
+  RNG R(23);
+  double Sum = 0, SumSq = 0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I) {
+    double G = R.gaussian();
+    Sum += G;
+    SumSq += G * G;
+  }
+  EXPECT_NEAR(Sum / N, 0.0, 0.05);
+  EXPECT_NEAR(SumSq / N, 1.0, 0.05);
+}
+
+} // namespace
+} // namespace veriopt

@@ -1,0 +1,61 @@
+//===- StatsTest.cpp - Statistics helper tests ----------------------------===//
+
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace veriopt {
+namespace {
+
+TEST(Stats, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({2, 4, 6}), 4.0);
+  EXPECT_DOUBLE_EQ(stddev({5}), 0.0);
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0, 1e-12);
+}
+
+TEST(Stats, Geomean) {
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+  EXPECT_NEAR(geomean({1, 4}), 2.0, 1e-12);
+  EXPECT_NEAR(geomean({2, 2, 2}), 2.0, 1e-12);
+  // Non-positive entries are clamped, not fatal.
+  EXPECT_GT(geomean({0.0, 4.0}), 0.0);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> Xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(Xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(Xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(Xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(Xs, 25), 2.0);
+  // Interpolation between ranks.
+  EXPECT_NEAR(percentile({1, 2}, 80), 1.8, 1e-12);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Stats, EMATracksWithLag) {
+  EMA S(0.95);
+  EXPECT_FALSE(S.primed());
+  EXPECT_DOUBLE_EQ(S.push(10.0), 10.0); // first sample primes
+  EXPECT_TRUE(S.primed());
+  double V = S.push(0.0);
+  EXPECT_NEAR(V, 9.5, 1e-12);
+  // Converges toward a constant input.
+  for (int I = 0; I < 500; ++I)
+    V = S.push(0.0);
+  EXPECT_NEAR(V, 0.0, 1e-6);
+}
+
+TEST(Stats, EMASmoothsNoise) {
+  EMA S(0.95);
+  // Alternating +1/-1 should smooth to near zero.
+  double V = 0;
+  for (int I = 0; I < 1000; ++I)
+    V = S.push(I % 2 ? 1.0 : -1.0);
+  EXPECT_LT(std::abs(V), 0.2);
+}
+
+} // namespace
+} // namespace veriopt

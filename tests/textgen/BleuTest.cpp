@@ -1,0 +1,71 @@
+//===- BleuTest.cpp - Tokenizer and BLEU tests -----------------------------===//
+
+#include "textgen/Bleu.h"
+
+#include <gtest/gtest.h>
+
+namespace veriopt {
+namespace {
+
+TEST(Tokenizer, IRTokens) {
+  auto T = tokenizeIR("%y = add nsw i32 %x, -42");
+  std::vector<std::string> Expected = {"%y", "=",   "add", "nsw",
+                                       "i32", "%x", ",",   "-42"};
+  EXPECT_EQ(T, Expected);
+}
+
+TEST(Tokenizer, SigilsAndPunctuation) {
+  auto T = tokenizeIR("call void @foo(i32 0) #2");
+  std::vector<std::string> Expected = {"call", "void", "@foo", "(",
+                                       "i32",  "0",    ")",    "#2"};
+  EXPECT_EQ(T, Expected);
+}
+
+TEST(Bleu, IdenticalScoresOne) {
+  EXPECT_DOUBLE_EQ(bleuText("ret i32 %x", "ret i32 %x"), 1.0);
+}
+
+TEST(Bleu, DisjointScoresZero) {
+  EXPECT_DOUBLE_EQ(bleuText("ret i32 %x", "br label %y"), 0.0);
+}
+
+TEST(Bleu, EmptyCases) {
+  EXPECT_DOUBLE_EQ(bleuText("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(bleuText("ret i32 0", ""), 0.0);
+  EXPECT_DOUBLE_EQ(bleuText("", "ret i32 0"), 0.0);
+}
+
+TEST(Bleu, PartialOverlapBetweenZeroAndOne) {
+  double S = bleuText("%y = add i32 %x, 1\nret i32 %y",
+                      "%y = add i32 %x, 2\nret i32 %y");
+  EXPECT_GT(S, 0.0);
+  EXPECT_LT(S, 1.0);
+}
+
+TEST(Bleu, MonotoneInSimilarity) {
+  const char *Ref = "%a = add i32 %x, 1\n%b = mul i32 %a, 2\nret i32 %b";
+  double Close = bleuText(Ref, "%a = add i32 %x, 1\n%b = mul i32 %a, 4\n"
+                               "ret i32 %b");
+  double Far = bleuText(Ref, "%q = sdiv i32 %x, 3\nret i32 %q");
+  EXPECT_GT(Close, Far);
+}
+
+TEST(Bleu, BrevityPenaltyPunishesTruncation) {
+  const char *Ref = "%a = add i32 %x, 1\n%b = mul i32 %a, 2\nret i32 %b";
+  double Full = bleuText(Ref, Ref);
+  double Truncated = bleuText(Ref, "%a = add i32 %x, 1");
+  EXPECT_GT(Full, Truncated);
+  EXPECT_LT(Truncated, 0.9);
+}
+
+TEST(Bleu, NotSymmetricButBothReasonable) {
+  const char *A = "ret i32 %x";
+  const char *B = "ret i32 %x\nret i32 %x\nret i32 %x";
+  // Long candidate against short reference: precision drops only mildly;
+  // short candidate against long reference: brevity penalty bites.
+  EXPECT_GT(bleuText(A, B), 0.0);
+  EXPECT_GT(bleuText(B, A), 0.0);
+}
+
+} // namespace
+} // namespace veriopt

@@ -1,0 +1,112 @@
+//===- BoundedLimitTest.cpp - Documenting the §VI Alive2 limitation --------===//
+//
+// The paper's §VI discusses Alive2 getting loop answers wrong because its
+// translation validation is *bounded*. Our Alive-lite inherits exactly that
+// behaviour by design: a pair that agrees within the unroll bound but
+// diverges beyond it is reported Equivalent with BoundedOnly set. This test
+// pins that known limitation (and the StrictLoops escape hatch) so it stays
+// documented-by-test rather than silently surprising.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "verify/AliveLite.h"
+
+#include <gtest/gtest.h>
+
+namespace veriopt {
+namespace {
+
+// Loop counting to n (capped at 100). The target claims the result is
+// min(n, 4): identical while the unroll bound (5 visits => up to 4
+// iterations) covers execution, wrong for n >= 5.
+const char *Src = R"(
+define i32 @count(i32 %n) {
+entryblk:
+  %cap = icmp ult i32 %n, 100
+  %m = select i1 %cap, i32 %n, i32 100
+  br label %head
+head:
+  %i = phi i32 [ 0, %entryblk ], [ %ni, %body ]
+  %c = icmp ult i32 %i, %m
+  br i1 %c, label %body, label %done
+body:
+  %ni = add i32 %i, 1
+  br label %head
+done:
+  ret i32 %i
+}
+)";
+
+const char *TgtWrongBeyondBound = R"(
+define i32 @count(i32 %n) {
+  %cap = icmp ult i32 %n, 4
+  %r = select i1 %cap, i32 %n, i32 4
+  ret i32 %r
+}
+)";
+
+TEST(BoundedLimit, BoundedProofAcceptsWhatConcreteExecutionRefutes) {
+  auto M = parseModule(Src);
+  ASSERT_TRUE(M.hasValue()) << M.error().render();
+  Function *F = M.value()->getMainFunction();
+
+  VerifyOptions Opts;
+  Opts.FalsifyTrials = 0; // the falsifier WOULD catch this; isolate the
+                          // bounded symbolic core, as §VI does for Alive2
+  auto R = verifyCandidateText(*F, TgtWrongBeyondBound, Opts);
+  ASSERT_EQ(R.Status, VerifyStatus::Equivalent)
+      << "expected the documented bounded-TV acceptance, got:\n"
+      << R.Diagnostic;
+  EXPECT_TRUE(R.BoundedOnly) << "the bounded caveat must be reported";
+
+  // Concrete execution at n = 10 exposes the divergence the bounded proof
+  // cannot see.
+  auto MT = parseModule(TgtWrongBeyondBound);
+  auto A = interpret(*F, {APInt64(32, 10)});
+  auto B = interpret(*MT.value()->getMainFunction(), {APInt64(32, 10)});
+  ASSERT_TRUE(A.ok());
+  ASSERT_TRUE(B.ok());
+  EXPECT_NE(A.RetVal.zext(), B.RetVal.zext());
+}
+
+TEST(BoundedLimit, FalsificationPrePassCompensatesInPractice) {
+  // With the default falsification trials on, the same wrong pair is
+  // refuted before the bounded proof can bless it — the engineering
+  // mitigation this reproduction layers on top of the Alive2 design.
+  auto M = parseModule(Src);
+  Function *F = M.value()->getMainFunction();
+  auto R = verifyCandidateText(*F, TgtWrongBeyondBound); // defaults
+  EXPECT_EQ(R.Status, VerifyStatus::NotEquivalent) << R.Diagnostic;
+  EXPECT_TRUE(R.FoundByFalsification);
+}
+
+TEST(BoundedLimit, StrictLoopsRefusesToBlessBoundedProofs) {
+  auto M = parseModule(Src);
+  Function *F = M.value()->getMainFunction();
+  VerifyOptions Opts;
+  Opts.StrictLoops = true;
+  Opts.FalsifyTrials = 0;
+  auto R = verifyCandidateText(*F, TgtWrongBeyondBound, Opts);
+  EXPECT_EQ(R.Status, VerifyStatus::Inconclusive);
+  EXPECT_EQ(R.Kind, DiagKind::LoopBound);
+}
+
+TEST(BoundedLimit, RaisingTheBoundRestoresSoundness) {
+  // With a bound covering the whole input range the proof becomes real;
+  // here the loop caps at 100 iterations, so 128 visits suffice and the
+  // wrong target is refuted purely symbolically.
+  auto M = parseModule(Src);
+  Function *F = M.value()->getMainFunction();
+  VerifyOptions Opts;
+  Opts.FalsifyTrials = 0;
+  Opts.MaxBlockVisitsPerPath = 128;
+  Opts.MaxPaths = 512;
+  Opts.MaxStepsPerPath = 1 << 16;
+  auto R = verifyCandidateText(*F, TgtWrongBeyondBound, Opts);
+  EXPECT_EQ(R.Status, VerifyStatus::NotEquivalent) << R.Diagnostic;
+}
+
+} // namespace
+} // namespace veriopt
