@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_training_dynamics"
+  "../bench/fig4_training_dynamics.pdb"
+  "CMakeFiles/fig4_training_dynamics.dir/fig4_training_dynamics.cpp.o"
+  "CMakeFiles/fig4_training_dynamics.dir/fig4_training_dynamics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_training_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

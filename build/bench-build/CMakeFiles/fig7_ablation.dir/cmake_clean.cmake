@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_ablation"
+  "../bench/fig7_ablation.pdb"
+  "CMakeFiles/fig7_ablation.dir/fig7_ablation.cpp.o"
+  "CMakeFiles/fig7_ablation.dir/fig7_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_12_examples"
+  "../bench/fig8_12_examples.pdb"
+  "CMakeFiles/fig8_12_examples.dir/fig8_12_examples.cpp.o"
+  "CMakeFiles/fig8_12_examples.dir/fig8_12_examples.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_12_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_veriopt"
+  "../bench/table2_veriopt.pdb"
+  "CMakeFiles/table2_veriopt.dir/table2_veriopt.cpp.o"
+  "CMakeFiles/table2_veriopt.dir/table2_veriopt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_veriopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

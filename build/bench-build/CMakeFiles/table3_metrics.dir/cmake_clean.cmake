@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_metrics"
+  "../bench/table3_metrics.pdb"
+  "CMakeFiles/table3_metrics.dir/table3_metrics.cpp.o"
+  "CMakeFiles/table3_metrics.dir/table3_metrics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peephole_explorer.dir/peephole_explorer.cpp.o"
+  "CMakeFiles/peephole_explorer.dir/peephole_explorer.cpp.o.d"
+  "peephole_explorer"
+  "peephole_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peephole_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

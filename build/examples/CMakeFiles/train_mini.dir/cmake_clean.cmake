@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_mini.dir/train_mini.cpp.o"
+  "CMakeFiles/train_mini.dir/train_mini.cpp.o.d"
+  "train_mini"
+  "train_mini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_mini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

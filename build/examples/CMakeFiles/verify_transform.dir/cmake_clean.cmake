@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_transform.dir/verify_transform.cpp.o"
+  "CMakeFiles/verify_transform.dir/verify_transform.cpp.o.d"
+  "verify_transform"
+  "verify_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

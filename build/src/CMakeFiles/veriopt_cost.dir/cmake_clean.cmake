@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veriopt_cost.dir/cost/CostModel.cpp.o"
+  "CMakeFiles/veriopt_cost.dir/cost/CostModel.cpp.o.d"
+  "libveriopt_cost.a"
+  "libveriopt_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veriopt_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veriopt_data.dir/data/Dataset.cpp.o"
+  "CMakeFiles/veriopt_data.dir/data/Dataset.cpp.o.d"
+  "CMakeFiles/veriopt_data.dir/data/MiniC.cpp.o"
+  "CMakeFiles/veriopt_data.dir/data/MiniC.cpp.o.d"
+  "libveriopt_data.a"
+  "libveriopt_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veriopt_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veriopt_interp.dir/interp/Interpreter.cpp.o"
+  "CMakeFiles/veriopt_interp.dir/interp/Interpreter.cpp.o.d"
+  "libveriopt_interp.a"
+  "libveriopt_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veriopt_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/CFG.cpp" "src/CMakeFiles/veriopt_ir.dir/analysis/CFG.cpp.o" "gcc" "src/CMakeFiles/veriopt_ir.dir/analysis/CFG.cpp.o.d"
+  "/root/repo/src/ir/IR.cpp" "src/CMakeFiles/veriopt_ir.dir/ir/IR.cpp.o" "gcc" "src/CMakeFiles/veriopt_ir.dir/ir/IR.cpp.o.d"
+  "/root/repo/src/ir/Parser.cpp" "src/CMakeFiles/veriopt_ir.dir/ir/Parser.cpp.o" "gcc" "src/CMakeFiles/veriopt_ir.dir/ir/Parser.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/CMakeFiles/veriopt_ir.dir/ir/Printer.cpp.o" "gcc" "src/CMakeFiles/veriopt_ir.dir/ir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Type.cpp" "src/CMakeFiles/veriopt_ir.dir/ir/Type.cpp.o" "gcc" "src/CMakeFiles/veriopt_ir.dir/ir/Type.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/CMakeFiles/veriopt_ir.dir/ir/Verifier.cpp.o" "gcc" "src/CMakeFiles/veriopt_ir.dir/ir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/veriopt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

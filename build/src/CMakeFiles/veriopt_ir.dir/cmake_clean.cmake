@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veriopt_ir.dir/analysis/CFG.cpp.o"
+  "CMakeFiles/veriopt_ir.dir/analysis/CFG.cpp.o.d"
+  "CMakeFiles/veriopt_ir.dir/ir/IR.cpp.o"
+  "CMakeFiles/veriopt_ir.dir/ir/IR.cpp.o.d"
+  "CMakeFiles/veriopt_ir.dir/ir/Parser.cpp.o"
+  "CMakeFiles/veriopt_ir.dir/ir/Parser.cpp.o.d"
+  "CMakeFiles/veriopt_ir.dir/ir/Printer.cpp.o"
+  "CMakeFiles/veriopt_ir.dir/ir/Printer.cpp.o.d"
+  "CMakeFiles/veriopt_ir.dir/ir/Type.cpp.o"
+  "CMakeFiles/veriopt_ir.dir/ir/Type.cpp.o.d"
+  "CMakeFiles/veriopt_ir.dir/ir/Verifier.cpp.o"
+  "CMakeFiles/veriopt_ir.dir/ir/Verifier.cpp.o.d"
+  "libveriopt_ir.a"
+  "libveriopt_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veriopt_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veriopt_model.dir/model/Policy.cpp.o"
+  "CMakeFiles/veriopt_model.dir/model/Policy.cpp.o.d"
+  "CMakeFiles/veriopt_model.dir/model/Prompt.cpp.o"
+  "CMakeFiles/veriopt_model.dir/model/Prompt.cpp.o.d"
+  "libveriopt_model.a"
+  "libveriopt_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veriopt_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libveriopt_model.a"
+)

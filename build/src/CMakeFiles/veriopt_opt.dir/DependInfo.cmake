@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/InstCombine.cpp" "src/CMakeFiles/veriopt_opt.dir/opt/InstCombine.cpp.o" "gcc" "src/CMakeFiles/veriopt_opt.dir/opt/InstCombine.cpp.o.d"
+  "/root/repo/src/opt/Mem2Reg.cpp" "src/CMakeFiles/veriopt_opt.dir/opt/Mem2Reg.cpp.o" "gcc" "src/CMakeFiles/veriopt_opt.dir/opt/Mem2Reg.cpp.o.d"
+  "/root/repo/src/opt/Pass.cpp" "src/CMakeFiles/veriopt_opt.dir/opt/Pass.cpp.o" "gcc" "src/CMakeFiles/veriopt_opt.dir/opt/Pass.cpp.o.d"
+  "/root/repo/src/opt/SimplifyCFG.cpp" "src/CMakeFiles/veriopt_opt.dir/opt/SimplifyCFG.cpp.o" "gcc" "src/CMakeFiles/veriopt_opt.dir/opt/SimplifyCFG.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/veriopt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veriopt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

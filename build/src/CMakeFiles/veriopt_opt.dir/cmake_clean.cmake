@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veriopt_opt.dir/opt/InstCombine.cpp.o"
+  "CMakeFiles/veriopt_opt.dir/opt/InstCombine.cpp.o.d"
+  "CMakeFiles/veriopt_opt.dir/opt/Mem2Reg.cpp.o"
+  "CMakeFiles/veriopt_opt.dir/opt/Mem2Reg.cpp.o.d"
+  "CMakeFiles/veriopt_opt.dir/opt/Pass.cpp.o"
+  "CMakeFiles/veriopt_opt.dir/opt/Pass.cpp.o.d"
+  "CMakeFiles/veriopt_opt.dir/opt/SimplifyCFG.cpp.o"
+  "CMakeFiles/veriopt_opt.dir/opt/SimplifyCFG.cpp.o.d"
+  "libveriopt_opt.a"
+  "libveriopt_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veriopt_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

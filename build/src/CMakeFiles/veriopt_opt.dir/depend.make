@@ -1,0 +1,2 @@
+# Empty dependencies file for veriopt_opt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veriopt_pipeline.dir/pipeline/Evaluation.cpp.o"
+  "CMakeFiles/veriopt_pipeline.dir/pipeline/Evaluation.cpp.o.d"
+  "CMakeFiles/veriopt_pipeline.dir/pipeline/Pipeline.cpp.o"
+  "CMakeFiles/veriopt_pipeline.dir/pipeline/Pipeline.cpp.o.d"
+  "libveriopt_pipeline.a"
+  "libveriopt_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veriopt_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

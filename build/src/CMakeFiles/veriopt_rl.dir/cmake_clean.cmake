@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veriopt_rl.dir/rl/Reward.cpp.o"
+  "CMakeFiles/veriopt_rl.dir/rl/Reward.cpp.o.d"
+  "CMakeFiles/veriopt_rl.dir/rl/Trainer.cpp.o"
+  "CMakeFiles/veriopt_rl.dir/rl/Trainer.cpp.o.d"
+  "libveriopt_rl.a"
+  "libveriopt_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veriopt_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smt/BVExpr.cpp" "src/CMakeFiles/veriopt_smt.dir/smt/BVExpr.cpp.o" "gcc" "src/CMakeFiles/veriopt_smt.dir/smt/BVExpr.cpp.o.d"
+  "/root/repo/src/smt/BitBlaster.cpp" "src/CMakeFiles/veriopt_smt.dir/smt/BitBlaster.cpp.o" "gcc" "src/CMakeFiles/veriopt_smt.dir/smt/BitBlaster.cpp.o.d"
+  "/root/repo/src/smt/Sat.cpp" "src/CMakeFiles/veriopt_smt.dir/smt/Sat.cpp.o" "gcc" "src/CMakeFiles/veriopt_smt.dir/smt/Sat.cpp.o.d"
+  "/root/repo/src/smt/Solver.cpp" "src/CMakeFiles/veriopt_smt.dir/smt/Solver.cpp.o" "gcc" "src/CMakeFiles/veriopt_smt.dir/smt/Solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/veriopt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veriopt_smt.dir/smt/BVExpr.cpp.o"
+  "CMakeFiles/veriopt_smt.dir/smt/BVExpr.cpp.o.d"
+  "CMakeFiles/veriopt_smt.dir/smt/BitBlaster.cpp.o"
+  "CMakeFiles/veriopt_smt.dir/smt/BitBlaster.cpp.o.d"
+  "CMakeFiles/veriopt_smt.dir/smt/Sat.cpp.o"
+  "CMakeFiles/veriopt_smt.dir/smt/Sat.cpp.o.d"
+  "CMakeFiles/veriopt_smt.dir/smt/Solver.cpp.o"
+  "CMakeFiles/veriopt_smt.dir/smt/Solver.cpp.o.d"
+  "libveriopt_smt.a"
+  "libveriopt_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veriopt_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veriopt_support.dir/support/APInt64.cpp.o"
+  "CMakeFiles/veriopt_support.dir/support/APInt64.cpp.o.d"
+  "CMakeFiles/veriopt_support.dir/support/RNG.cpp.o"
+  "CMakeFiles/veriopt_support.dir/support/RNG.cpp.o.d"
+  "CMakeFiles/veriopt_support.dir/support/Stats.cpp.o"
+  "CMakeFiles/veriopt_support.dir/support/Stats.cpp.o.d"
+  "libveriopt_support.a"
+  "libveriopt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veriopt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veriopt_textgen.dir/textgen/Bleu.cpp.o"
+  "CMakeFiles/veriopt_textgen.dir/textgen/Bleu.cpp.o.d"
+  "libveriopt_textgen.a"
+  "libveriopt_textgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veriopt_textgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

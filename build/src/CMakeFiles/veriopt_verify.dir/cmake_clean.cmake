@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veriopt_verify.dir/verify/AliveLite.cpp.o"
+  "CMakeFiles/veriopt_verify.dir/verify/AliveLite.cpp.o.d"
+  "CMakeFiles/veriopt_verify.dir/verify/Encoder.cpp.o"
+  "CMakeFiles/veriopt_verify.dir/verify/Encoder.cpp.o.d"
+  "libveriopt_verify.a"
+  "libveriopt_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veriopt_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_fuzz_test.dir/ir/ParserFuzzTest.cpp.o"
+  "CMakeFiles/ir_fuzz_test.dir/ir/ParserFuzzTest.cpp.o.d"
+  "ir_fuzz_test"
+  "ir_fuzz_test.pdb"
+  "ir_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

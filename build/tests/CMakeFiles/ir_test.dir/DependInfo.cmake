@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ir/CFGTest.cpp" "tests/CMakeFiles/ir_test.dir/ir/CFGTest.cpp.o" "gcc" "tests/CMakeFiles/ir_test.dir/ir/CFGTest.cpp.o.d"
+  "/root/repo/tests/ir/CloneTest.cpp" "tests/CMakeFiles/ir_test.dir/ir/CloneTest.cpp.o" "gcc" "tests/CMakeFiles/ir_test.dir/ir/CloneTest.cpp.o.d"
+  "/root/repo/tests/ir/ParserTest.cpp" "tests/CMakeFiles/ir_test.dir/ir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/ir_test.dir/ir/ParserTest.cpp.o.d"
+  "/root/repo/tests/ir/PrinterTest.cpp" "tests/CMakeFiles/ir_test.dir/ir/PrinterTest.cpp.o" "gcc" "tests/CMakeFiles/ir_test.dir/ir/PrinterTest.cpp.o.d"
+  "/root/repo/tests/ir/TypeTest.cpp" "tests/CMakeFiles/ir_test.dir/ir/TypeTest.cpp.o" "gcc" "tests/CMakeFiles/ir_test.dir/ir/TypeTest.cpp.o.d"
+  "/root/repo/tests/ir/ValueTest.cpp" "tests/CMakeFiles/ir_test.dir/ir/ValueTest.cpp.o" "gcc" "tests/CMakeFiles/ir_test.dir/ir/ValueTest.cpp.o.d"
+  "/root/repo/tests/ir/VerifierTest.cpp" "tests/CMakeFiles/ir_test.dir/ir/VerifierTest.cpp.o" "gcc" "tests/CMakeFiles/ir_test.dir/ir/VerifierTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/veriopt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veriopt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_test.dir/ir/CFGTest.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/CFGTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/CloneTest.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/CloneTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/ParserTest.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/ParserTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/PrinterTest.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/PrinterTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/TypeTest.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/TypeTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/ValueTest.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/ValueTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/VerifierTest.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/VerifierTest.cpp.o.d"
+  "ir_test"
+  "ir_test.pdb"
+  "ir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

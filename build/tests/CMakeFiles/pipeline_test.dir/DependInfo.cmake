@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pipeline/EvaluationTest.cpp" "tests/CMakeFiles/pipeline_test.dir/pipeline/EvaluationTest.cpp.o" "gcc" "tests/CMakeFiles/pipeline_test.dir/pipeline/EvaluationTest.cpp.o.d"
+  "/root/repo/tests/pipeline/PipelineTest.cpp" "tests/CMakeFiles/pipeline_test.dir/pipeline/PipelineTest.cpp.o" "gcc" "tests/CMakeFiles/pipeline_test.dir/pipeline/PipelineTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/veriopt_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veriopt_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veriopt_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veriopt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veriopt_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veriopt_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veriopt_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veriopt_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veriopt_textgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veriopt_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veriopt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veriopt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_test.dir/smt/BVExprTest.cpp.o"
+  "CMakeFiles/smt_test.dir/smt/BVExprTest.cpp.o.d"
+  "CMakeFiles/smt_test.dir/smt/SatTest.cpp.o"
+  "CMakeFiles/smt_test.dir/smt/SatTest.cpp.o.d"
+  "CMakeFiles/smt_test.dir/smt/SolverTest.cpp.o"
+  "CMakeFiles/smt_test.dir/smt/SolverTest.cpp.o.d"
+  "smt_test"
+  "smt_test.pdb"
+  "smt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

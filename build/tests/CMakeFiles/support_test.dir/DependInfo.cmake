@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/APInt64Test.cpp" "tests/CMakeFiles/support_test.dir/support/APInt64Test.cpp.o" "gcc" "tests/CMakeFiles/support_test.dir/support/APInt64Test.cpp.o.d"
+  "/root/repo/tests/support/RNGTest.cpp" "tests/CMakeFiles/support_test.dir/support/RNGTest.cpp.o" "gcc" "tests/CMakeFiles/support_test.dir/support/RNGTest.cpp.o.d"
+  "/root/repo/tests/support/StatsTest.cpp" "tests/CMakeFiles/support_test.dir/support/StatsTest.cpp.o" "gcc" "tests/CMakeFiles/support_test.dir/support/StatsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/veriopt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textgen_test.dir/textgen/BleuTest.cpp.o"
+  "CMakeFiles/textgen_test.dir/textgen/BleuTest.cpp.o.d"
+  "textgen_test"
+  "textgen_test.pdb"
+  "textgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
