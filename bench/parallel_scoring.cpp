@@ -1,0 +1,106 @@
+//===- parallel_scoring.cpp - Rollout-scoring hot-path bench ---------------===//
+//
+// Measures the tentpole of the parallel-scoring PR: GRPO rollout scoring
+// (the verification-dominated hot path of runTrainingPipeline) serial vs.
+// threaded vs. memoized, and checks the determinism guarantee — identical
+// reward trajectories across all configurations. Reported in EXPERIMENTS.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "verify/VerifyCache.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace veriopt;
+using namespace veriopt::bench;
+
+namespace {
+
+struct RunResult {
+  std::vector<TrainLogEntry> Logs;
+  double ScoreWallMs = 0;
+  VerifyCache::Counters Cache;
+  unsigned FalsifyWins = 0;
+  uint64_t SolverConflicts = 0;
+};
+
+RunResult run(const Dataset &DS, unsigned Threads, size_t CacheCapacity,
+              unsigned Steps) {
+  RunResult Out;
+  RewritePolicyModel Model(presetQwen3B());
+  std::unique_ptr<VerifyCache> Cache;
+  if (CacheCapacity)
+    Cache = std::make_unique<VerifyCache>(CacheCapacity);
+
+  VerifyOptions V = PipelineOptions::trainVerifyDefaults();
+  GRPOOptions G;
+  G.Seed = 7;
+  G.Threads = Threads;
+  G.Cache = Cache.get();
+  GRPOTrainer Trainer(Model, makeAnswerReward(V, Cache.get()), G);
+  Out.Logs = Trainer.train(DS.Train, Steps);
+
+  for (const TrainLogEntry &E : Out.Logs) {
+    Out.ScoreWallMs += E.ScoreWallMs;
+    Out.FalsifyWins += E.FalsifyWins;
+    Out.SolverConflicts += E.SolverConflicts;
+  }
+  if (Cache)
+    Out.Cache = Cache->counters();
+  return Out;
+}
+
+bool sameTrajectory(const RunResult &A, const RunResult &B) {
+  if (A.Logs.size() != B.Logs.size())
+    return false;
+  for (size_t I = 0; I < A.Logs.size(); ++I)
+    if (A.Logs[I].MeanReward != B.Logs[I].MeanReward ||
+        A.Logs[I].EquivalentRate != B.Logs[I].EquivalentRate ||
+        A.Logs[I].CopyRate != B.Logs[I].CopyRate ||
+        A.Logs[I].GradNorm != B.Logs[I].GradNorm)
+      return false;
+  return true;
+}
+
+void row(const char *Name, const RunResult &R, double BaselineMs) {
+  std::printf("%-28s %9.1f ms   %5.2fx   hit-rate %5.1f%%   falsify-wins "
+              "%4u   conflicts %8llu\n",
+              Name, R.ScoreWallMs, BaselineMs / R.ScoreWallMs,
+              100.0 * R.Cache.hitRate(), R.FalsifyWins,
+              static_cast<unsigned long long>(R.SolverConflicts));
+}
+
+} // namespace
+
+int main() {
+  header("Rollout-scoring wall clock: serial vs. threads vs. verify cache",
+         "the PR-1 tentpole; not a paper figure");
+
+  DatasetOptions D;
+  D.TrainCount = 16 * scale();
+  D.ValidCount = 0;
+  D.Seed = 2026;
+  Dataset DS = buildDataset(D);
+  unsigned Steps = 30 * scale();
+  std::printf("corpus %zu prompts, %u steps, group 8 x 4 prompts/step\n\n",
+              DS.Train.size(), Steps);
+
+  RunResult Serial = run(DS, /*Threads=*/1, /*CacheCapacity=*/0, Steps);
+  RunResult Cached = run(DS, /*Threads=*/1, /*CacheCapacity=*/4096, Steps);
+  RunResult Threaded = run(DS, /*Threads=*/4, /*CacheCapacity=*/0, Steps);
+  RunResult Both = run(DS, /*Threads=*/4, /*CacheCapacity=*/4096, Steps);
+
+  row("serial, no cache", Serial, Serial.ScoreWallMs);
+  row("serial + cache", Cached, Serial.ScoreWallMs);
+  row("4 threads, no cache", Threaded, Serial.ScoreWallMs);
+  row("4 threads + cache", Both, Serial.ScoreWallMs);
+
+  bool Det = sameTrajectory(Serial, Cached) &&
+             sameTrajectory(Serial, Threaded) && sameTrajectory(Serial, Both);
+  std::printf("\ndeterminism (identical reward/equivalence trajectories "
+              "across all configs): %s\n",
+              Det ? "OK" : "VIOLATED");
+  return Det ? 0 : 1;
+}

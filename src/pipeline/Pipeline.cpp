@@ -4,9 +4,9 @@
 
 namespace veriopt {
 
-RewardFn makeAnswerReward(const VerifyOptions &VOpts) {
-  return [VOpts](const Sample &S, Completion &C) {
-    RewardBreakdown B = answerReward(S, C, VOpts);
+RewardFn makeAnswerReward(const VerifyOptions &VOpts, VerifyCache *Cache) {
+  return [VOpts, Cache](const Sample &S, Completion &C) {
+    RewardBreakdown B = answerReward(S, C, VOpts, Cache);
     RolloutScore Score;
     Score.Reward = B.Total;
     Score.Equivalent = B.Equivalent;
@@ -17,10 +17,10 @@ RewardFn makeAnswerReward(const VerifyOptions &VOpts) {
   };
 }
 
-RewardFn makeCorrectnessReward(const VerifyOptions &VOpts) {
-  return [VOpts](const Sample &S, Completion &C) {
-    RewardBreakdown B = answerReward(S, C, VOpts);
-    VerifyResult AttemptV = verifyAttempt(S, C, VOpts);
+RewardFn makeCorrectnessReward(const VerifyOptions &VOpts, VerifyCache *Cache) {
+  return [VOpts, Cache](const Sample &S, Completion &C) {
+    RewardBreakdown B = answerReward(S, C, VOpts, Cache);
+    VerifyResult AttemptV = verifyAttempt(S, C, VOpts, Cache);
     RolloutScore Score;
     Score.Reward = B.Total + cotReward(C, AttemptV);
     Score.Equivalent = B.Equivalent;
@@ -32,9 +32,9 @@ RewardFn makeCorrectnessReward(const VerifyOptions &VOpts) {
 }
 
 RewardFn makeLatencyReward(const VerifyOptions &VOpts,
-                           const LatencyRewardParams &P) {
-  return [VOpts, P](const Sample &S, Completion &C) {
-    RewardBreakdown B = answerReward(S, C, VOpts);
+                           const LatencyRewardParams &P, VerifyCache *Cache) {
+  return [VOpts, P, Cache](const Sample &S, Completion &C) {
+    RewardBreakdown B = answerReward(S, C, VOpts, Cache);
     RolloutScore Score;
     // Eq. (4): equivalence-gated shaped speedup. Alive2 stays in the loop
     // as the gate even though the instcombine labels are gone.
@@ -47,23 +47,48 @@ RewardFn makeLatencyReward(const VerifyOptions &VOpts,
   };
 }
 
+static void foldStageLog(PipelineArtifacts &Art,
+                         const std::vector<TrainLogEntry> &Log) {
+  for (const TrainLogEntry &E : Log) {
+    Art.ScoreWallMs += E.ScoreWallMs;
+    Art.FalsifyWins += E.FalsifyWins;
+    Art.SolverConflicts += E.SolverConflicts;
+  }
+}
+
 PipelineArtifacts runTrainingPipeline(const Dataset &DS,
                                       const PipelineOptions &Opts) {
   PipelineArtifacts Art;
   Art.Base = std::make_unique<RewritePolicyModel>(Opts.BaseModel);
   Art.UMax = computeUMax(DS.Train);
 
+  // One scoring pool and one verification memo serve all three GRPO stages
+  // (the cache key carries the budget, so sharing across stages is sound).
+  ThreadPool Pool(Opts.Threads);
+  std::unique_ptr<VerifyCache> Cache;
+  if (Opts.VerifyCacheCapacity)
+    Cache = std::make_unique<VerifyCache>(Opts.VerifyCacheCapacity);
+
+  GRPOOptions GBase = Opts.GRPO;
+  GBase.Threads = Opts.Threads;
+  GBase.Pool = &Pool;
+  GBase.Cache = Cache.get();
+
   //===--- Stage 1: MODEL-ZERO + diagnostic-augmented sample harvesting ----===//
 
   Art.ModelZero = std::make_unique<RewritePolicyModel>(Opts.BaseModel);
   {
-    // Wrap the answer reward so every failed rollout becomes a
-    // correction-augmented sample (wrong attempt, Alive verdict class,
-    // oracle target) — the model-adaptive dataset of §III-C1.
-    RewardFn Inner = makeAnswerReward(Opts.TrainVerify);
+    GRPOOptions G = GBase;
+    G.Mode = PromptMode::Generic;
+    G.Seed = Opts.Seed * 3 + 1;
+    // Every failed rollout becomes a correction-augmented sample (wrong
+    // attempt, Alive verdict class, oracle target) — the model-adaptive
+    // dataset of §III-C1. The harvest runs in the sequential OnRollout hook,
+    // not inside the reward, so the SFT set is identical at any thread
+    // count (and needs no locking).
     RewritePolicyModel *Zero = Art.ModelZero.get();
-    auto Harvest = [&Art, Inner, Zero](const Sample &S, Completion &C) {
-      RolloutScore Score = Inner(S, C);
+    G.OnRollout = [&Art, Zero](const Sample &S, const Completion &C,
+                               const RolloutScore &Score) {
       bool Failed = Score.AnswerVerify.Status == VerifyStatus::SyntaxError ||
                     Score.AnswerVerify.Status == VerifyStatus::NotEquivalent;
       // Cap harvesting so a few hard prompts do not dominate the SFT set.
@@ -77,12 +102,9 @@ PipelineArtifacts runTrainingPipeline(const Dataset &DS,
         Art.Augmented.push_back(std::move(Ex));
         ++Art.CorrectionSamples;
       }
-      return Score;
     };
-    GRPOOptions G = Opts.GRPO;
-    G.Mode = PromptMode::Generic;
-    G.Seed = Opts.Seed * 3 + 1;
-    GRPOTrainer Trainer(*Art.ModelZero, Harvest, G);
+    GRPOTrainer Trainer(*Art.ModelZero,
+                        makeAnswerReward(Opts.TrainVerify, Cache.get()), G);
     Art.Stage1Log = Trainer.train(DS.Train, Opts.Stage1Steps);
   }
 
@@ -111,11 +133,12 @@ PipelineArtifacts runTrainingPipeline(const Dataset &DS,
 
   Art.Correctness = std::make_unique<RewritePolicyModel>(*Art.WarmUp);
   {
-    GRPOOptions G = Opts.GRPO;
+    GRPOOptions G = GBase;
     G.Mode = PromptMode::Augmented;
     G.Seed = Opts.Seed * 7 + 3;
-    GRPOTrainer Trainer(*Art.Correctness,
-                        makeCorrectnessReward(Opts.TrainVerify), G);
+    GRPOTrainer Trainer(
+        *Art.Correctness,
+        makeCorrectnessReward(Opts.TrainVerify, Cache.get()), G);
     Art.Stage2Log = Trainer.train(DS.Train, Opts.Stage2Steps);
   }
 
@@ -125,14 +148,25 @@ PipelineArtifacts runTrainingPipeline(const Dataset &DS,
   {
     LatencyRewardParams P;
     P.UMax = Art.UMax;
-    GRPOOptions G = Opts.GRPO;
+    GRPOOptions G = GBase;
     G.Mode = PromptMode::Generic; // the <think> section is dropped (§III-C3)
     G.Temperature = Opts.Stage3Temperature;
     G.LearningRate = Opts.Stage3LearningRate;
     G.Seed = Opts.Seed * 11 + 4;
-    GRPOTrainer Trainer(*Art.Latency, makeLatencyReward(Opts.TrainVerify, P),
+    GRPOTrainer Trainer(*Art.Latency,
+                        makeLatencyReward(Opts.TrainVerify, P, Cache.get()),
                         G);
     Art.Stage3Log = Trainer.train(DS.Train, Opts.Stage3Steps);
+  }
+
+  foldStageLog(Art, Art.Stage1Log);
+  foldStageLog(Art, Art.Stage2Log);
+  foldStageLog(Art, Art.Stage3Log);
+  if (Cache) {
+    VerifyCache::Counters C = Cache->counters();
+    Art.VerifyCacheHits = C.Hits;
+    Art.VerifyCacheMisses = C.Misses;
+    Art.VerifyCacheEvictions = C.Evictions;
   }
 
   return Art;

@@ -48,6 +48,14 @@ struct PipelineOptions {
   VerifyOptions TrainVerify = trainVerifyDefaults();
   uint64_t Seed = 2026;
 
+  /// Rollout-scoring worker threads, shared by all three GRPO stages.
+  /// Generation stays sequential, so results are bit-identical at any
+  /// setting (see GRPOOptions::Threads).
+  unsigned Threads = 1;
+  /// Verify-memo capacity in entries; 0 disables the cache. The cache is
+  /// shared across stages (keys carry the full verification budget).
+  size_t VerifyCacheCapacity = 4096;
+
   static VerifyOptions trainVerifyDefaults() {
     VerifyOptions V;
     V.FalsifyTrials = 12;
@@ -73,6 +81,14 @@ struct PipelineArtifacts {
   unsigned CorrectionSamples = 0;
   unsigned FirstTimeSamples = 0;
   double UMax = 3.0;
+
+  // Verifier-cost instrumentation, aggregated over all GRPO stages.
+  double ScoreWallMs = 0;         ///< total rollout-scoring wall time
+  uint64_t VerifyCacheHits = 0;   ///< across the shared verify cache
+  uint64_t VerifyCacheMisses = 0;
+  uint64_t VerifyCacheEvictions = 0;
+  unsigned FalsifyWins = 0;       ///< counterexamples found pre-SMT
+  uint64_t SolverConflicts = 0;   ///< total CDCL conflicts spent scoring
 };
 
 /// Run the full pipeline over \p DS (built by the caller so benches can
@@ -80,15 +96,20 @@ struct PipelineArtifacts {
 PipelineArtifacts runTrainingPipeline(const Dataset &DS,
                                       const PipelineOptions &Opts);
 
-/// Stage-1 style reward (Eq. 1) bound to a verification budget.
-RewardFn makeAnswerReward(const VerifyOptions &VOpts);
+/// Stage-1 style reward (Eq. 1) bound to a verification budget. A non-null
+/// \p Cache memoizes verification; all factories produce thread-safe
+/// functions suitable for parallel scoring.
+RewardFn makeAnswerReward(const VerifyOptions &VOpts,
+                          VerifyCache *Cache = nullptr);
 
 /// Stage-2 reward: Eq. (1) on the answer plus Eq. (2) on the think section.
-RewardFn makeCorrectnessReward(const VerifyOptions &VOpts);
+RewardFn makeCorrectnessReward(const VerifyOptions &VOpts,
+                               VerifyCache *Cache = nullptr);
 
 /// Stage-3 reward: Eq. (4) with the given parameters.
 RewardFn makeLatencyReward(const VerifyOptions &VOpts,
-                           const LatencyRewardParams &P);
+                           const LatencyRewardParams &P,
+                           VerifyCache *Cache = nullptr);
 
 } // namespace veriopt
 

@@ -4,6 +4,7 @@
 
 #include "cost/CostModel.h"
 #include "ir/Parser.h"
+#include "ir/Printer.h"
 #include "support/Stats.h"
 #include "textgen/Bleu.h"
 
@@ -12,14 +13,29 @@
 
 namespace veriopt {
 
+/// A copy that has been re-wrapped in whitespace or renumbered values must
+/// still count as a copy, or the copy penalty / CopyRate stat is evaded by
+/// cosmetic edits. Compare canonically re-printed IR; fall back to the raw
+/// byte compare when the answer does not parse.
+static bool isCopyOfSource(const Sample &S, const std::string &AnswerIR) {
+  if (AnswerIR == S.SrcText)
+    return true;
+  auto M = parseModule(AnswerIR);
+  if (!M || !M.value()->getMainFunction())
+    return false;
+  return printFunction(*M.value()->getMainFunction()) ==
+         printFunction(*S.source());
+}
+
 RewardBreakdown answerReward(const Sample &S, const Completion &C,
-                             const VerifyOptions &VOpts) {
+                             const VerifyOptions &VOpts, VerifyCache *Cache) {
   RewardBreakdown Out;
   Out.FormatOk = C.FormatOk;
-  Out.IsCopy = C.AnswerIR == S.SrcText;
+  Out.IsCopy = isCopyOfSource(S, C.AnswerIR);
 
   if (Out.FormatOk) {
-    Out.Verify = verifyCandidateText(*S.source(), C.AnswerIR, VOpts);
+    Out.Verify = Cache ? Cache->verify(S.SrcText, *S.source(), C.AnswerIR, VOpts)
+                       : verifyCandidateText(*S.source(), C.AnswerIR, VOpts);
     Out.Equivalent = Out.Verify.equivalent();
   } else {
     Out.Verify.Status = VerifyStatus::SyntaxError;
@@ -37,7 +53,9 @@ RewardBreakdown answerReward(const Sample &S, const Completion &C,
 }
 
 VerifyResult verifyAttempt(const Sample &S, const Completion &C,
-                           const VerifyOptions &VOpts) {
+                           const VerifyOptions &VOpts, VerifyCache *Cache) {
+  if (Cache)
+    return Cache->verify(S.SrcText, *S.source(), C.ThinkAttemptIR, VOpts);
   return verifyCandidateText(*S.source(), C.ThinkAttemptIR, VOpts);
 }
 
@@ -56,10 +74,14 @@ double latencyReward(const Sample &S, const Completion &C, bool Equivalent,
                      const LatencyRewardParams &P) {
   if (!Equivalent)
     return 0.0; // S = 0
+  if (P.UMax <= 1.0)
+    return 0.0; // saturation band is empty: Eq. (4) would divide by zero
   auto M = parseModule(C.AnswerIR);
   if (!M || !M.value()->getMainFunction())
     return 0.0;
   double T0 = estimateLatency(*S.source());
+  if (T0 <= 0)
+    return 0.0; // zero-latency source: no speedup is expressible
   double T1 = estimateLatency(*M.value()->getMainFunction());
   if (T1 <= 0)
     T1 = 0.5; // fully-folded function: credit the maximum

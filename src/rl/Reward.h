@@ -18,6 +18,7 @@
 #include "data/Dataset.h"
 #include "model/Policy.h"
 #include "verify/AliveLite.h"
+#include "verify/VerifyCache.h"
 
 namespace veriopt {
 
@@ -34,9 +35,11 @@ struct RewardBreakdown {
 };
 
 /// Evaluate Eq. (1) for a completion's answer against the sample's source
-/// and reference.
+/// and reference. A non-null \p Cache memoizes the verification (the GRPO
+/// hot path); results are identical with or without it.
 RewardBreakdown answerReward(const Sample &S, const Completion &C,
-                             const VerifyOptions &VOpts = VerifyOptions());
+                             const VerifyOptions &VOpts = VerifyOptions(),
+                             VerifyCache *Cache = nullptr);
 
 /// Eq. (2): 1 when model and Alive agree the think-attempt verifies;
 /// 0.5 + 0.5*BLEU(model message, alive message) when both agree it fails;
@@ -45,7 +48,8 @@ double cotReward(const Completion &C, const VerifyResult &AttemptVerify);
 
 /// Verify the <think> attempt of an augmented completion.
 VerifyResult verifyAttempt(const Sample &S, const Completion &C,
-                           const VerifyOptions &VOpts = VerifyOptions());
+                           const VerifyOptions &VOpts = VerifyOptions(),
+                           VerifyCache *Cache = nullptr);
 
 struct LatencyRewardParams {
   double UMax = 3.0;   ///< saturation threshold (80th pct of reference)
@@ -53,7 +57,9 @@ struct LatencyRewardParams {
 };
 
 /// Eq. (3)/(4): 0 unless the answer is equivalent and strictly faster than
-/// the -O0 source; otherwise the shaped, saturated speedup.
+/// the -O0 source; otherwise the shaped, saturated speedup. Degenerate
+/// parameterizations (UMax <= 1, a zero-latency source) score 0 instead of
+/// dividing by zero.
 double latencyReward(const Sample &S, const Completion &C, bool Equivalent,
                      const LatencyRewardParams &P);
 

@@ -3,9 +3,16 @@
 #include "rl/Trainer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 namespace veriopt {
+
+/// Boost-style hash mixing for the per-rollout RNG derivation.
+static uint64_t mixSeed(uint64_t H, uint64_t V) {
+  H ^= V + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+  return H;
+}
 
 double clipGradient(std::vector<double> &Grad, double MaxNorm) {
   double Norm = 0;
@@ -22,7 +29,12 @@ double clipGradient(std::vector<double> &Grad, double MaxNorm) {
 
 GRPOTrainer::GRPOTrainer(RewritePolicyModel &Model, RewardFn Reward,
                          const GRPOOptions &Opts)
-    : Model(Model), Reward(std::move(Reward)), Opts(Opts), R(Opts.Seed) {}
+    : Model(Model), Reward(std::move(Reward)), Opts(Opts), R(Opts.Seed) {
+  if (this->Opts.Threads > 1 && !this->Opts.Pool) {
+    OwnedPool = std::make_unique<ThreadPool>(this->Opts.Threads);
+    this->Opts.Pool = OwnedPool.get();
+  }
+}
 
 TrainLogEntry GRPOTrainer::step(const std::vector<const Sample *> &Batch) {
   struct Rollout {
@@ -31,39 +43,72 @@ TrainLogEntry GRPOTrainer::step(const std::vector<const Sample *> &Batch) {
     RolloutScore Score;
     double Advantage = 0;
   };
+  const unsigned StepNo = ++StepCount;
   std::vector<Rollout> Rollouts;
   Rollouts.reserve(Batch.size() * Opts.GroupSize);
 
-  double RewardSum = 0;
-  unsigned EquivCount = 0, CopyCount = 0;
-  uint64_t TotalTokens = 0;
-
-  for (const Sample *S : Batch) {
-    size_t GroupStart = Rollouts.size();
+  // Phase 1: sequential generation. Each rollout draws from its own RNG,
+  // derived from (Seed, Step, PromptIdx, G) — never from a shared stream —
+  // so the sampled completions are a pure function of the options,
+  // independent of scoring order and thread count.
+  for (unsigned PromptIdx = 0; PromptIdx < Batch.size(); ++PromptIdx) {
+    const Sample *S = Batch[PromptIdx];
     for (unsigned G = 0; G < Opts.GroupSize; ++G) {
       Rollout Ro;
       Ro.S = S;
-      Ro.C = Model.generate(*S->source(), Opts.Mode, R, /*Greedy=*/false,
+      RNG RoR(mixSeed(mixSeed(mixSeed(Opts.Seed, StepNo), PromptIdx), G));
+      Ro.C = Model.generate(*S->source(), Opts.Mode, RoR, /*Greedy=*/false,
                             Opts.Temperature);
-      Ro.Score = Reward(*S, Ro.C);
-      RewardSum += Ro.Score.Reward;
-      EquivCount += Ro.Score.Equivalent;
-      CopyCount += Ro.Score.IsCopy;
-      TotalTokens += Ro.C.TokenCount;
       Rollouts.push_back(std::move(Ro));
     }
-    // Group-relative advantages.
+  }
+
+  // Phase 2: scoring — the verification-dominated hot path — fans out over
+  // the pool. Each task writes only its own rollout's Score slot, so the
+  // result is identical to the serial loop.
+  VerifyCache::Counters Before;
+  if (Opts.Cache)
+    Before = Opts.Cache->counters();
+  auto ScoreStart = std::chrono::steady_clock::now();
+  auto ScoreOne = [&](size_t I) {
+    Rollouts[I].Score = Reward(*Rollouts[I].S, Rollouts[I].C);
+  };
+  if (Opts.Pool && Opts.Threads > 1)
+    Opts.Pool->parallelFor(Rollouts.size(), ScoreOne);
+  else
+    for (size_t I = 0; I < Rollouts.size(); ++I)
+      ScoreOne(I);
+  auto ScoreEnd = std::chrono::steady_clock::now();
+
+  double RewardSum = 0;
+  unsigned EquivCount = 0, CopyCount = 0, FalsifyWins = 0;
+  uint64_t TotalTokens = 0, Conflicts = 0;
+  for (const Rollout &Ro : Rollouts) {
+    RewardSum += Ro.Score.Reward;
+    EquivCount += Ro.Score.Equivalent;
+    CopyCount += Ro.Score.IsCopy;
+    TotalTokens += Ro.C.TokenCount;
+    FalsifyWins += Ro.Score.AnswerVerify.FoundByFalsification;
+    Conflicts += Ro.Score.AnswerVerify.SolverConflicts;
+    if (Opts.OnRollout)
+      Opts.OnRollout(*Ro.S, Ro.C, Ro.Score);
+  }
+
+  // Group-relative advantages.
+  for (size_t GroupStart = 0; GroupStart < Rollouts.size();
+       GroupStart += Opts.GroupSize) {
+    size_t GroupEnd = GroupStart + Opts.GroupSize;
     double Mean = 0;
-    for (size_t I = GroupStart; I < Rollouts.size(); ++I)
+    for (size_t I = GroupStart; I < GroupEnd; ++I)
       Mean += Rollouts[I].Score.Reward;
     Mean /= Opts.GroupSize;
     double Var = 0;
-    for (size_t I = GroupStart; I < Rollouts.size(); ++I) {
+    for (size_t I = GroupStart; I < GroupEnd; ++I) {
       double D = Rollouts[I].Score.Reward - Mean;
       Var += D * D;
     }
     double Std = std::sqrt(Var / Opts.GroupSize);
-    for (size_t I = GroupStart; I < Rollouts.size(); ++I)
+    for (size_t I = GroupStart; I < GroupEnd; ++I)
       Rollouts[I].Advantage =
           (Rollouts[I].Score.Reward - Mean) / (Std + 1e-4);
   }
@@ -95,11 +140,23 @@ TrainLogEntry GRPOTrainer::step(const std::vector<const Sample *> &Batch) {
     Model.params()[I] += Opts.LearningRate * Grad[I]; // single update, no KL
 
   unsigned N = static_cast<unsigned>(Rollouts.size());
-  Log.Step = ++StepCount;
+  Log.Step = StepNo;
   Log.MeanReward = N ? RewardSum / N : 0;
   Log.EMAReward = Smoother.push(Log.MeanReward);
   Log.EquivalentRate = N ? static_cast<double>(EquivCount) / N : 0;
   Log.CopyRate = N ? static_cast<double>(CopyCount) / N : 0;
+  Log.ScoreWallMs =
+      std::chrono::duration<double, std::milli>(ScoreEnd - ScoreStart)
+          .count();
+  if (Opts.Cache) {
+    VerifyCache::Counters After = Opts.Cache->counters();
+    uint64_t Lookups = After.lookups() - Before.lookups();
+    Log.CacheHitRate =
+        Lookups ? static_cast<double>(After.Hits - Before.Hits) / Lookups
+                : 0.0;
+  }
+  Log.FalsifyWins = FalsifyWins;
+  Log.SolverConflicts = Conflicts;
   return Log;
 }
 

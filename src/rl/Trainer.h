@@ -15,6 +15,7 @@
 
 #include "rl/Reward.h"
 #include "support/Stats.h"
+#include "support/ThreadPool.h"
 
 #include <functional>
 
@@ -29,8 +30,19 @@ struct RolloutScore {
   VerifyResult AnswerVerify;
 };
 
-/// Stage-specific reward: (sample, completion) -> score.
+/// Stage-specific reward: (sample, completion) -> score. Scoring fans out
+/// over a thread pool when GRPOOptions::Threads > 1, so the function must
+/// be safe to call concurrently on distinct completions (shared state needs
+/// its own synchronization — or better, use GRPOOptions::OnRollout, which
+/// runs sequentially).
 using RewardFn = std::function<RolloutScore(const Sample &, Completion &)>;
+
+/// Sequential per-rollout observer, invoked after the (possibly parallel)
+/// scoring phase in deterministic rollout order. The place for stateful
+/// consumers like the stage-1 sample harvester: it sees every rollout
+/// exactly once, in the same order at any thread count.
+using RolloutHook = std::function<void(const Sample &, const Completion &,
+                                       const RolloutScore &)>;
 
 struct GRPOOptions {
   unsigned GroupSize = 8;      ///< candidates per prompt (the "group")
@@ -40,9 +52,23 @@ struct GRPOOptions {
   double ClipNorm = 4.0; ///< global L2 gradient clip (replaces KL)
   PromptMode Mode = PromptMode::Generic;
   uint64_t Seed = 11;
+
+  /// Rollout-scoring parallelism. Generation stays sequential (each rollout
+  /// draws from an RNG derived from (Seed, Step, PromptIdx, G)), so the
+  /// trained model and the log's reward/equivalence values are bit-identical
+  /// at any thread count.
+  unsigned Threads = 1;
+  /// Shared scoring pool; when null and Threads > 1 the trainer owns one.
+  ThreadPool *Pool = nullptr;
+  /// Verification memo consulted by the reward (via the reward factories);
+  /// referenced here only to report per-step hit rates in the log.
+  VerifyCache *Cache = nullptr;
+  /// Optional sequential observer of every scored rollout.
+  RolloutHook OnRollout;
 };
 
-/// One training-step log record (drives the Fig. 4 curves).
+/// One training-step log record (drives the Fig. 4 curves, plus the
+/// verifier-cost instrumentation for the parallel scoring path).
 struct TrainLogEntry {
   unsigned Step = 0;
   double MeanReward = 0;
@@ -50,6 +76,13 @@ struct TrainLogEntry {
   double EquivalentRate = 0;
   double CopyRate = 0;
   double GradNorm = 0;
+
+  // Scoring-phase instrumentation (not part of the determinism guarantee:
+  // wall time and hit rate depend on thread count and cache history).
+  double ScoreWallMs = 0;       ///< wall time of the scoring phase
+  double CacheHitRate = 0;      ///< verify-cache hits / lookups this step
+  unsigned FalsifyWins = 0;     ///< counterexamples found pre-SMT
+  uint64_t SolverConflicts = 0; ///< CDCL conflicts spent this step
 };
 
 /// Group Relative Policy Optimization over a fixed prompt set.
@@ -73,6 +106,7 @@ private:
   RNG R;
   unsigned StepCount = 0;
   EMA Smoother{0.95};
+  std::unique_ptr<ThreadPool> OwnedPool; ///< when Threads > 1 and no Pool
 };
 
 //===--- SFT -----------------------------------------------------------------//

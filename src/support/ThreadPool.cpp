@@ -1,0 +1,76 @@
+//===- ThreadPool.cpp - Fixed-size worker pool --------------------------------//
+
+#include "support/ThreadPool.h"
+
+namespace veriopt {
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  for (unsigned I = 1; I < Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> L(M);
+    Shutdown = true;
+  }
+  WorkCV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::runJob(Job &J) {
+  for (size_t I = J.Next.fetch_add(1); I < J.Size; I = J.Next.fetch_add(1)) {
+    (*J.Fn)(I);
+    if (J.Done.fetch_add(1) + 1 == J.Size) {
+      // Take the lock so the notification cannot race ahead of the
+      // submitter's predicate check.
+      std::lock_guard<std::mutex> L(M);
+      DoneCV.notify_all();
+    }
+  }
+}
+
+void ThreadPool::workerLoop() {
+  std::shared_ptr<Job> Last;
+  while (true) {
+    std::shared_ptr<Job> J;
+    {
+      std::unique_lock<std::mutex> L(M);
+      WorkCV.wait(L, [&] { return Shutdown || (Current && Current != Last); });
+      if (Shutdown)
+        return;
+      J = Current;
+      Last = J; // keeps the allocation alive: no ABA on the pointer compare
+    }
+    runJob(*J);
+  }
+}
+
+void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  if (Workers.empty() || N == 1) {
+    for (size_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+
+  std::lock_guard<std::mutex> SL(SubmitM);
+  auto J = std::make_shared<Job>();
+  J->Fn = &Fn;
+  J->Size = N;
+  {
+    std::lock_guard<std::mutex> L(M);
+    Current = J;
+  }
+  WorkCV.notify_all();
+
+  runJob(*J); // the submitter is a full participant
+
+  std::unique_lock<std::mutex> L(M);
+  DoneCV.wait(L, [&] { return J->Done.load() == J->Size; });
+  Current = nullptr;
+}
+
+} // namespace veriopt

@@ -1,0 +1,77 @@
+//===- ThreadPool.h - Fixed-size worker pool ---------------------*- C++ -*-=//
+//
+// A small fixed worker pool with a parallelFor-style API, built for the
+// GRPO rollout-scoring hot path: one pool lives for a whole training run,
+// each step submits one index-space job, and the submitting thread
+// participates so Threads == 1 degenerates to a plain serial loop with no
+// synchronization cost.
+//
+// Scheduling is dynamic (atomic index claiming), so uneven per-item cost —
+// verification times vary by orders of magnitude between a cache hit and a
+// SAT call — still load-balances. Work items must not throw and must not
+// call back into the same pool (jobs are not reentrant).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_SUPPORT_THREADPOOL_H
+#define VERIOPT_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace veriopt {
+
+class ThreadPool {
+public:
+  /// Spawn \p Threads - 1 workers (the caller of parallelFor is the last
+  /// "thread"). Threads <= 1 spawns nothing and parallelFor runs inline.
+  explicit ThreadPool(unsigned Threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total degree of parallelism (workers + the submitting thread).
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Workers.size()) + 1;
+  }
+
+  /// Run Fn(I) for every I in [0, N), distributing indices across the pool.
+  /// Blocks until all N calls have returned. Indices are claimed
+  /// dynamically; no ordering between items may be assumed. Safe to call
+  /// from several threads (submissions serialize).
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
+
+private:
+  /// One submitted index-space job. Workers hold shared_ptr copies, so a
+  /// straggler waking after completion sees an exhausted Next counter
+  /// instead of a recycled job.
+  struct Job {
+    const std::function<void(size_t)> *Fn = nullptr;
+    size_t Size = 0;
+    std::atomic<size_t> Next{0};
+    std::atomic<size_t> Done{0};
+  };
+
+  void workerLoop();
+  void runJob(Job &J);
+
+  std::mutex M;
+  std::condition_variable WorkCV; ///< workers: a new job was posted
+  std::condition_variable DoneCV; ///< submitter: all items completed
+  std::shared_ptr<Job> Current;   ///< under M; null when idle
+  bool Shutdown = false;          ///< under M
+
+  std::mutex SubmitM; ///< serializes concurrent parallelFor calls
+  std::vector<std::thread> Workers;
+};
+
+} // namespace veriopt
+
+#endif // VERIOPT_SUPPORT_THREADPOOL_H

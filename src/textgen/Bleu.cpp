@@ -5,7 +5,9 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <map>
+#include <unordered_map>
 
 namespace veriopt {
 
@@ -50,6 +52,75 @@ std::vector<std::string> tokenizeIR(const std::string &Text) {
   return Out;
 }
 
+namespace {
+
+/// Intern a token stream against a shared vocabulary, so n-grams can be
+/// compared as integers instead of string vectors.
+std::vector<uint32_t> internTokens(const std::vector<std::string> &Tokens,
+                                   std::unordered_map<std::string, uint32_t> &Vocab) {
+  std::vector<uint32_t> Ids;
+  Ids.reserve(Tokens.size());
+  for (const std::string &T : Tokens)
+    Ids.push_back(Vocab.emplace(T, static_cast<uint32_t>(Vocab.size())).first->second);
+  return Ids;
+}
+
+/// Clipped n-gram matches of Cand against Ref, where each n-gram is packed
+/// into one uint64 (16 bits per interned token id). Requires vocab < 2^16
+/// and N <= 4.
+int clippedMatchesPacked(const std::vector<uint32_t> &Ref,
+                         const std::vector<uint32_t> &Cand, unsigned N) {
+  std::unordered_map<uint64_t, int> RefCounts;
+  RefCounts.reserve(Ref.size());
+  uint64_t Mask = N >= 4 ? ~uint64_t(0) : ((uint64_t(1) << (16 * N)) - 1);
+  if (Ref.size() >= N) {
+    uint64_t G = 0;
+    for (size_t I = 0; I < Ref.size(); ++I) {
+      G = ((G << 16) | Ref[I]) & Mask;
+      if (I + 1 >= N)
+        ++RefCounts[G];
+    }
+  }
+  int Matched = 0;
+  if (Cand.size() >= N) {
+    uint64_t G = 0;
+    for (size_t I = 0; I < Cand.size(); ++I) {
+      G = ((G << 16) | Cand[I]) & Mask;
+      if (I + 1 < N)
+        continue;
+      auto It = RefCounts.find(G);
+      if (It != RefCounts.end() && It->second > 0) {
+        --It->second; // clip: each reference occurrence matches once
+        ++Matched;
+      }
+    }
+  }
+  return Matched;
+}
+
+/// Exact fallback for pathologically large vocabularies (>= 2^16 distinct
+/// tokens) or N > 4, where n-grams no longer pack into a uint64.
+int clippedMatchesGeneric(const std::vector<std::string> &Ref,
+                          const std::vector<std::string> &Cand, unsigned N) {
+  std::map<std::vector<std::string>, int> RefCounts;
+  if (Ref.size() >= N)
+    for (size_t I = 0; I + N <= Ref.size(); ++I)
+      ++RefCounts[std::vector<std::string>(Ref.begin() + I, Ref.begin() + I + N)];
+  int Matched = 0;
+  if (Cand.size() >= N)
+    for (size_t I = 0; I + N <= Cand.size(); ++I) {
+      auto It = RefCounts.find(
+          std::vector<std::string>(Cand.begin() + I, Cand.begin() + I + N));
+      if (It != RefCounts.end() && It->second > 0) {
+        --It->second;
+        ++Matched;
+      }
+    }
+  return Matched;
+}
+
+} // namespace
+
 double bleu(const std::vector<std::string> &Reference,
             const std::vector<std::string> &Candidate, unsigned MaxN) {
   if (Candidate.empty())
@@ -57,28 +128,19 @@ double bleu(const std::vector<std::string> &Reference,
   if (Reference.empty())
     return 0.0;
 
+  std::unordered_map<std::string, uint32_t> Vocab;
+  std::vector<uint32_t> RefIds = internTokens(Reference, Vocab);
+  std::vector<uint32_t> CandIds = internTokens(Candidate, Vocab);
+  bool Packable = Vocab.size() < (1u << 16);
+
   double LogSum = 0;
   for (unsigned N = 1; N <= MaxN; ++N) {
-    // Clipped n-gram precision.
-    std::map<std::vector<std::string>, int> RefCounts;
-    if (Reference.size() >= N)
-      for (size_t I = 0; I + N <= Reference.size(); ++I)
-        ++RefCounts[std::vector<std::string>(Reference.begin() + I,
-                                             Reference.begin() + I + N)];
-    int Matched = 0;
-    int Total = 0;
-    std::map<std::vector<std::string>, int> Used;
-    if (Candidate.size() >= N)
-      for (size_t I = 0; I + N <= Candidate.size(); ++I) {
-        std::vector<std::string> Gram(Candidate.begin() + I,
-                                      Candidate.begin() + I + N);
-        ++Total;
-        auto It = RefCounts.find(Gram);
-        if (It != RefCounts.end() && Used[Gram] < It->second) {
-          ++Used[Gram];
-          ++Matched;
-        }
-      }
+    int Matched = Packable && N <= 4
+                      ? clippedMatchesPacked(RefIds, CandIds, N)
+                      : clippedMatchesGeneric(Reference, Candidate, N);
+    int Total = Candidate.size() >= N
+                    ? static_cast<int>(Candidate.size() - N + 1)
+                    : 0;
     double Precision;
     if (N == 1) {
       if (Total == 0 || Matched == 0)

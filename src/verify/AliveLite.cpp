@@ -92,12 +92,20 @@ bool callLogsMatch(const std::vector<CallEvent> &A,
   return true;
 }
 
-/// Random + adversarial inputs for the falsification pre-pass.
+/// Random + adversarial inputs for the falsification pre-pass. The first
+/// six sweeps are corner sweeps with a *per-argument* corner index
+/// (staggered by argument position, so mixed patterns like (0, 1) or
+/// (INT_MAX, all-ones) get tried, not just all-same-corner tuples); every
+/// later sweep is fully random.
 std::vector<APInt64> sampleArgs(const Function &F, RNG &R, unsigned Trial) {
   std::vector<APInt64> Args;
   for (unsigned I = 0; I < F.getNumParams(); ++I) {
     unsigned W = F.getParamType(I)->getBitWidth();
-    switch (Trial % 6) {
+    if (Trial >= 6) {
+      Args.push_back(APInt64(W, R.next()));
+      continue;
+    }
+    switch ((Trial + I) % 6) {
     case 0:
       Args.push_back(APInt64::zero(W));
       break;
@@ -118,10 +126,6 @@ std::vector<APInt64> sampleArgs(const Function &F, RNG &R, unsigned Trial) {
       break;
     }
   }
-  // Mix positions after the first few sweeps.
-  if (Trial >= 6)
-    for (auto &A : Args)
-      A = APInt64(A.width(), R.next());
   return Args;
 }
 

@@ -1,0 +1,121 @@
+//===- VerifyCache.cpp - Memoized candidate verification ----------------------//
+
+#include "verify/VerifyCache.h"
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+
+#include <sstream>
+
+namespace veriopt {
+
+std::string VerifyCache::makeKey(const std::string &SrcText,
+                                 const std::string &TgtText,
+                                 const VerifyOptions &Opts) {
+  // Canonical candidate text: parse, alpha-rename (drop all value/block
+  // names so the printer's sequential %N numbering takes over), and
+  // re-print — whitespace and naming variants of the same IR collapse to
+  // one entry. Parse failures key on the raw text (their result depends on
+  // it only through "unparseable").
+  std::string Canon;
+  if (auto M = parseModule(TgtText)) {
+    for (const auto &F : M.value()->functions()) {
+      for (unsigned I = 0; I < F->getNumParams(); ++I)
+        F->getArg(I)->setName("");
+      for (auto &BB : *F) {
+        BB->setName("");
+        for (auto &Inst : *BB)
+          Inst->setName("");
+      }
+    }
+    Canon = printModule(*M.value());
+  } else {
+    Canon = TgtText;
+  }
+
+  std::ostringstream OS;
+  OS << Opts.MaxPaths << '|' << Opts.MaxBlockVisitsPerPath << '|'
+     << Opts.MaxStepsPerPath << '|' << Opts.SolverConflictBudget << '|'
+     << Opts.StrictLoops << '|' << Opts.FalsifyTrials;
+  std::string Key = OS.str();
+  Key.push_back('\x1f');
+  Key += SrcText;
+  Key.push_back('\x1f');
+  Key += Canon;
+  return Key;
+}
+
+VerifyResult VerifyCache::verify(const std::string &SrcText,
+                                 const Function &Src,
+                                 const std::string &TgtText,
+                                 const VerifyOptions &Opts) {
+  std::string Key = makeKey(SrcText, TgtText, Opts);
+
+  std::shared_ptr<InFlight> Slot;
+  bool Owner = false;
+  {
+    std::lock_guard<std::mutex> L(M);
+    auto It = Index.find(Key);
+    if (It != Index.end()) {
+      LRU.splice(LRU.begin(), LRU, It->second); // touch
+      ++Stats.Hits;
+      return It->second->second;
+    }
+    auto PIt = Pending.find(Key);
+    if (PIt != Pending.end()) {
+      Slot = PIt->second; // join the in-flight computation
+      ++Stats.Hits;
+    } else {
+      Slot = std::make_shared<InFlight>();
+      Pending.emplace(Key, Slot);
+      Owner = true;
+      ++Stats.Misses;
+    }
+  }
+
+  if (!Owner) {
+    std::unique_lock<std::mutex> L(Slot->M);
+    Slot->ReadyCV.wait(L, [&] { return Slot->Ready; });
+    return Slot->Result;
+  }
+
+  VerifyResult Result = verifyCandidateText(Src, TgtText, Opts);
+
+  {
+    std::lock_guard<std::mutex> L(M);
+    LRU.emplace_front(Key, Result);
+    Index.emplace(std::move(Key), LRU.begin());
+    while (Capacity && LRU.size() > Capacity) {
+      Index.erase(LRU.back().first);
+      LRU.pop_back();
+      ++Stats.Evictions;
+    }
+    Pending.erase(LRU.front().first);
+  }
+  {
+    std::lock_guard<std::mutex> L(Slot->M);
+    Slot->Result = Result;
+    Slot->Ready = true;
+  }
+  Slot->ReadyCV.notify_all();
+  return Result;
+}
+
+VerifyCache::Counters VerifyCache::counters() const {
+  std::lock_guard<std::mutex> L(M);
+  return Stats;
+}
+
+size_t VerifyCache::size() const {
+  std::lock_guard<std::mutex> L(M);
+  return LRU.size();
+}
+
+void VerifyCache::clear() {
+  std::lock_guard<std::mutex> L(M);
+  LRU.clear();
+  Index.clear();
+  Stats = Counters();
+}
+
+} // namespace veriopt

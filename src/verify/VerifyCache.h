@@ -1,0 +1,89 @@
+//===- VerifyCache.h - Memoized candidate verification -----------*- C++ -*-=//
+//
+// A thread-safe LRU memo in front of verifyCandidateText for the GRPO
+// rollout-scoring hot path. GRPO's small action space makes many rollouts
+// in a group byte-identical (and the Copy action exactly reproduces the
+// prompt), so the same (source, candidate) pair is verified over and over;
+// one symbolic-encode + CDCL call can stand in for all of them.
+//
+// Keys are the source text plus the *canonically re-printed* candidate
+// (parse + print), so whitespace or value-numbering variants of the same IR
+// share an entry; unparseable candidates key on their raw text. The full
+// VerifyOptions budget is part of the key: results under different budgets
+// are never conflated, and a cached result is bit-identical to what a fresh
+// verifyCandidateText call would return (verification is deterministic).
+//
+// Concurrent lookups of the same key single-flight: the first caller
+// computes, the rest block on its result instead of burning duplicate SAT
+// time — exactly the shape of a GRPO group scored in parallel.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_VERIFY_VERIFYCACHE_H
+#define VERIOPT_VERIFY_VERIFYCACHE_H
+
+#include "verify/AliveLite.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace veriopt {
+
+class VerifyCache {
+public:
+  /// \p Capacity entries before LRU eviction. 0 means "unbounded".
+  explicit VerifyCache(size_t Capacity = 4096) : Capacity(Capacity) {}
+
+  /// Cached front door mirroring verifyCandidateText(Src, TgtText, Opts).
+  /// \p SrcText must be the printed form of \p Src (Sample::SrcText); it is
+  /// the cheap, stable half of the key.
+  VerifyResult verify(const std::string &SrcText, const Function &Src,
+                      const std::string &TgtText, const VerifyOptions &Opts);
+
+  struct Counters {
+    uint64_t Hits = 0;      ///< served from the memo (incl. in-flight joins)
+    uint64_t Misses = 0;    ///< paid a full verification
+    uint64_t Evictions = 0; ///< LRU entries dropped at capacity
+    uint64_t lookups() const { return Hits + Misses; }
+    double hitRate() const {
+      return lookups() ? static_cast<double>(Hits) / lookups() : 0.0;
+    }
+  };
+  Counters counters() const;
+
+  size_t size() const;
+  void clear();
+
+private:
+  /// Single-flight slot: the first thread to miss computes into it; joiners
+  /// wait on ReadyCV.
+  struct InFlight {
+    std::mutex M;
+    std::condition_variable ReadyCV;
+    bool Ready = false;
+    VerifyResult Result;
+  };
+
+  using LRUList = std::list<std::pair<std::string, VerifyResult>>;
+
+  static std::string makeKey(const std::string &SrcText,
+                             const std::string &TgtText,
+                             const VerifyOptions &Opts);
+
+  size_t Capacity;
+  mutable std::mutex M;
+  LRUList LRU; ///< front = most recently used
+  std::unordered_map<std::string, LRUList::iterator> Index;
+  std::map<std::string, std::shared_ptr<InFlight>> Pending;
+  Counters Stats;
+};
+
+} // namespace veriopt
+
+#endif // VERIOPT_VERIFY_VERIFYCACHE_H

@@ -33,7 +33,10 @@ struct PipelineFixture : public ::testing::Test {
       PipelineOptions P;
       P.Stage1Steps = 15;
       P.Stage2Steps = 25;
-      P.Stage3Steps = 60;
+      // 100 stage-3 steps: enough for the latency stage to converge past
+      // the correctness checkpoint at this reduced scale (at 60 it is
+      // still mid-climb and the RQ4 ladder check is seed-marginal).
+      P.Stage3Steps = 100;
       P.GRPO.GroupSize = 6;
       P.GRPO.PromptsPerStep = 3;
       return runTrainingPipeline(dataset(), P);
@@ -117,7 +120,7 @@ TEST_F(PipelineFixture, RQ4AblationLadder) {
 TEST_F(PipelineFixture, TrainingLogsFeedFig4) {
   auto &Art = artifacts();
   EXPECT_EQ(Art.Stage2Log.size(), 25u);
-  EXPECT_EQ(Art.Stage3Log.size(), 60u);
+  EXPECT_EQ(Art.Stage3Log.size(), 100u);
   for (const auto &L : Art.Stage2Log) {
     EXPECT_GE(L.MeanReward, 0.0);
     EXPECT_GE(L.EMAReward, 0.0);

@@ -137,6 +137,75 @@ TEST(Reward, LatencyRewardSaturatesAndShapes) {
   EXPECT_LE(R1, 1.0);
 }
 
+TEST(Reward, CopyDetectionSeesThroughCosmeticEdits) {
+  // Regression: IsCopy used to be a raw byte compare, so re-wrapping the
+  // input in whitespace (or renumbering its values) evaded the copy
+  // penalty. Canonical re-print must catch it.
+  const Sample &S = sample();
+  std::string Cosmetic = S.SrcText;
+  // Double every space: same IR after parse + print, different bytes.
+  for (size_t I = 0; I < Cosmetic.size(); ++I)
+    if (Cosmetic[I] == ' ') {
+      Cosmetic.insert(I, " ");
+      I += 1;
+    }
+  ASSERT_NE(Cosmetic, S.SrcText);
+  auto B = answerReward(S, completionWithAnswer(Cosmetic));
+  EXPECT_TRUE(B.IsCopy) << "whitespace-edited copy evaded detection";
+  EXPECT_TRUE(B.Equivalent);
+  // Unparseable answers still fall back to the textual compare.
+  auto Garbage = answerReward(S, completionWithAnswer("not ir at all"));
+  EXPECT_FALSE(Garbage.IsCopy);
+  // The reference output is not a copy.
+  EXPECT_FALSE(answerReward(S, completionWithAnswer(S.RefText)).IsCopy);
+}
+
+TEST(Reward, CachedAnswerRewardMatchesUncached) {
+  const Sample &S = sample();
+  VerifyCache Cache;
+  for (const std::string &IR :
+       {S.RefText, S.SrcText, S.RefText.substr(0, S.RefText.size() / 2)}) {
+    auto Plain = answerReward(S, completionWithAnswer(IR));
+    auto Cached = answerReward(S, completionWithAnswer(IR),
+                               VerifyOptions(), &Cache);
+    auto Hit = answerReward(S, completionWithAnswer(IR),
+                            VerifyOptions(), &Cache);
+    for (const auto *B : {&Cached, &Hit}) {
+      EXPECT_EQ(Plain.Total, B->Total);
+      EXPECT_EQ(Plain.Equivalent, B->Equivalent);
+      EXPECT_EQ(Plain.ExactMatch, B->ExactMatch);
+      EXPECT_EQ(Plain.IsCopy, B->IsCopy);
+      EXPECT_EQ(Plain.Verify.Status, B->Verify.Status);
+      EXPECT_EQ(Plain.Verify.Diagnostic, B->Verify.Diagnostic);
+    }
+  }
+  EXPECT_GT(Cache.counters().Hits, 0u);
+}
+
+TEST(Reward, LatencyRewardDegenerateParamsScoreZero) {
+  // Regression: UMax <= 1.0 used to divide by zero in the Eq. (4)
+  // normalizer (UMax - 1.0); a degenerate saturation band must gate to 0.
+  const Sample &S = sample();
+  auto Fast = completionWithAnswer(S.RefText);
+  LatencyRewardParams P;
+  P.UMax = 1.0;
+  EXPECT_DOUBLE_EQ(latencyReward(S, Fast, /*Equivalent=*/true, P), 0.0);
+  P.UMax = 0.5;
+  EXPECT_DOUBLE_EQ(latencyReward(S, Fast, true, P), 0.0);
+  // And a sane parameterization still rewards the speedup.
+  P.UMax = 3.0;
+  EXPECT_GT(latencyReward(S, Fast, true, P), 0.0);
+}
+
+TEST(Reward, LatencyRewardUnparseableAnswerScoresZero) {
+  // Equivalent=true with an answer that no longer parses (callers can pass
+  // stale flags) must not crash or reward anything.
+  const Sample &S = sample();
+  LatencyRewardParams P;
+  auto C = completionWithAnswer("definitely not ir");
+  EXPECT_DOUBLE_EQ(latencyReward(S, C, /*Equivalent=*/true, P), 0.0);
+}
+
 TEST(Reward, UMaxFromTrainingSet) {
   DatasetOptions O;
   O.TrainCount = 20;

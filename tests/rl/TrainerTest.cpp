@@ -85,6 +85,93 @@ TEST(Trainer, GroupRelativeAdvantageNeedsVariation) {
   EXPECT_EQ(Model.params(), Before);
 }
 
+TEST(Trainer, ParallelScoringIsBitIdenticalToSerial) {
+  // The determinism guarantee of the restructured step(): generation is
+  // sequential with per-rollout RNGs, scoring writes only per-rollout
+  // slots, so every reward/equivalence value in the log — and the trained
+  // parameters — must be bit-identical at any thread count, with or
+  // without the verification memo.
+  const Dataset &DS = tinyDataset();
+  VerifyOptions V;
+  V.FalsifyTrials = 8;
+  V.SolverConflictBudget = 20000;
+
+  auto runConfig = [&](unsigned Threads, bool UseCache,
+                       std::vector<double> &ParamsOut) {
+    RewritePolicyModel Model(presetQwen3B());
+    auto Cache = UseCache ? std::make_unique<VerifyCache>(512) : nullptr;
+    VerifyCache *C = Cache.get();
+    RewardFn Reward = [V, C](const Sample &S, Completion &Co) {
+      RewardBreakdown B = answerReward(S, Co, V, C);
+      RolloutScore Sc;
+      Sc.Reward = B.Total;
+      Sc.Equivalent = B.Equivalent;
+      Sc.IsCopy = B.IsCopy;
+      Sc.AnswerVerify = B.Verify;
+      return Sc;
+    };
+    GRPOOptions G;
+    G.GroupSize = 6;
+    G.PromptsPerStep = 3;
+    G.Seed = 7;
+    G.Threads = Threads;
+    G.Cache = C;
+    GRPOTrainer Trainer(Model, Reward, G);
+    auto Logs = Trainer.train(DS.Train, 12);
+    ParamsOut = Model.params();
+    return Logs;
+  };
+
+  std::vector<double> SerialParams, ParallelParams, CachedParams;
+  auto Serial = runConfig(1, /*UseCache=*/false, SerialParams);
+  auto Parallel = runConfig(4, /*UseCache=*/true, ParallelParams);
+  auto CacheOnly = runConfig(1, /*UseCache=*/true, CachedParams);
+
+  ASSERT_EQ(Serial.size(), Parallel.size());
+  for (size_t I = 0; I < Serial.size(); ++I) {
+    EXPECT_EQ(Serial[I].Step, Parallel[I].Step);
+    EXPECT_EQ(Serial[I].MeanReward, Parallel[I].MeanReward) << "step " << I;
+    EXPECT_EQ(Serial[I].EMAReward, Parallel[I].EMAReward) << "step " << I;
+    EXPECT_EQ(Serial[I].EquivalentRate, Parallel[I].EquivalentRate);
+    EXPECT_EQ(Serial[I].CopyRate, Parallel[I].CopyRate);
+    EXPECT_EQ(Serial[I].GradNorm, Parallel[I].GradNorm) << "step " << I;
+    EXPECT_EQ(Serial[I].MeanReward, CacheOnly[I].MeanReward) << "step " << I;
+    EXPECT_EQ(Serial[I].GradNorm, CacheOnly[I].GradNorm) << "step " << I;
+  }
+  EXPECT_EQ(SerialParams, ParallelParams);
+  EXPECT_EQ(SerialParams, CachedParams);
+  // The memo must actually have been exercised on GRPO's repetitive groups.
+  double HitRate = 0;
+  for (const TrainLogEntry &E : Parallel)
+    HitRate += E.CacheHitRate;
+  EXPECT_GT(HitRate, 0.0) << "verify cache never hit during training";
+}
+
+TEST(Trainer, RolloutHookSeesEveryRolloutInOrder) {
+  const Dataset &DS = tinyDataset();
+  RewritePolicyModel Model(presetQwen3B());
+  GRPOOptions G;
+  G.GroupSize = 4;
+  G.PromptsPerStep = 2;
+  G.Threads = 4;
+  std::vector<const Sample *> SerialOrder, ParallelOrder;
+  RewardFn Flat = [](const Sample &, Completion &) {
+    RolloutScore Sc;
+    Sc.Reward = 1.0;
+    return Sc;
+  };
+  for (auto *Order : {&SerialOrder, &ParallelOrder}) {
+    G.Threads = Order == &SerialOrder ? 1 : 4;
+    G.OnRollout = [Order](const Sample &S, const Completion &,
+                          const RolloutScore &) { Order->push_back(&S); };
+    RewritePolicyModel M(presetQwen3B());
+    GRPOTrainer Trainer(M, Flat, G);
+    Trainer.train(DS.Train, 3);
+  }
+  EXPECT_EQ(SerialOrder.size(), 3u * 2 * 4);
+  EXPECT_EQ(SerialOrder, ParallelOrder);
+}
+
 TEST(Trainer, SFTReducesLossAndTeachesOracle) {
   const Dataset &DS = tinyDataset();
   RewritePolicyModel Model(presetQwen3B());

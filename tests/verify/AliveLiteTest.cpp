@@ -446,6 +446,34 @@ define i32 @f8(i64 %x) {
   EXPECT_EQ(R.Status, VerifyStatus::NotEquivalent);
 }
 
+TEST(AliveLite, FalsificationTriesMixedCornerPatterns) {
+  // Regression: the corner sweeps used to assign every argument the *same*
+  // corner value, so a divergence that needs a mixed pattern — here
+  // (a, b) = (0, 1) — slipped past falsification and fell through to the
+  // SMT solver. Per-argument corner selection must catch it with corner
+  // sweeps alone (no random trials: 6 sweeps exactly).
+  VerifyOptions Opts;
+  Opts.FalsifyTrials = 6;
+  auto R = check(R"(
+define i32 @f(i32 %a, i32 %b) {
+  ret i32 0
+}
+)",
+                 R"(
+define i32 @f(i32 %a, i32 %b) {
+  %c0 = icmp eq i32 %a, 0
+  %c1 = icmp eq i32 %b, 1
+  %c = and i1 %c0, %c1
+  %r = zext i1 %c to i32
+  ret i32 %r
+}
+)",
+                 Opts);
+  ASSERT_EQ(R.Status, VerifyStatus::NotEquivalent) << R.Diagnostic;
+  EXPECT_TRUE(R.FoundByFalsification)
+      << "mixed corner (0, 1) not tried by the falsification pre-pass";
+}
+
 TEST(AliveLite, DiagnosticTextShape) {
   auto R = check("define i32 @f(i32 %x) {\n  %y = add i32 %x, 1\n"
                  "  ret i32 %y\n}\n",
