@@ -108,6 +108,10 @@ private:
         fail(ExecResult::Timeout, "step budget exhausted");
         return false;
       }
+      if (Opts.FuelTok && !Opts.FuelTok->consume(fuel::InterpStep)) {
+        fail(ExecResult::Timeout, "verification fuel exhausted");
+        return false;
+      }
       ++R.OpcodeCounts[static_cast<unsigned>(I->getOpcode())];
       if (!execInst(I, Next))
         return false;

@@ -21,6 +21,7 @@
 #define VERIOPT_INTERP_INTERPRETER_H
 
 #include "ir/Function.h"
+#include "support/Fuel.h"
 
 #include <array>
 #include <string>
@@ -66,6 +67,10 @@ struct CallEvent {
 
 struct InterpOptions {
   uint64_t MaxSteps = 100000; ///< dynamic instruction budget before Timeout
+  /// Shared verification fuel; charged one unit per dynamic instruction.
+  /// Exhaustion stops execution with Timeout and latches on the token, so
+  /// the verifier can report ResourceExhausted for the query as a whole.
+  Fuel *FuelTok = nullptr;
 };
 
 struct ExecResult {

@@ -559,10 +559,15 @@ private:
       Values[PName] = F->getArg(I);
     }
 
-    // Body.
+    // Body. Hard cap on statements (labels + instructions) so adversarial
+    // emissions degrade into a parse error instead of unbounded memory use.
+    constexpr uint64_t MaxBodyItems = 1u << 20;
+    uint64_t BodyItems = 0;
     while (Lex.peek().Kind != Tok::RBrace) {
       if (Lex.peek().Kind == Tok::Eof)
         return fail2("unexpected end of input inside function body");
+      if (++BodyItems > MaxBodyItems)
+        return fail2("function body exceeds maximum size");
       // Block label? (word or int followed by ':')
       if ((Lex.peek().Kind == Tok::Word || Lex.peek().Kind == Tok::Int) &&
           isLabelAhead()) {

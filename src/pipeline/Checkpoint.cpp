@@ -1,0 +1,225 @@
+//===- Checkpoint.cpp - Pipeline checkpoint/resume ----------------------------//
+
+#include "pipeline/Checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace veriopt {
+
+namespace {
+
+/// Doubles round-trip as their IEEE-754 bit pattern: text formatting must
+/// never perturb a resumed run.
+std::string dhex(double D) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &D, sizeof(Bits));
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(Bits));
+  return Buf;
+}
+
+bool dunhex(const std::string &S, double &D) {
+  if (S.size() != 16)
+    return false;
+  uint64_t Bits = 0;
+  for (char C : S) {
+    Bits <<= 4;
+    if (C >= '0' && C <= '9')
+      Bits |= static_cast<uint64_t>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      Bits |= static_cast<uint64_t>(C - 'a' + 10);
+    else
+      return false;
+  }
+  std::memcpy(&D, &Bits, sizeof(D));
+  return true;
+}
+
+void writeParams(std::ostream &OS, const char *Name,
+                 const std::vector<double> &P) {
+  OS << "model " << Name << ' ' << P.size();
+  for (double V : P)
+    OS << ' ' << dhex(V);
+  OS << '\n';
+}
+
+bool readParams(std::istream &IS, const char *Name, std::vector<double> &P) {
+  std::string Kw, Nm;
+  size_t N;
+  if (!(IS >> Kw >> Nm >> N) || Kw != "model" || Nm != Name)
+    return false;
+  P.resize(N);
+  std::string Tok;
+  for (size_t I = 0; I < N; ++I)
+    if (!(IS >> Tok) || !dunhex(Tok, P[I]))
+      return false;
+  return true;
+}
+
+void writeLog(std::ostream &OS, unsigned Which,
+              const std::vector<TrainLogEntry> &Log) {
+  OS << "log " << Which << ' ' << Log.size() << '\n';
+  for (const TrainLogEntry &E : Log) {
+    OS << E.Step << ' ' << dhex(E.MeanReward) << ' ' << dhex(E.EMAReward)
+       << ' ' << dhex(E.EquivalentRate) << ' ' << dhex(E.CopyRate) << ' '
+       << dhex(E.GradNorm) << ' ' << dhex(E.ScoreWallMs) << ' '
+       << dhex(E.CacheHitRate) << ' ' << E.FalsifyWins << ' '
+       << E.SolverConflicts << ' ' << E.RetryEscalations << ' '
+       << E.TerminalInconclusive << ' ' << E.MaxRetryTier << '\n';
+  }
+}
+
+bool readLog(std::istream &IS, unsigned Which,
+             std::vector<TrainLogEntry> &Log) {
+  std::string Kw;
+  unsigned W;
+  size_t N;
+  if (!(IS >> Kw >> W >> N) || Kw != "log" || W != Which)
+    return false;
+  Log.resize(N);
+  for (TrainLogEntry &E : Log) {
+    std::string D[7];
+    if (!(IS >> E.Step >> D[0] >> D[1] >> D[2] >> D[3] >> D[4] >> D[5] >>
+          D[6] >> E.FalsifyWins >> E.SolverConflicts >> E.RetryEscalations >>
+          E.TerminalInconclusive >> E.MaxRetryTier))
+      return false;
+    if (!dunhex(D[0], E.MeanReward) || !dunhex(D[1], E.EMAReward) ||
+        !dunhex(D[2], E.EquivalentRate) || !dunhex(D[3], E.CopyRate) ||
+        !dunhex(D[4], E.GradNorm) || !dunhex(D[5], E.ScoreWallMs) ||
+        !dunhex(D[6], E.CacheHitRate))
+      return false;
+  }
+  return true;
+}
+
+void writeActions(std::ostream &OS, const std::vector<unsigned> &A) {
+  OS << ' ' << A.size();
+  for (unsigned V : A)
+    OS << ' ' << V;
+}
+
+bool readActions(std::istream &IS, std::vector<unsigned> &A) {
+  size_t N;
+  if (!(IS >> N))
+    return false;
+  A.resize(N);
+  for (unsigned &V : A)
+    if (!(IS >> V))
+      return false;
+  return true;
+}
+
+} // namespace
+
+bool saveCheckpoint(const std::string &Path, const PipelineCheckpoint &CP,
+                    FaultInjector *Faults) {
+  // Injected write failure: deterministic in the checkpoint's position
+  // within the run, so interrupted-vs-uninterrupted comparisons inject at
+  // the same checkpoints.
+  if (Faults) {
+    std::string Key = std::to_string(CP.StageIdx) + ':' +
+                      std::to_string(CP.Stage1Log.size()) + ':' +
+                      std::to_string(CP.Stage2Log.size()) + ':' +
+                      std::to_string(CP.Stage3Log.size());
+    if (Faults->shouldInject(FaultSite::CheckpointWrite, Key))
+      return false;
+  }
+
+  std::ostringstream OS;
+  OS << "veriopt-ckpt " << CP.Version << '\n';
+  OS << "seed " << CP.Seed << '\n';
+  OS << "stage " << CP.StageIdx << '\n';
+  OS << "trainer " << CP.Trainer.StepCount << ' ' << CP.Trainer.RNGState
+     << ' ' << dhex(CP.Trainer.EMAValue) << ' '
+     << (CP.Trainer.EMAPrimed ? 1 : 0) << '\n';
+  writeParams(OS, "zero", CP.ModelZeroParams);
+  writeParams(OS, "warmup", CP.WarmUpParams);
+  writeParams(OS, "correctness", CP.CorrectnessParams);
+  writeParams(OS, "latency", CP.LatencyParams);
+  writeLog(OS, 1, CP.Stage1Log);
+  writeLog(OS, 2, CP.Stage2Log);
+  writeLog(OS, 3, CP.Stage3Log);
+  OS << "aug " << CP.Augmented.size() << '\n';
+  for (const AugmentedRecord &R : CP.Augmented) {
+    OS << R.SampleIdx << ' ' << (R.IsCorrection ? 1 : 0) << ' '
+       << R.DiagClass;
+    writeActions(OS, R.TargetActions);
+    writeActions(OS, R.AttemptActions);
+    OS << '\n';
+  }
+  OS << "counts " << CP.CorrectionSamples << ' ' << CP.FirstTimeSamples
+     << '\n';
+  OS << "end\n";
+
+  // Atomic write-then-rename: a crash leaves either the old checkpoint or
+  // the new one, never a torn file.
+  const std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream F(Tmp, std::ios::binary | std::ios::trunc);
+    if (!F)
+      return false;
+    F << OS.str();
+    F.flush();
+    if (!F)
+      return false;
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool loadCheckpoint(const std::string &Path, PipelineCheckpoint &CP) {
+  std::ifstream F(Path, std::ios::binary);
+  if (!F)
+    return false;
+  std::string Magic;
+  PipelineCheckpoint Out;
+  if (!(F >> Magic >> Out.Version) || Magic != "veriopt-ckpt" ||
+      Out.Version != 1)
+    return false;
+  std::string Kw, EmaHex;
+  unsigned Primed;
+  if (!(F >> Kw >> Out.Seed) || Kw != "seed")
+    return false;
+  if (!(F >> Kw >> Out.StageIdx) || Kw != "stage")
+    return false;
+  if (!(F >> Kw >> Out.Trainer.StepCount >> Out.Trainer.RNGState >> EmaHex >>
+        Primed) ||
+      Kw != "trainer" || !dunhex(EmaHex, Out.Trainer.EMAValue))
+    return false;
+  Out.Trainer.EMAPrimed = Primed != 0;
+  if (!readParams(F, "zero", Out.ModelZeroParams) ||
+      !readParams(F, "warmup", Out.WarmUpParams) ||
+      !readParams(F, "correctness", Out.CorrectnessParams) ||
+      !readParams(F, "latency", Out.LatencyParams))
+    return false;
+  if (!readLog(F, 1, Out.Stage1Log) || !readLog(F, 2, Out.Stage2Log) ||
+      !readLog(F, 3, Out.Stage3Log))
+    return false;
+  size_t NAug;
+  if (!(F >> Kw >> NAug) || Kw != "aug")
+    return false;
+  Out.Augmented.resize(NAug);
+  for (AugmentedRecord &R : Out.Augmented) {
+    unsigned Corr;
+    if (!(F >> R.SampleIdx >> Corr >> R.DiagClass) ||
+        !readActions(F, R.TargetActions) || !readActions(F, R.AttemptActions))
+      return false;
+    R.IsCorrection = Corr != 0;
+  }
+  if (!(F >> Kw >> Out.CorrectionSamples >> Out.FirstTimeSamples) ||
+      Kw != "counts")
+    return false;
+  if (!(F >> Kw) || Kw != "end")
+    return false;
+  CP = std::move(Out);
+  return true;
+}
+
+} // namespace veriopt

@@ -2,18 +2,25 @@
 
 #include "pipeline/Pipeline.h"
 
+#include <algorithm>
+
 namespace veriopt {
+
+static RolloutScore scoreFromBreakdown(const RewardBreakdown &B,
+                                       double Reward) {
+  RolloutScore Score;
+  Score.Reward = Reward;
+  Score.Equivalent = B.Equivalent;
+  Score.ExactMatch = B.ExactMatch;
+  Score.IsCopy = B.IsCopy;
+  Score.AnswerVerify = B.Verify;
+  return Score;
+}
 
 RewardFn makeAnswerReward(const VerifyOptions &VOpts, VerifyCache *Cache) {
   return [VOpts, Cache](const Sample &S, Completion &C) {
     RewardBreakdown B = answerReward(S, C, VOpts, Cache);
-    RolloutScore Score;
-    Score.Reward = B.Total;
-    Score.Equivalent = B.Equivalent;
-    Score.ExactMatch = B.ExactMatch;
-    Score.IsCopy = B.IsCopy;
-    Score.AnswerVerify = B.Verify;
-    return Score;
+    return scoreFromBreakdown(B, B.Total);
   };
 }
 
@@ -21,13 +28,7 @@ RewardFn makeCorrectnessReward(const VerifyOptions &VOpts, VerifyCache *Cache) {
   return [VOpts, Cache](const Sample &S, Completion &C) {
     RewardBreakdown B = answerReward(S, C, VOpts, Cache);
     VerifyResult AttemptV = verifyAttempt(S, C, VOpts, Cache);
-    RolloutScore Score;
-    Score.Reward = B.Total + cotReward(C, AttemptV);
-    Score.Equivalent = B.Equivalent;
-    Score.ExactMatch = B.ExactMatch;
-    Score.IsCopy = B.IsCopy;
-    Score.AnswerVerify = B.Verify;
-    return Score;
+    return scoreFromBreakdown(B, B.Total + cotReward(C, AttemptV));
   };
 }
 
@@ -35,15 +36,35 @@ RewardFn makeLatencyReward(const VerifyOptions &VOpts,
                            const LatencyRewardParams &P, VerifyCache *Cache) {
   return [VOpts, P, Cache](const Sample &S, Completion &C) {
     RewardBreakdown B = answerReward(S, C, VOpts, Cache);
-    RolloutScore Score;
     // Eq. (4): equivalence-gated shaped speedup. Alive2 stays in the loop
     // as the gate even though the instcombine labels are gone.
-    Score.Reward = latencyReward(S, C, B.Equivalent, P);
-    Score.Equivalent = B.Equivalent;
-    Score.ExactMatch = B.ExactMatch;
-    Score.IsCopy = B.IsCopy;
-    Score.AnswerVerify = B.Verify;
-    return Score;
+    return scoreFromBreakdown(B, latencyReward(S, C, B.Equivalent, P));
+  };
+}
+
+RewardFn makeAnswerReward(const RobustVerifier &RV) {
+  const RobustVerifier *V = &RV;
+  return [V](const Sample &S, Completion &C) {
+    RewardBreakdown B = answerReward(S, C, *V);
+    return scoreFromBreakdown(B, B.Total);
+  };
+}
+
+RewardFn makeCorrectnessReward(const RobustVerifier &RV) {
+  const RobustVerifier *V = &RV;
+  return [V](const Sample &S, Completion &C) {
+    RewardBreakdown B = answerReward(S, C, *V);
+    VerifyResult AttemptV = verifyAttempt(S, C, *V);
+    return scoreFromBreakdown(B, B.Total + cotReward(C, AttemptV));
+  };
+}
+
+RewardFn makeLatencyReward(const RobustVerifier &RV,
+                           const LatencyRewardParams &P) {
+  const RobustVerifier *V = &RV;
+  return [V, P](const Sample &S, Completion &C) {
+    RewardBreakdown B = answerReward(S, C, *V);
+    return scoreFromBreakdown(B, latencyReward(S, C, B.Equivalent, P));
   };
 }
 
@@ -53,7 +74,65 @@ static void foldStageLog(PipelineArtifacts &Art,
     Art.ScoreWallMs += E.ScoreWallMs;
     Art.FalsifyWins += E.FalsifyWins;
     Art.SolverConflicts += E.SolverConflicts;
+    Art.RetryEscalations += E.RetryEscalations;
+    Art.TerminalInconclusive += E.TerminalInconclusive;
   }
+}
+
+//===--- Checkpoint plumbing -------------------------------------------------//
+
+static std::vector<unsigned> encodeActions(const std::vector<Action> &A) {
+  std::vector<unsigned> Out;
+  Out.reserve(A.size());
+  for (Action X : A)
+    Out.push_back(static_cast<unsigned>(X));
+  return Out;
+}
+
+static std::vector<Action> decodeActions(const std::vector<unsigned> &A) {
+  std::vector<Action> Out;
+  Out.reserve(A.size());
+  for (unsigned X : A)
+    Out.push_back(static_cast<Action>(X));
+  return Out;
+}
+
+/// Detach the harvested SFT set from Sample pointers for serialization.
+static void captureAugmented(PipelineCheckpoint &CP,
+                             const PipelineArtifacts &Art, const Dataset &DS) {
+  CP.Augmented.clear();
+  CP.Augmented.reserve(Art.Augmented.size());
+  for (const SFTExample &Ex : Art.Augmented) {
+    AugmentedRecord R;
+    R.SampleIdx = static_cast<unsigned>(Ex.S - DS.Train.data());
+    R.TargetActions = encodeActions(Ex.TargetActions);
+    R.IsCorrection = Ex.IsCorrection;
+    R.AttemptActions = encodeActions(Ex.AttemptActions);
+    R.DiagClass = Ex.DiagClassTarget;
+    CP.Augmented.push_back(std::move(R));
+  }
+  CP.CorrectionSamples = Art.CorrectionSamples;
+  CP.FirstTimeSamples = Art.FirstTimeSamples;
+}
+
+/// Re-bind checkpointed SFT records to this run's dataset.
+static void rebuildAugmented(PipelineArtifacts &Art,
+                             const PipelineCheckpoint &CP, const Dataset &DS) {
+  Art.Augmented.clear();
+  Art.Augmented.reserve(CP.Augmented.size());
+  for (const AugmentedRecord &R : CP.Augmented) {
+    if (R.SampleIdx >= DS.Train.size())
+      continue; // checkpoint from a different dataset; drop defensively
+    SFTExample Ex;
+    Ex.S = &DS.Train[R.SampleIdx];
+    Ex.TargetActions = decodeActions(R.TargetActions);
+    Ex.IsCorrection = R.IsCorrection;
+    Ex.AttemptActions = decodeActions(R.AttemptActions);
+    Ex.DiagClassTarget = R.DiagClass;
+    Art.Augmented.push_back(std::move(Ex));
+  }
+  Art.CorrectionSamples = CP.CorrectionSamples;
+  Art.FirstTimeSamples = CP.FirstTimeSamples;
 }
 
 PipelineArtifacts runTrainingPipeline(const Dataset &DS,
@@ -66,86 +145,203 @@ PipelineArtifacts runTrainingPipeline(const Dataset &DS,
   // (the cache key carries the budget, so sharing across stages is sound).
   ThreadPool Pool(Opts.Threads);
   std::unique_ptr<VerifyCache> Cache;
-  if (Opts.VerifyCacheCapacity)
+  if (Opts.VerifyCacheCapacity) {
     Cache = std::make_unique<VerifyCache>(Opts.VerifyCacheCapacity);
+    if (Opts.Faults)
+      Cache->setFaultInjector(Opts.Faults);
+  }
+
+  // All training verification goes through the escalating retry ladder.
+  // With one tier this is exactly the plain single-budget verifier.
+  RobustVerifyOptions RVO;
+  RVO.Base = Opts.TrainVerify;
+  RVO.MaxTiers = std::max(1u, Opts.VerifyRetryTiers);
+  RVO.BudgetGrowth = Opts.VerifyRetryGrowth;
+  RobustVerifier RV(RVO, Cache.get(), Opts.Faults);
 
   GRPOOptions GBase = Opts.GRPO;
   GBase.Threads = Opts.Threads;
   GBase.Pool = &Pool;
   GBase.Cache = Cache.get();
 
-  //===--- Stage 1: MODEL-ZERO + diagnostic-augmented sample harvesting ----===//
+  //===--- Resume --------------------------------------------------------===//
 
-  Art.ModelZero = std::make_unique<RewritePolicyModel>(Opts.BaseModel);
-  {
-    GRPOOptions G = GBase;
-    G.Mode = PromptMode::Generic;
-    G.Seed = Opts.Seed * 3 + 1;
-    // Every failed rollout becomes a correction-augmented sample (wrong
-    // attempt, Alive verdict class, oracle target) — the model-adaptive
-    // dataset of §III-C1. The harvest runs in the sequential OnRollout hook,
-    // not inside the reward, so the SFT set is identical at any thread
-    // count (and needs no locking).
-    RewritePolicyModel *Zero = Art.ModelZero.get();
-    G.OnRollout = [&Art, Zero](const Sample &S, const Completion &C,
-                               const RolloutScore &Score) {
-      bool Failed = Score.AnswerVerify.Status == VerifyStatus::SyntaxError ||
-                    Score.AnswerVerify.Status == VerifyStatus::NotEquivalent;
-      // Cap harvesting so a few hard prompts do not dominate the SFT set.
-      if (Failed && Art.Augmented.size() < 4 * 1024) {
+  PipelineCheckpoint CP;
+  bool Resumed = false;
+  if (Opts.Resume && !Opts.CheckpointPath.empty()) {
+    PipelineCheckpoint Loaded;
+    if (loadCheckpoint(Opts.CheckpointPath, Loaded) &&
+        Loaded.Seed == Opts.Seed) {
+      CP = std::move(Loaded);
+      Resumed = true;
+    }
+  }
+  const unsigned StartStage = Resumed ? CP.StageIdx : 0;
+
+  auto modelFromParams =
+      [&](const std::vector<double> &P) -> std::unique_ptr<RewritePolicyModel> {
+    if (P.empty())
+      return nullptr;
+    auto M = std::make_unique<RewritePolicyModel>(Opts.BaseModel);
+    if (P.size() == M->numParams())
+      M->params() = P;
+    return M;
+  };
+  if (Resumed) {
+    Art.ModelZero = modelFromParams(CP.ModelZeroParams);
+    Art.WarmUp = modelFromParams(CP.WarmUpParams);
+    Art.Correctness = modelFromParams(CP.CorrectnessParams);
+    Art.Latency = modelFromParams(CP.LatencyParams);
+    Art.Stage1Log = CP.Stage1Log;
+    Art.Stage2Log = CP.Stage2Log;
+    Art.Stage3Log = CP.Stage3Log;
+    rebuildAugmented(Art, CP, DS);
+  }
+
+  //===--- Checkpoint/halt machinery -------------------------------------===//
+
+  unsigned StepsThisRun = 0;
+  bool Halt = false;
+
+  auto snapshot = [&](unsigned StageIdx, const GRPOTrainerState *TS) {
+    PipelineCheckpoint S;
+    S.Seed = Opts.Seed;
+    S.StageIdx = StageIdx;
+    if (TS)
+      S.Trainer = *TS;
+    if (Art.ModelZero)
+      S.ModelZeroParams = Art.ModelZero->params();
+    if (Art.WarmUp)
+      S.WarmUpParams = Art.WarmUp->params();
+    if (Art.Correctness)
+      S.CorrectnessParams = Art.Correctness->params();
+    if (Art.Latency)
+      S.LatencyParams = Art.Latency->params();
+    S.Stage1Log = Art.Stage1Log;
+    S.Stage2Log = Art.Stage2Log;
+    S.Stage3Log = Art.Stage3Log;
+    captureAugmented(S, Art, DS);
+    return S;
+  };
+
+  auto writeCkpt = [&](const PipelineCheckpoint &Snap) {
+    if (Opts.CheckpointPath.empty())
+      return;
+    if (saveCheckpoint(Opts.CheckpointPath, Snap, Opts.Faults))
+      ++Art.CheckpointsWritten;
+    else
+      ++Art.CheckpointWriteFailures; // previous checkpoint still stands
+  };
+
+  /// Run the remainder of one GRPO stage: periodic checkpoints, halt on
+  /// HaltAfterSteps (after checkpointing, so the run is resumable from
+  /// exactly this point).
+  auto runStage = [&](unsigned StageIdx, GRPOTrainer &Trainer,
+                      std::vector<TrainLogEntry> &Log, unsigned TotalSteps) {
+    unsigned Done = static_cast<unsigned>(Log.size());
+    if (Done >= TotalSteps || Halt)
+      return;
+    // Mid-stage resume: reinstate the step counter / RNG / EMA so the
+    // continuation is bit-identical to the uninterrupted run.
+    if (Resumed && StartStage == StageIdx && Done > 0)
+      Trainer.restoreState(CP.Trainer);
+    Trainer.train(DS.Train, TotalSteps - Done,
+                  [&](const TrainLogEntry &E) {
+                    Log.push_back(E);
+                    ++StepsThisRun;
+                    bool Periodic =
+                        Opts.CheckpointEveryNSteps &&
+                        Log.size() % Opts.CheckpointEveryNSteps == 0;
+                    bool HaltNow = Opts.HaltAfterSteps &&
+                                   StepsThisRun >= Opts.HaltAfterSteps;
+                    if (Periodic || HaltNow) {
+                      GRPOTrainerState TS = Trainer.state();
+                      writeCkpt(snapshot(StageIdx, &TS));
+                    }
+                    if (HaltNow)
+                      Halt = true;
+                    return !HaltNow;
+                  });
+  };
+
+  //===--- Stage 1: MODEL-ZERO + diagnostic-augmented sample harvest ------===//
+
+  if (StartStage == 0) {
+    if (!Art.ModelZero)
+      Art.ModelZero = std::make_unique<RewritePolicyModel>(Opts.BaseModel);
+    {
+      GRPOOptions G = GBase;
+      G.Mode = PromptMode::Generic;
+      G.Seed = Opts.Seed * 3 + 1;
+      // Every failed rollout becomes a correction-augmented sample (wrong
+      // attempt, Alive verdict class, oracle target) — the model-adaptive
+      // dataset of §III-C1. The harvest runs in the sequential OnRollout
+      // hook, not inside the reward, so the SFT set is identical at any
+      // thread count (and needs no locking).
+      RewritePolicyModel *Zero = Art.ModelZero.get();
+      G.OnRollout = [&Art, Zero](const Sample &S, const Completion &C,
+                                 const RolloutScore &Score) {
+        bool Failed =
+            Score.AnswerVerify.Status == VerifyStatus::SyntaxError ||
+            Score.AnswerVerify.Status == VerifyStatus::NotEquivalent;
+        // Cap harvesting so a few hard prompts do not dominate the SFT set.
+        if (Failed && Art.Augmented.size() < 4 * 1024) {
+          SFTExample Ex;
+          Ex.S = &S;
+          Ex.TargetActions = oracleActions(S.RefTrace, *Zero);
+          Ex.IsCorrection = true;
+          Ex.AttemptActions = C.Actions;
+          Ex.DiagClassTarget = diagKindClass(Score.AnswerVerify.Kind);
+          Art.Augmented.push_back(std::move(Ex));
+          ++Art.CorrectionSamples;
+        }
+      };
+      GRPOTrainer Trainer(*Art.ModelZero, makeAnswerReward(RV), G);
+      runStage(0, Trainer, Art.Stage1Log, Opts.Stage1Steps);
+    }
+
+    if (!Halt) {
+      // First-time augmented samples: the plain O0 -> instcombine pairs.
+      for (const Sample &S : DS.Train) {
         SFTExample Ex;
         Ex.S = &S;
-        Ex.TargetActions = oracleActions(S.RefTrace, *Zero);
-        Ex.IsCorrection = true;
-        Ex.AttemptActions = C.Actions;
-        Ex.DiagClassTarget = diagKindClass(Score.AnswerVerify.Kind);
+        Ex.TargetActions = oracleActions(S.RefTrace, *Art.ModelZero);
+        Ex.IsCorrection = false;
+        Ex.DiagClassTarget = 0; // a clean attempt verifies
         Art.Augmented.push_back(std::move(Ex));
-        ++Art.CorrectionSamples;
+        ++Art.FirstTimeSamples;
       }
-    };
-    GRPOTrainer Trainer(*Art.ModelZero,
-                        makeAnswerReward(Opts.TrainVerify, Cache.get()), G);
-    Art.Stage1Log = Trainer.train(DS.Train, Opts.Stage1Steps);
+
+      //===--- Stage 2 warm-up: SFT from the pretrained base (Fig. 3) ----===//
+      Art.WarmUp = std::make_unique<RewritePolicyModel>(Opts.BaseModel);
+      SFTOptions SFT = Opts.SFT;
+      SFT.Epochs = Opts.Stage2SFTEpochs;
+      SFT.LearningRate = Opts.Stage2SFTLearningRate;
+      SFT.Seed = Opts.Seed * 5 + 2;
+      sftTrain(*Art.WarmUp, Art.Augmented, SFT);
+      Art.Correctness = std::make_unique<RewritePolicyModel>(*Art.WarmUp);
+
+      writeCkpt(snapshot(1, nullptr)); // stage boundary
+    }
   }
 
-  // First-time augmented samples: the plain O0 -> instcombine pairs.
-  for (const Sample &S : DS.Train) {
-    SFTExample Ex;
-    Ex.S = &S;
-    Ex.TargetActions = oracleActions(S.RefTrace, *Art.ModelZero);
-    Ex.IsCorrection = false;
-    Ex.DiagClassTarget = 0; // a clean attempt verifies
-    Art.Augmented.push_back(std::move(Ex));
-    ++Art.FirstTimeSamples;
-  }
+  //===--- Stage 2: GRPO -> MODEL-CORRECTNESS ----------------------------===//
 
-  //===--- Stage 2: WARM-UP SFT, then GRPO -> MODEL-CORRECTNESS -----------===//
-
-  // SFT starts from the pretrained base model (Fig. 3), not MODEL-ZERO.
-  Art.WarmUp = std::make_unique<RewritePolicyModel>(Opts.BaseModel);
-  {
-    SFTOptions SFT = Opts.SFT;
-    SFT.Epochs = Opts.Stage2SFTEpochs;
-    SFT.LearningRate = Opts.Stage2SFTLearningRate;
-    SFT.Seed = Opts.Seed * 5 + 2;
-    sftTrain(*Art.WarmUp, Art.Augmented, SFT);
-  }
-
-  Art.Correctness = std::make_unique<RewritePolicyModel>(*Art.WarmUp);
-  {
+  if (!Halt && StartStage <= 1 && Art.Correctness) {
     GRPOOptions G = GBase;
     G.Mode = PromptMode::Augmented;
     G.Seed = Opts.Seed * 7 + 3;
-    GRPOTrainer Trainer(
-        *Art.Correctness,
-        makeCorrectnessReward(Opts.TrainVerify, Cache.get()), G);
-    Art.Stage2Log = Trainer.train(DS.Train, Opts.Stage2Steps);
+    GRPOTrainer Trainer(*Art.Correctness, makeCorrectnessReward(RV), G);
+    runStage(1, Trainer, Art.Stage2Log, Opts.Stage2Steps);
+    if (!Halt) {
+      Art.Latency = std::make_unique<RewritePolicyModel>(*Art.Correctness);
+      writeCkpt(snapshot(2, nullptr)); // stage boundary
+    }
   }
 
-  //===--- Stage 3: incremental latency GRPO -> MODEL-LATENCY -------------===//
+  //===--- Stage 3: incremental latency GRPO -> MODEL-LATENCY ------------===//
 
-  Art.Latency = std::make_unique<RewritePolicyModel>(*Art.Correctness);
-  {
+  if (!Halt && StartStage <= 2 && Art.Latency) {
     LatencyRewardParams P;
     P.UMax = Art.UMax;
     GRPOOptions G = GBase;
@@ -153,12 +349,13 @@ PipelineArtifacts runTrainingPipeline(const Dataset &DS,
     G.Temperature = Opts.Stage3Temperature;
     G.LearningRate = Opts.Stage3LearningRate;
     G.Seed = Opts.Seed * 11 + 4;
-    GRPOTrainer Trainer(*Art.Latency,
-                        makeLatencyReward(Opts.TrainVerify, P, Cache.get()),
-                        G);
-    Art.Stage3Log = Trainer.train(DS.Train, Opts.Stage3Steps);
+    GRPOTrainer Trainer(*Art.Latency, makeLatencyReward(RV, P), G);
+    runStage(2, Trainer, Art.Stage3Log, Opts.Stage3Steps);
+    if (!Halt)
+      writeCkpt(snapshot(3, nullptr)); // complete
   }
 
+  Art.Halted = Halt;
   foldStageLog(Art, Art.Stage1Log);
   foldStageLog(Art, Art.Stage2Log);
   foldStageLog(Art, Art.Stage3Log);
@@ -168,6 +365,8 @@ PipelineArtifacts runTrainingPipeline(const Dataset &DS,
     Art.VerifyCacheMisses = C.Misses;
     Art.VerifyCacheEvictions = C.Evictions;
   }
+  RobustVerifier::Counters RC = RV.counters();
+  Art.InjectedFaults = RC.InjectedBudgetFaults + RC.InjectedVerdictFlips;
 
   return Art;
 }

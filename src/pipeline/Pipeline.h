@@ -18,6 +18,7 @@
 #ifndef VERIOPT_PIPELINE_PIPELINE_H
 #define VERIOPT_PIPELINE_PIPELINE_H
 
+#include "pipeline/Checkpoint.h"
 #include "rl/Trainer.h"
 
 #include <memory>
@@ -56,6 +57,32 @@ struct PipelineOptions {
   /// shared across stages (keys carry the full verification budget).
   size_t VerifyCacheCapacity = 4096;
 
+  //===--- Fault-tolerant runtime ---------------------------------------===//
+
+  /// Escalating verification retry ladder (RobustVerifier): budget-bound
+  /// Inconclusives are re-asked at geometrically larger budgets. 1 tier
+  /// reproduces the plain single-budget behaviour exactly.
+  unsigned VerifyRetryTiers = 3;
+  uint64_t VerifyRetryGrowth = 4;
+
+  /// Checkpoint file; empty disables checkpointing. Written every
+  /// CheckpointEveryNSteps GRPO steps (0 = only at stage boundaries and on
+  /// halt) via atomic write-then-rename.
+  std::string CheckpointPath;
+  unsigned CheckpointEveryNSteps = 0;
+  /// Resume from CheckpointPath when it holds a checkpoint for this Seed;
+  /// the resumed run's deterministic artifacts (parameters, logs, harvested
+  /// samples) are identical to an uninterrupted run.
+  bool Resume = false;
+  /// Test hook: stop this invocation after N GRPO steps (counted across
+  /// stages, after writing a checkpoint), returning artifacts with
+  /// Halted = true. 0 = run to completion.
+  unsigned HaltAfterSteps = 0;
+
+  /// Optional deterministic fault injection (oracle budget exhaustion,
+  /// verdict flips, cache misses, checkpoint-write failures). Null = off.
+  FaultInjector *Faults = nullptr;
+
   static VerifyOptions trainVerifyDefaults() {
     VerifyOptions V;
     V.FalsifyTrials = 12;
@@ -89,6 +116,14 @@ struct PipelineArtifacts {
   uint64_t VerifyCacheEvictions = 0;
   unsigned FalsifyWins = 0;       ///< counterexamples found pre-SMT
   uint64_t SolverConflicts = 0;   ///< total CDCL conflicts spent scoring
+
+  // Fault-tolerant-runtime instrumentation.
+  bool Halted = false;            ///< stopped early via HaltAfterSteps
+  unsigned CheckpointsWritten = 0;
+  unsigned CheckpointWriteFailures = 0; ///< injected or real; run continued
+  uint64_t RetryEscalations = 0;        ///< rollouts verified above tier 0
+  uint64_t TerminalInconclusive = 0;    ///< budget-bound at the top tier
+  uint64_t InjectedFaults = 0;          ///< oracle faults the verifier saw
 };
 
 /// Run the full pipeline over \p DS (built by the caller so benches can
@@ -110,6 +145,13 @@ RewardFn makeCorrectnessReward(const VerifyOptions &VOpts,
 RewardFn makeLatencyReward(const VerifyOptions &VOpts,
                            const LatencyRewardParams &P,
                            VerifyCache *Cache = nullptr);
+
+/// Fault-tolerant factory variants: verification goes through \p RV's
+/// escalating retry ladder. \p RV must outlive the returned function.
+RewardFn makeAnswerReward(const RobustVerifier &RV);
+RewardFn makeCorrectnessReward(const RobustVerifier &RV);
+RewardFn makeLatencyReward(const RobustVerifier &RV,
+                           const LatencyRewardParams &P);
 
 } // namespace veriopt
 

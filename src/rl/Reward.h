@@ -18,6 +18,7 @@
 #include "data/Dataset.h"
 #include "model/Policy.h"
 #include "verify/AliveLite.h"
+#include "verify/RobustVerifier.h"
 #include "verify/VerifyCache.h"
 
 namespace veriopt {
@@ -41,6 +42,13 @@ RewardBreakdown answerReward(const Sample &S, const Completion &C,
                              const VerifyOptions &VOpts = VerifyOptions(),
                              VerifyCache *Cache = nullptr);
 
+/// Fault-tolerant variant: verification goes through \p RV's escalating
+/// retry ladder, so budget-bound Inconclusives are re-asked at larger
+/// budgets before scoring. With injection disabled, rewards are identical
+/// to the plain overload evaluated at the tier that settled the query.
+RewardBreakdown answerReward(const Sample &S, const Completion &C,
+                             const RobustVerifier &RV);
+
 /// Eq. (2): 1 when model and Alive agree the think-attempt verifies;
 /// 0.5 + 0.5*BLEU(model message, alive message) when both agree it fails;
 /// 0 on disagreement. \p AttemptVerify is Alive's verdict on the attempt.
@@ -50,6 +58,10 @@ double cotReward(const Completion &C, const VerifyResult &AttemptVerify);
 VerifyResult verifyAttempt(const Sample &S, const Completion &C,
                            const VerifyOptions &VOpts = VerifyOptions(),
                            VerifyCache *Cache = nullptr);
+
+/// Fault-tolerant variant of verifyAttempt through the retry ladder.
+VerifyResult verifyAttempt(const Sample &S, const Completion &C,
+                           const RobustVerifier &RV);
 
 struct LatencyRewardParams {
   double UMax = 3.0;   ///< saturation threshold (80th pct of reference)

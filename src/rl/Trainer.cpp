@@ -82,6 +82,7 @@ TrainLogEntry GRPOTrainer::step(const std::vector<const Sample *> &Batch) {
 
   double RewardSum = 0;
   unsigned EquivCount = 0, CopyCount = 0, FalsifyWins = 0;
+  unsigned Escalations = 0, TerminalInconclusive = 0, MaxTier = 0;
   uint64_t TotalTokens = 0, Conflicts = 0;
   for (const Rollout &Ro : Rollouts) {
     RewardSum += Ro.Score.Reward;
@@ -90,6 +91,14 @@ TrainLogEntry GRPOTrainer::step(const std::vector<const Sample *> &Batch) {
     TotalTokens += Ro.C.TokenCount;
     FalsifyWins += Ro.Score.AnswerVerify.FoundByFalsification;
     Conflicts += Ro.Score.AnswerVerify.SolverConflicts;
+    const VerifyResult &AV = Ro.Score.AnswerVerify;
+    if (AV.RetryTier > 0)
+      ++Escalations;
+    MaxTier = std::max(MaxTier, AV.RetryTier);
+    if (AV.Status == VerifyStatus::Inconclusive &&
+        (AV.Kind == DiagKind::SolverTimeout ||
+         AV.Kind == DiagKind::ResourceExhausted))
+      ++TerminalInconclusive;
     if (Opts.OnRollout)
       Opts.OnRollout(*Ro.S, Ro.C, Ro.Score);
   }
@@ -157,11 +166,15 @@ TrainLogEntry GRPOTrainer::step(const std::vector<const Sample *> &Batch) {
   }
   Log.FalsifyWins = FalsifyWins;
   Log.SolverConflicts = Conflicts;
+  Log.RetryEscalations = Escalations;
+  Log.TerminalInconclusive = TerminalInconclusive;
+  Log.MaxRetryTier = MaxTier;
   return Log;
 }
 
 std::vector<TrainLogEntry>
-GRPOTrainer::train(const std::vector<Sample> &Prompts, unsigned Steps) {
+GRPOTrainer::train(const std::vector<Sample> &Prompts, unsigned Steps,
+                   const std::function<bool(const TrainLogEntry &)> &OnStep) {
   std::vector<TrainLogEntry> Logs;
   assert(!Prompts.empty() && "training set is empty");
   for (unsigned Step = 0; Step < Steps; ++Step) {
@@ -169,8 +182,25 @@ GRPOTrainer::train(const std::vector<Sample> &Prompts, unsigned Steps) {
     for (unsigned I = 0; I < Opts.PromptsPerStep; ++I)
       Batch.push_back(&Prompts[R.below(Prompts.size())]);
     Logs.push_back(this->step(Batch));
+    if (OnStep && !OnStep(Logs.back()))
+      break;
   }
   return Logs;
+}
+
+GRPOTrainerState GRPOTrainer::state() const {
+  GRPOTrainerState St;
+  St.StepCount = StepCount;
+  St.RNGState = R.state();
+  St.EMAValue = Smoother.value();
+  St.EMAPrimed = Smoother.primed();
+  return St;
+}
+
+void GRPOTrainer::restoreState(const GRPOTrainerState &St) {
+  StepCount = St.StepCount;
+  R.setState(St.RNGState);
+  Smoother.restore(St.EMAValue, St.EMAPrimed);
 }
 
 //===----------------------------------------------------------------------===//

@@ -83,6 +83,24 @@ struct TrainLogEntry {
   double CacheHitRate = 0;      ///< verify-cache hits / lookups this step
   unsigned FalsifyWins = 0;     ///< counterexamples found pre-SMT
   uint64_t SolverConflicts = 0; ///< CDCL conflicts spent this step
+
+  // Retry-ladder telemetry (deterministic: derived from verdicts, and
+  // identical whether a verdict came from the cache or a fresh run).
+  unsigned RetryEscalations = 0;     ///< rollouts verified above tier 0
+  unsigned TerminalInconclusive = 0; ///< budget-bound even at the top tier
+  unsigned MaxRetryTier = 0;         ///< highest tier reached this step
+};
+
+/// Everything needed to restart GRPO training mid-run and produce results
+/// bit-identical to an uninterrupted run: the step counter feeds the
+/// per-rollout RNG derivation, RNGState drives prompt sampling, and the
+/// EMA smoother state continues the logged reward curve. (Model parameters
+/// are checkpointed separately by the pipeline.)
+struct GRPOTrainerState {
+  unsigned StepCount = 0;
+  uint64_t RNGState = 0;
+  double EMAValue = 0;
+  bool EMAPrimed = false;
 };
 
 /// Group Relative Policy Optimization over a fixed prompt set.
@@ -92,12 +110,20 @@ public:
               const GRPOOptions &Opts);
 
   /// Run \p Steps updates over \p Prompts (cycled, shuffled by seed).
-  /// Returns the per-step log.
-  std::vector<TrainLogEntry> train(const std::vector<Sample> &Prompts,
-                                   unsigned Steps);
+  /// Returns the per-step log. \p OnStep, when set, observes each step's
+  /// log entry; returning false halts training after that step (the
+  /// pipeline's checkpoint hook), leaving the trainer resumable via
+  /// state()/restoreState().
+  std::vector<TrainLogEntry>
+  train(const std::vector<Sample> &Prompts, unsigned Steps,
+        const std::function<bool(const TrainLogEntry &)> &OnStep = nullptr);
 
   /// Single update from explicit rollouts (exposed for tests).
   TrainLogEntry step(const std::vector<const Sample *> &Batch);
+
+  /// Snapshot / restore the trainer's resumable state (checkpointing).
+  GRPOTrainerState state() const;
+  void restoreState(const GRPOTrainerState &St);
 
 private:
   RewritePolicyModel &Model;

@@ -243,7 +243,7 @@ Lit SatSolver::pickBranchLit() {
   return Lit(Best, Neg);
 }
 
-SatSolver::Result SatSolver::solve(uint64_t ConflictBudget) {
+SatSolver::Result SatSolver::solve(uint64_t ConflictBudget, Fuel *F) {
   if (Unsatisfiable)
     return Result::Unsat;
   if (propagate() != NoReason)
@@ -263,6 +263,10 @@ SatSolver::Result SatSolver::solve(uint64_t ConflictBudget) {
       if (ConflictBudget && Conflicts - StartConflicts >= ConflictBudget) {
         // Leave the solver reusable: a later solve() must not see a stale
         // conflicting trail.
+        backtrack(0);
+        return Result::Unknown;
+      }
+      if (F && !F->consume(fuel::SatConflict)) {
         backtrack(0);
         return Result::Unknown;
       }
@@ -295,6 +299,10 @@ SatSolver::Result SatSolver::solve(uint64_t ConflictBudget) {
     Lit Next = pickBranchLit();
     if (Next.Code == 0)
       return Result::Sat; // complete assignment, no conflict
+    if (F && !F->consume(fuel::SatDecision)) {
+      backtrack(0);
+      return Result::Unknown;
+    }
     TrailLim.push_back(static_cast<unsigned>(Trail.size()));
     enqueue(Next, NoReason);
   }

@@ -14,6 +14,8 @@
 #ifndef VERIOPT_SMT_SAT_H
 #define VERIOPT_SMT_SAT_H
 
+#include "support/Fuel.h"
+
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -66,8 +68,11 @@ public:
     return addClause(std::vector<Lit>{A, B, C});
   }
 
-  /// Solve with a conflict budget (0 = unlimited).
-  Result solve(uint64_t ConflictBudget = 0);
+  /// Solve with a conflict budget (0 = unlimited). A non-null \p F is
+  /// charged per decision and per conflict; when it runs dry the search
+  /// stops with Unknown (the token latches the exhaustion, so callers can
+  /// distinguish fuel-out from conflict-budget-out).
+  Result solve(uint64_t ConflictBudget = 0, Fuel *F = nullptr);
 
   /// Model access after Sat.
   bool modelValue(unsigned Var) const;

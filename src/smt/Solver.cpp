@@ -8,7 +8,7 @@ namespace veriopt {
 
 SmtCheck checkSat(BVContext &Ctx, const BVExpr *Constraint,
                   const std::vector<const BVExpr *> &ModelTerms,
-                  uint64_t ConflictBudget) {
+                  uint64_t ConflictBudget, Fuel *F) {
   assert(Constraint->Width == 1 && "constraint must be width 1");
   SmtCheck Out;
 
@@ -26,7 +26,7 @@ SmtCheck checkSat(BVContext &Ctx, const BVExpr *Constraint,
     BB.blast(T);
   BB.assertTrue(Constraint);
 
-  switch (S.solve(ConflictBudget)) {
+  switch (S.solve(ConflictBudget, F)) {
   case SatSolver::Result::Sat:
     Out.St = SmtCheck::Sat;
     for (const BVExpr *T : ModelTerms) {

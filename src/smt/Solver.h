@@ -4,6 +4,7 @@
 #define VERIOPT_SMT_SOLVER_H
 
 #include "smt/BVExpr.h"
+#include "support/Fuel.h"
 
 #include <unordered_map>
 #include <vector>
@@ -21,10 +22,13 @@ struct SmtCheck {
 /// Decide satisfiability of a width-1 constraint. \p ModelTerms lists the
 /// Var terms whose values should be reported on Sat. \p ConflictBudget
 /// bounds the search (0 = unlimited); exhaustion reports Unknown, which the
-/// verifier maps to the paper's Inconclusive outcome.
+/// verifier maps to the paper's Inconclusive outcome. A non-null \p F is
+/// the shared verification fuel token: the search also stops (Unknown) when
+/// it runs dry, with the exhaustion latched on the token.
 SmtCheck checkSat(BVContext &Ctx, const BVExpr *Constraint,
                   const std::vector<const BVExpr *> &ModelTerms = {},
-                  uint64_t ConflictBudget = 200000);
+                  uint64_t ConflictBudget = DefaultSolverConflictBudget,
+                  Fuel *F = nullptr);
 
 } // namespace veriopt
 

@@ -1,0 +1,84 @@
+//===- FaultInjector.h - Deterministic fault injection -----------*- C++ -*-=//
+//
+// Seeded, deterministic injection of the fault classes the training runtime
+// must survive: oracle budget exhaustion, verdict flips, verify-cache
+// misses, and checkpoint-write failures. An injection decision is a pure
+// hash of (seed, site, caller-supplied key) — never a counter or a clock —
+// so the same run injects the same faults at any thread count and under any
+// scheduling, and the fault-tolerance tests are exactly reproducible.
+//
+// A null FaultInjector* everywhere means "injection disabled"; production
+// paths pay one branch.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_SUPPORT_FAULTINJECTOR_H
+#define VERIOPT_SUPPORT_FAULTINJECTOR_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace veriopt {
+
+enum class FaultSite : unsigned {
+  OracleBudget,    ///< force a tier-0 verification budget exhaustion
+  VerdictFlip,     ///< flip the final Equivalent/NotEquivalent verdict
+  CacheMiss,       ///< force a verify-cache lookup to recompute
+  CheckpointWrite, ///< fail a checkpoint write
+  NumSites
+};
+
+const char *faultSiteName(FaultSite S);
+
+class FaultInjector {
+public:
+  explicit FaultInjector(uint64_t Seed = 0) : Seed(Seed) {}
+
+  /// Arm \p S with injection probability \p Rate in [0, 1].
+  void enable(FaultSite S, double Rate);
+  void disable(FaultSite S) { enable(S, 0.0); }
+  double rate(FaultSite S) const;
+
+  /// Deterministic decision for \p Key at site \p S. Thread-safe; the
+  /// result depends only on (Seed, S, Key).
+  bool shouldInject(FaultSite S, uint64_t Key);
+  bool shouldInject(FaultSite S, const std::string &Key) {
+    return shouldInject(S, hashKey(Key));
+  }
+
+  /// FNV-1a, exposed so call sites can derive stable keys from text.
+  static uint64_t hashKey(const std::string &S);
+
+  struct Counters {
+    std::array<uint64_t, static_cast<size_t>(FaultSite::NumSites)> Checked{};
+    std::array<uint64_t, static_cast<size_t>(FaultSite::NumSites)> Injected{};
+    uint64_t checked(FaultSite S) const {
+      return Checked[static_cast<size_t>(S)];
+    }
+    uint64_t injected(FaultSite S) const {
+      return Injected[static_cast<size_t>(S)];
+    }
+    uint64_t totalInjected() const {
+      uint64_t N = 0;
+      for (uint64_t V : Injected)
+        N += V;
+      return N;
+    }
+  };
+  Counters counters() const;
+
+private:
+  static constexpr size_t NumSites =
+      static_cast<size_t>(FaultSite::NumSites);
+
+  uint64_t Seed;
+  std::array<std::atomic<uint64_t>, NumSites> RateBits{}; // double bit-cast
+  std::array<std::atomic<uint64_t>, NumSites> Checked{};
+  std::array<std::atomic<uint64_t>, NumSites> Injected{};
+};
+
+} // namespace veriopt
+
+#endif // VERIOPT_SUPPORT_FAULTINJECTOR_H

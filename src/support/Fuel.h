@@ -1,0 +1,87 @@
+//===- Fuel.h - Deterministic work budgets for verification ------*- C++ -*-=//
+//
+// A fuel token is a deterministic, thread-count-independent work budget
+// threaded through the whole verification stack (interpreter, symbolic
+// encoder, SAT solver). Every layer charges abstract "work units" for the
+// operations it performs; when the tank runs dry the verification stops and
+// reports Inconclusive{ResourceExhausted} instead of running away on a
+// pathological candidate.
+//
+// No wall clock is ever consulted: the same query with the same budget
+// exhausts at exactly the same point on any machine, at any thread count,
+// preserving the bit-identical-trajectory guarantee of the parallel scoring
+// path. One token is created per verification and shared across its
+// sub-phases (falsification, encoding, SAT), so the total work of a single
+// oracle call is bounded no matter where the blowup happens.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_SUPPORT_FUEL_H
+#define VERIOPT_SUPPORT_FUEL_H
+
+#include <cstdint>
+
+namespace veriopt {
+
+/// The one place the SAT conflict budget's default lives. VerifyOptions and
+/// checkSat() both read it, so the retry ladder's geometric tiers scale a
+/// single source of truth.
+inline constexpr uint64_t DefaultSolverConflictBudget = 200000;
+
+/// Default verification fuel. Sized so that a full default-budget query
+/// (falsification trials + symbolic encoding + a conflict-budget-limited
+/// SAT search) fits comfortably: the conflict budget, not the fuel, is the
+/// binding constraint on ordinary candidates. Fuel exists for the work the
+/// conflict budget does not see — path enumeration, interpretation, and
+/// adversarial candidates engineered to blow up before SAT ever runs.
+inline constexpr uint64_t DefaultVerifyFuel = 1ULL << 26; // ~67M units
+
+/// Unit prices charged by each layer (kept here so the total budget and the
+/// prices evolve together).
+namespace fuel {
+inline constexpr uint64_t InterpStep = 1;   ///< one dynamic instruction
+inline constexpr uint64_t EncodeStep = 1;   ///< one symbolic instruction
+inline constexpr uint64_t EncodeBlockVisit = 4;
+inline constexpr uint64_t SatDecision = 1;
+inline constexpr uint64_t SatConflict = 64;
+} // namespace fuel
+
+class Fuel {
+public:
+  /// A zero budget means unlimited (mirroring the SAT conflict budget).
+  static constexpr uint64_t Unlimited = 0;
+
+  explicit Fuel(uint64_t Budget = Unlimited)
+      : Remaining(Budget), Limited(Budget != Unlimited) {}
+
+  /// Charge \p Units of work. Returns false (and latches exhaustion) when
+  /// the tank cannot cover them; callers must then unwind and report
+  /// ResourceExhausted.
+  bool consume(uint64_t Units = 1) {
+    Spent += Units;
+    if (!Limited)
+      return true;
+    if (Empty || Units > Remaining) {
+      Empty = true;
+      Remaining = 0;
+      return false;
+    }
+    Remaining -= Units;
+    return true;
+  }
+
+  bool exhausted() const { return Empty; }
+  uint64_t remaining() const { return Remaining; }
+  uint64_t spent() const { return Spent; }
+  bool limited() const { return Limited; }
+
+private:
+  uint64_t Remaining = 0;
+  uint64_t Spent = 0;
+  bool Limited = false;
+  bool Empty = false;
+};
+
+} // namespace veriopt
+
+#endif // VERIOPT_SUPPORT_FUEL_H

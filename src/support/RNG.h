@@ -69,6 +69,11 @@ public:
   /// Derive an independent child generator (stable given call order).
   RNG fork() { return RNG(next()); }
 
+  /// Raw state access for checkpoint/resume: restoring the state resumes
+  /// the exact stream an interrupted run would have continued.
+  uint64_t state() const { return State; }
+  void setState(uint64_t S) { State = S; }
+
 private:
   uint64_t State;
 };

@@ -46,6 +46,12 @@ public:
   double value() const { return Value; }
   bool primed() const { return Primed; }
 
+  /// Checkpoint/resume: reinstate a previously observed smoother state.
+  void restore(double V, bool P) {
+    Value = V;
+    Primed = P;
+  }
+
 private:
   double Alpha;
   double Value = 0;

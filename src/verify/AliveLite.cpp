@@ -39,6 +39,8 @@ const char *diagKindName(DiagKind K) {
     return "unsupported";
   case DiagKind::LoopBound:
     return "loop-bound";
+  case DiagKind::ResourceExhausted:
+    return "resource-exhausted";
   }
   return "unknown";
 }
@@ -131,17 +133,21 @@ std::vector<APInt64> sampleArgs(const Function &F, RNG &R, unsigned Trial) {
 
 /// Try to refute equivalence with concrete executions before any SMT work.
 bool falsify(const Function &Src, const Function &Tgt,
-             const VerifyOptions &Opts, VerifyResult &Out) {
+             const VerifyOptions &Opts, Fuel &F, VerifyResult &Out) {
   for (unsigned I = 0; I < Src.getNumParams(); ++I)
     if (!Src.getParamType(I)->isInteger())
       return false;
+  InterpOptions IOpts;
+  IOpts.FuelTok = &F;
   RNG R(0xA11CE + Src.getNumParams());
   for (unsigned Trial = 0; Trial < Opts.FalsifyTrials; ++Trial) {
+    if (F.exhausted())
+      return false;
     std::vector<APInt64> Args = sampleArgs(Src, R, Trial);
-    ExecResult SR = interpret(Src, Args);
+    ExecResult SR = interpret(Src, Args, IOpts);
     if (SR.St != ExecResult::Ok || SR.RetPoison)
       continue; // source undefined/poison: target is unconstrained
-    ExecResult TR = interpret(Tgt, Args);
+    ExecResult TR = interpret(Tgt, Args, IOpts);
     if (TR.St == ExecResult::Timeout || TR.St == ExecResult::Unsupported)
       continue;
 
@@ -183,10 +189,17 @@ bool falsify(const Function &Src, const Function &Tgt,
   return false;
 }
 
-} // namespace
+VerifyResult exhaustedResult(const Function &Src) {
+  VerifyResult Out;
+  Out.Status = VerifyStatus::Inconclusive;
+  Out.Kind = DiagKind::ResourceExhausted;
+  Out.Diagnostic =
+      header(Src) + "Inconclusive: verification fuel budget exhausted\n";
+  return Out;
+}
 
-VerifyResult verifyRefinement(const Function &Src, const Function &Tgt,
-                              const VerifyOptions &Opts) {
+VerifyResult verifyRefinementImpl(const Function &Src, const Function &Tgt,
+                                  const VerifyOptions &Opts, Fuel &F) {
   VerifyResult Out;
 
   // Signatures must match exactly.
@@ -205,8 +218,10 @@ VerifyResult verifyRefinement(const Function &Src, const Function &Tgt,
   }
 
   // Cheap refutation first (ablation: micro_components measures the win).
-  if (Opts.FalsifyTrials > 0 && falsify(Src, Tgt, Opts, Out))
+  if (Opts.FalsifyTrials > 0 && falsify(Src, Tgt, Opts, F, Out))
     return Out;
+  if (F.exhausted())
+    return exhaustedResult(Src);
 
   // Symbolic encoding over a shared context / argument space / world.
   BVContext Ctx;
@@ -228,9 +243,12 @@ VerifyResult verifyRefinement(const Function &Src, const Function &Tgt,
   Limits.MaxPaths = Opts.MaxPaths;
   Limits.MaxBlockVisitsPerPath = Opts.MaxBlockVisitsPerPath;
   Limits.MaxStepsPerPath = Opts.MaxStepsPerPath;
+  Limits.FuelTok = &F;
 
   FnEncoding SE = encodeFunction(Src, Ctx, ArgVars, World, Limits);
   FnEncoding TE = encodeFunction(Tgt, Ctx, ArgVars, World, Limits);
+  if (SE.FuelOut || TE.FuelOut)
+    return exhaustedResult(Src);
   if (SE.Unsupported || TE.Unsupported) {
     Out.Status = VerifyStatus::Inconclusive;
     Out.Kind = DiagKind::Unsupported;
@@ -330,13 +348,19 @@ VerifyResult verifyRefinement(const Function &Src, const Function &Tgt,
   for (const BVExpr *WV : World.vars())
     ModelTerms.push_back(WV);
 
-  SmtCheck Res = checkSat(Ctx, Cex, ModelTerms, Opts.SolverConflictBudget);
+  SmtCheck Res = checkSat(Ctx, Cex, ModelTerms, Opts.SolverConflictBudget, &F);
   Out.SolverConflicts = Res.Conflicts;
 
   if (Res.St == SmtCheck::Unknown) {
     Out.Status = VerifyStatus::Inconclusive;
-    Out.Kind = DiagKind::SolverTimeout;
-    Out.Diagnostic = "Inconclusive: SMT solver budget exhausted\n";
+    if (F.exhausted()) {
+      Out.Kind = DiagKind::ResourceExhausted;
+      Out.Diagnostic =
+          header(Src) + "Inconclusive: verification fuel budget exhausted\n";
+    } else {
+      Out.Kind = DiagKind::SolverTimeout;
+      Out.Diagnostic = "Inconclusive: SMT solver budget exhausted\n";
+    }
     return Out;
   }
 
@@ -402,10 +426,33 @@ VerifyResult verifyRefinement(const Function &Src, const Function &Tgt,
   return Out;
 }
 
+} // namespace
+
+VerifyResult verifyRefinement(const Function &Src, const Function &Tgt,
+                              const VerifyOptions &Opts) {
+  // One fuel token per verification: a deterministic total-work bound that
+  // is independent of thread count and wall clock, so identical queries
+  // yield bit-identical results everywhere.
+  Fuel F(Opts.FuelBudget);
+  VerifyResult Out = verifyRefinementImpl(Src, Tgt, Opts, F);
+  Out.FuelSpent = F.spent();
+  return Out;
+}
+
 VerifyResult verifyCandidateText(const Function &Src,
                                  const std::string &TgtText,
                                  const VerifyOptions &Opts) {
   VerifyResult Out;
+  // Adversarial-emission guard: refuse pathologically large candidates
+  // before paying any parse cost.
+  if (Opts.MaxCandidateBytes > 0 && TgtText.size() > Opts.MaxCandidateBytes) {
+    Out.Status = VerifyStatus::SyntaxError;
+    Out.Kind = DiagKind::ParseError;
+    Out.Diagnostic = header(Src) + "ERROR: Candidate exceeds maximum size (" +
+                     std::to_string(TgtText.size()) + " > " +
+                     std::to_string(Opts.MaxCandidateBytes) + " bytes)\n";
+    return Out;
+  }
   auto M = parseModule(TgtText);
   if (!M) {
     Out.Status = VerifyStatus::SyntaxError;
@@ -420,6 +467,17 @@ VerifyResult verifyCandidateText(const Function &Src,
     Out.Kind = DiagKind::ParseError;
     Out.Diagnostic =
         header(Src) + "ERROR: Transformed IR contains no function\n";
+    return Out;
+  }
+  if (Opts.MaxCandidateInsts > 0 &&
+      Tgt->instructionCount() > Opts.MaxCandidateInsts) {
+    Out.Status = VerifyStatus::SyntaxError;
+    Out.Kind = DiagKind::StructureError;
+    Out.Diagnostic = header(Src) +
+                     "ERROR: Candidate exceeds maximum function size (" +
+                     std::to_string(Tgt->instructionCount()) + " > " +
+                     std::to_string(Opts.MaxCandidateInsts) +
+                     " instructions)\n";
     return Out;
   }
   std::string Err;

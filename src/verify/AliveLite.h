@@ -23,6 +23,7 @@
 
 #include "ir/Function.h"
 #include "support/APInt64.h"
+#include "support/Fuel.h"
 
 #include <string>
 #include <vector>
@@ -50,6 +51,7 @@ enum class DiagKind {
   SolverTimeout,     ///< SAT budget exhausted
   Unsupported,       ///< construct outside the symbolic model
   LoopBound,         ///< strict mode: unroll bound reached
+  ResourceExhausted, ///< deterministic fuel budget ran dry (any layer)
 };
 
 const char *diagKindName(DiagKind K);
@@ -58,9 +60,19 @@ struct VerifyOptions {
   unsigned MaxPaths = 128;          ///< per function
   unsigned MaxBlockVisitsPerPath = 5; ///< loop unroll bound
   unsigned MaxStepsPerPath = 4096;
-  uint64_t SolverConflictBudget = 200000;
+  uint64_t SolverConflictBudget = DefaultSolverConflictBudget;
   bool StrictLoops = false; ///< Inconclusive instead of bounded guarantee
   unsigned FalsifyTrials = 24; ///< random-input pre-pass (0 = disabled)
+  /// Deterministic total-work budget for one verification, shared across
+  /// falsification, encoding, and SAT (0 = unlimited). Exhaustion yields
+  /// Inconclusive{ResourceExhausted}; no wall clock is involved, so results
+  /// stay bit-identical at any thread count.
+  uint64_t FuelBudget = DefaultVerifyFuel;
+  /// Adversarial-emission guards for verifyCandidateText: candidates larger
+  /// than this many bytes, or parsing to more than this many instructions,
+  /// classify as SyntaxError without paying parse/verify cost.
+  size_t MaxCandidateBytes = 1 << 20;
+  unsigned MaxCandidateInsts = 50000;
 };
 
 /// One argument assignment in a counterexample.
@@ -83,6 +95,12 @@ struct VerifyResult {
   /// found the counterexample before any SMT work.
   bool FoundByFalsification = false;
   uint64_t SolverConflicts = 0;
+  /// Fuel actually consumed by this verification (0 when unlimited and
+  /// untracked); reported for telemetry and the retry ladder's tiering.
+  uint64_t FuelSpent = 0;
+  /// Retry-ladder tier that produced this verdict (0 = first attempt).
+  /// Set by RobustVerifier; plain verifyCandidateText always reports 0.
+  unsigned RetryTier = 0;
 
   bool equivalent() const { return Status == VerifyStatus::Equivalent; }
 };

@@ -115,7 +115,7 @@ public:
   }
 
   FnEncoding run() {
-    while (!Worklist.empty() && !Enc.Unsupported) {
+    while (!Worklist.empty() && !Enc.Unsupported && !Enc.FuelOut) {
       Frame Fr = std::move(Worklist.back());
       Worklist.pop_back();
       execBlock(Fr.BB, Fr.Prev, std::move(Fr.State));
@@ -150,8 +150,12 @@ private:
 
   void execBlock(const BasicBlock *BB, const BasicBlock *Prev,
                  PathState S) {
-    if (Enc.Unsupported)
+    if (Enc.Unsupported || Enc.FuelOut)
       return;
+    if (Limits.FuelTok && !Limits.FuelTok->consume(fuel::EncodeBlockVisit)) {
+      Enc.FuelOut = true;
+      return;
+    }
     unsigned &Visits = S.Visits[BB];
     if (++Visits > Limits.MaxBlockVisitsPerPath) {
       Enc.Truncated = Ctx.or1(Enc.Truncated, S.Cond);
@@ -174,6 +178,10 @@ private:
         continue;
       if (++S.Steps > Limits.MaxStepsPerPath) {
         Enc.Truncated = Ctx.or1(Enc.Truncated, S.Cond);
+        return;
+      }
+      if (Limits.FuelTok && !Limits.FuelTok->consume(fuel::EncodeStep)) {
+        Enc.FuelOut = true;
         return;
       }
       if (!execInst(S, I))

@@ -12,6 +12,7 @@
 
 #include "ir/Function.h"
 #include "smt/BVExpr.h"
+#include "support/Fuel.h"
 
 #include <map>
 #include <string>
@@ -58,6 +59,9 @@ struct EncodeLimits {
   unsigned MaxPaths = 128;
   unsigned MaxBlockVisitsPerPath = 5;
   unsigned MaxStepsPerPath = 4096;
+  /// Shared verification fuel; charged per symbolic instruction and block
+  /// visit, so path enumeration is bounded globally, not just per path.
+  Fuel *FuelTok = nullptr;
 };
 
 /// The symbolic summary of a function.
@@ -68,6 +72,9 @@ struct FnEncoding {
   std::vector<CallRecord> Calls;
   bool Unsupported = false;
   std::string UnsupportedWhy;
+  /// The fuel token ran dry mid-encoding: the summary is incomplete and the
+  /// verifier must report Inconclusive{ResourceExhausted}.
+  bool FuelOut = false;
 
   /// ITE-chain of return values over the paths (null for void functions).
   const BVExpr *returnTerm(BVContext &Ctx) const;

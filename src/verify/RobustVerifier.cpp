@@ -1,0 +1,142 @@
+//===- RobustVerifier.cpp - Escalating-budget verification --------------------//
+
+#include "verify/RobustVerifier.h"
+
+namespace veriopt {
+
+namespace {
+
+/// Scale a budget by Growth^Tier, saturating instead of overflowing.
+/// 0 means "unlimited" and stays 0.
+uint64_t scaleBudget(uint64_t Budget, uint64_t Growth, unsigned Tier) {
+  if (Budget == 0 || Growth <= 1)
+    return Budget;
+  for (unsigned I = 0; I < Tier; ++I) {
+    if (Budget > UINT64_MAX / Growth)
+      return UINT64_MAX;
+    Budget *= Growth;
+  }
+  return Budget;
+}
+
+} // namespace
+
+VerifyOptions RobustVerifier::tierOptions(unsigned Tier) const {
+  VerifyOptions T = Opts.Base;
+  T.SolverConflictBudget =
+      scaleBudget(T.SolverConflictBudget, Opts.BudgetGrowth, Tier);
+  T.FuelBudget = scaleBudget(T.FuelBudget, Opts.BudgetGrowth, Tier);
+  return T;
+}
+
+VerifyResult RobustVerifier::runTier(const std::string &SrcText,
+                                     const Function &Src,
+                                     const std::string &TgtText,
+                                     const VerifyOptions &TierOpts) const {
+  if (Cache)
+    return Cache->verify(SrcText, Src, TgtText, TierOpts);
+  return verifyCandidateText(Src, TgtText, TierOpts);
+}
+
+RobustVerifier::Outcome RobustVerifier::verify(const std::string &SrcText,
+                                               const Function &Src,
+                                               const std::string &TgtText) const {
+  NQueries.fetch_add(1, std::memory_order_relaxed);
+  Outcome Out;
+
+  // Fault keys are content-derived, so injection decisions are identical
+  // for identical queries regardless of thread schedule or arrival order.
+  const std::string FaultKey = SrcText + '\x1f' + TgtText;
+
+  const unsigned MaxTiers = Opts.MaxTiers ? Opts.MaxTiers : 1;
+  uint64_t TotalConflicts = 0, TotalFuel = 0;
+  VerifyResult Final;
+  for (unsigned Tier = 0; Tier < MaxTiers; ++Tier) {
+    VerifyResult R;
+    bool Injected = false;
+    if (Tier == 0 && Faults &&
+        Faults->shouldInject(FaultSite::OracleBudget, FaultKey)) {
+      // Simulated oracle budget exhaustion: the first attempt reports
+      // ResourceExhausted without running, and the ladder must recover by
+      // escalating exactly as it would for a genuinely hard candidate.
+      R.Status = VerifyStatus::Inconclusive;
+      R.Kind = DiagKind::ResourceExhausted;
+      R.Diagnostic = "Inconclusive: injected oracle budget exhaustion\n";
+      Injected = true;
+      Out.FaultInjected = true;
+      NInjectedBudget.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      R = runTier(SrcText, Src, TgtText, tierOptions(Tier));
+    }
+
+    Out.Tiers.push_back({Tier, R.Status, R.Kind, R.SolverConflicts,
+                         R.FuelSpent, Injected});
+    TotalConflicts += R.SolverConflicts;
+    TotalFuel += R.FuelSpent;
+    Final = std::move(R);
+    Final.RetryTier = Tier;
+
+    if (!retryable(Final))
+      break;
+  }
+
+  if (Out.Tiers.size() > 1) {
+    Out.Escalated = true;
+    NEscalations.fetch_add(1, std::memory_order_relaxed);
+    if (retryable(Final))
+      NTerminalInconclusive.fetch_add(1, std::memory_order_relaxed);
+    else
+      NRescued.fetch_add(1, std::memory_order_relaxed);
+  } else if (retryable(Final)) {
+    // Single-rung ladder that still ran out of budget.
+    NTerminalInconclusive.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Simulated oracle bug: flip a definitive verdict. The trainer must
+  // tolerate occasional wrong rewards with bounded impact (GRPO's group
+  // baseline absorbs them); this site lets tests prove that.
+  if (Faults && (Final.Status == VerifyStatus::Equivalent ||
+                 Final.Status == VerifyStatus::NotEquivalent) &&
+      Faults->shouldInject(FaultSite::VerdictFlip, FaultKey)) {
+    Out.FaultInjected = true;
+    NInjectedFlips.fetch_add(1, std::memory_order_relaxed);
+    if (Final.Status == VerifyStatus::Equivalent) {
+      Final.Status = VerifyStatus::NotEquivalent;
+      Final.Kind = DiagKind::ValueMismatch;
+      Final.Diagnostic += "(injected verdict flip)\n";
+    } else {
+      Final.Status = VerifyStatus::Equivalent;
+      Final.Kind = DiagKind::None;
+      Final.Counterexample.clear();
+      Final.Diagnostic += "(injected verdict flip)\n";
+    }
+  }
+
+  Final.SolverConflicts = TotalConflicts;
+  Final.FuelSpent = TotalFuel;
+  Out.Result = std::move(Final);
+  return Out;
+}
+
+RobustVerifier::Counters RobustVerifier::counters() const {
+  Counters C;
+  C.Queries = NQueries.load(std::memory_order_relaxed);
+  C.Escalations = NEscalations.load(std::memory_order_relaxed);
+  C.Rescued = NRescued.load(std::memory_order_relaxed);
+  C.TerminalInconclusive =
+      NTerminalInconclusive.load(std::memory_order_relaxed);
+  C.InjectedBudgetFaults = NInjectedBudget.load(std::memory_order_relaxed);
+  C.InjectedVerdictFlips = NInjectedFlips.load(std::memory_order_relaxed);
+  return C;
+}
+
+void RobustVerifier::resetCounters() {
+  NQueries.store(0, std::memory_order_relaxed);
+  NEscalations.store(0, std::memory_order_relaxed);
+  NRescued.store(0, std::memory_order_relaxed);
+  NTerminalInconclusive.store(0, std::memory_order_relaxed);
+  NInjectedBudget.store(0, std::memory_order_relaxed);
+  NInjectedFlips.store(0, std::memory_order_relaxed);
+}
+
+} // namespace veriopt

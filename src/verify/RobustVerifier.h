@@ -1,0 +1,119 @@
+//===- RobustVerifier.h - Escalating-budget verification ---------*- C++ -*-=//
+//
+// Wraps verifyCandidateText (optionally through VerifyCache) with an
+// escalating retry ladder: an Inconclusive verdict caused by budget
+// exhaustion (SolverTimeout / ResourceExhausted) is retried at
+// geometrically larger budget tiers before being accepted as terminal.
+// Non-budget Inconclusives (Unsupported, LoopBound) are never retried — a
+// bigger budget cannot change them.
+//
+// Every decision is deterministic: tier budgets derive from the base
+// options alone, retries are triggered by verdict kinds (never wall clock),
+// and the optional fault injector is a pure hash of (seed, site, key). The
+// trainer's bit-identical-trajectory guarantee therefore survives intact.
+//
+// Telemetry stays accurate with caching enabled: each tier is a distinct
+// cache key (the budget knobs are part of VerifyCache::makeKey), so a later
+// identical query replays the same ladder over per-tier cache entries and
+// reports the same per-tier outcomes and summed SolverConflicts.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_VERIFY_ROBUSTVERIFIER_H
+#define VERIOPT_VERIFY_ROBUSTVERIFIER_H
+
+#include "support/FaultInjector.h"
+#include "verify/AliveLite.h"
+#include "verify/VerifyCache.h"
+
+#include <atomic>
+#include <vector>
+
+namespace veriopt {
+
+/// What one rung of the ladder returned.
+struct RetryTierOutcome {
+  unsigned Tier = 0;
+  VerifyStatus Status = VerifyStatus::Inconclusive;
+  DiagKind Kind = DiagKind::None;
+  uint64_t SolverConflicts = 0;
+  uint64_t FuelSpent = 0;
+  bool Injected = false; ///< this tier's verdict came from a fault site
+};
+
+struct RobustVerifyOptions {
+  /// Tier-0 verification options; higher tiers scale the budget knobs only.
+  VerifyOptions Base;
+  /// Number of rungs (1 = no retries). The issue's ladder is 2–3 tiers.
+  unsigned MaxTiers = 3;
+  /// Geometric budget growth per tier: tier k runs with
+  /// SolverConflictBudget and FuelBudget multiplied by BudgetGrowth^k
+  /// (0-valued budgets stay 0 = unlimited).
+  uint64_t BudgetGrowth = 4;
+};
+
+class RobustVerifier {
+public:
+  explicit RobustVerifier(RobustVerifyOptions Opts, VerifyCache *Cache = nullptr,
+                          FaultInjector *Faults = nullptr)
+      : Opts(Opts), Cache(Cache), Faults(Faults) {}
+
+  struct Outcome {
+    /// Final verdict. RetryTier is set to the rung that produced it, and
+    /// SolverConflicts / FuelSpent are summed over every rung actually run,
+    /// so per-step telemetry reflects total verification work.
+    VerifyResult Result;
+    std::vector<RetryTierOutcome> Tiers; ///< one entry per rung run
+    bool Escalated = false;      ///< more than one rung was needed
+    bool FaultInjected = false;  ///< any fault site fired for this query
+  };
+
+  /// Verify \p TgtText against \p Src, escalating budgets on budget-bound
+  /// Inconclusives. \p SrcText must be the printed form of \p Src (used as
+  /// the stable cache/fault key).
+  Outcome verify(const std::string &SrcText, const Function &Src,
+                 const std::string &TgtText) const;
+
+  /// Options for rung \p Tier (public for tests and the bench).
+  VerifyOptions tierOptions(unsigned Tier) const;
+
+  /// A verdict the ladder will retry at a higher budget.
+  static bool retryable(const VerifyResult &R) {
+    return R.Status == VerifyStatus::Inconclusive &&
+           (R.Kind == DiagKind::SolverTimeout ||
+            R.Kind == DiagKind::ResourceExhausted);
+  }
+
+  const RobustVerifyOptions &options() const { return Opts; }
+
+  struct Counters {
+    uint64_t Queries = 0;
+    uint64_t Escalations = 0;          ///< queries needing more than tier 0
+    uint64_t Rescued = 0;              ///< escalations reaching a verdict
+    uint64_t TerminalInconclusive = 0; ///< still budget-bound at the top tier
+    uint64_t InjectedBudgetFaults = 0;
+    uint64_t InjectedVerdictFlips = 0;
+  };
+  Counters counters() const;
+  void resetCounters();
+
+private:
+  VerifyResult runTier(const std::string &SrcText, const Function &Src,
+                       const std::string &TgtText,
+                       const VerifyOptions &TierOpts) const;
+
+  RobustVerifyOptions Opts;
+  VerifyCache *Cache = nullptr;
+  FaultInjector *Faults = nullptr;
+
+  mutable std::atomic<uint64_t> NQueries{0};
+  mutable std::atomic<uint64_t> NEscalations{0};
+  mutable std::atomic<uint64_t> NRescued{0};
+  mutable std::atomic<uint64_t> NTerminalInconclusive{0};
+  mutable std::atomic<uint64_t> NInjectedBudget{0};
+  mutable std::atomic<uint64_t> NInjectedFlips{0};
+};
+
+} // namespace veriopt
+
+#endif // VERIOPT_VERIFY_ROBUSTVERIFIER_H

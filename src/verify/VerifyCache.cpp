@@ -33,10 +33,15 @@ std::string VerifyCache::makeKey(const std::string &SrcText,
     Canon = TgtText;
   }
 
+  // Every budget knob is part of the key: a low-tier Inconclusive must never
+  // be served for a higher-tier query (or vice versa) when the retry ladder
+  // re-asks the same candidate under a bigger budget.
   std::ostringstream OS;
   OS << Opts.MaxPaths << '|' << Opts.MaxBlockVisitsPerPath << '|'
      << Opts.MaxStepsPerPath << '|' << Opts.SolverConflictBudget << '|'
-     << Opts.StrictLoops << '|' << Opts.FalsifyTrials;
+     << Opts.StrictLoops << '|' << Opts.FalsifyTrials << '|'
+     << Opts.FuelBudget << '|' << Opts.MaxCandidateBytes << '|'
+     << Opts.MaxCandidateInsts;
   std::string Key = OS.str();
   Key.push_back('\x1f');
   Key += SrcText;
@@ -50,6 +55,23 @@ VerifyResult VerifyCache::verify(const std::string &SrcText,
                                  const std::string &TgtText,
                                  const VerifyOptions &Opts) {
   std::string Key = makeKey(SrcText, TgtText, Opts);
+
+  // Injected cache miss: bypass the memo entirely (no lookup, no store, no
+  // single-flight). Deterministic per key, so every thread asking for this
+  // key takes the same path. Verification itself is deterministic, so the
+  // result is unchanged — only the work is repeated.
+  FaultInjector *FI;
+  {
+    std::lock_guard<std::mutex> L(M);
+    FI = Faults;
+  }
+  if (FI && FI->shouldInject(FaultSite::CacheMiss, Key)) {
+    {
+      std::lock_guard<std::mutex> L(M);
+      ++Stats.Misses;
+    }
+    return verifyCandidateText(Src, TgtText, Opts);
+  }
 
   std::shared_ptr<InFlight> Slot;
   bool Owner = false;

@@ -22,6 +22,7 @@
 #ifndef VERIOPT_VERIFY_VERIFYCACHE_H
 #define VERIOPT_VERIFY_VERIFYCACHE_H
 
+#include "support/FaultInjector.h"
 #include "verify/AliveLite.h"
 
 #include <condition_variable>
@@ -60,6 +61,15 @@ public:
   size_t size() const;
   void clear();
 
+  /// Optional deterministic fault injection: when set and the CacheMiss site
+  /// fires for a key, both the lookup and the store are skipped — the entry
+  /// behaves as if evicted. Used by the fault-tolerance tests to prove the
+  /// trainer's results do not depend on cache residency.
+  void setFaultInjector(FaultInjector *FI) {
+    std::lock_guard<std::mutex> L(M);
+    Faults = FI;
+  }
+
 private:
   /// Single-flight slot: the first thread to miss computes into it; joiners
   /// wait on ReadyCV.
@@ -82,6 +92,7 @@ private:
   std::unordered_map<std::string, LRUList::iterator> Index;
   std::map<std::string, std::shared_ptr<InFlight>> Pending;
   Counters Stats;
+  FaultInjector *Faults = nullptr;
 };
 
 } // namespace veriopt

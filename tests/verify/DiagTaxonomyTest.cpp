@@ -1,0 +1,259 @@
+//===- DiagTaxonomyTest.cpp - One crafted candidate per DiagKind ----------===//
+//
+// The diagnostic taxonomy drives stage-2 prompt augmentation and the retry
+// ladder (only budget-bound kinds are retryable), so every kind must be
+// reachable through verifyCandidateText and classified correctly. Also
+// covers the adversarial-emission guards: oversized or degenerate candidate
+// text must classify as SyntaxError, never crash or hang the verifier.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/AliveLite.h"
+
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace veriopt {
+namespace {
+
+std::unique_ptr<Module> parseOk(const std::string &Src) {
+  auto M = parseModule(Src);
+  EXPECT_TRUE(M.hasValue()) << M.error().render();
+  return M.takeValue();
+}
+
+VerifyResult check(const std::string &SrcIR, const std::string &TgtIR,
+                   VerifyOptions Opts = VerifyOptions()) {
+  auto SM = parseOk(SrcIR);
+  return verifyCandidateText(*SM->getMainFunction(), TgtIR, Opts);
+}
+
+const char *SimpleSrc = "define i32 @f(i32 %x) {\n  %y = add i32 %x, 1\n"
+                        "  ret i32 %y\n}\n";
+
+TEST(DiagTaxonomy, NoneOnEquivalent) {
+  auto R = check(SimpleSrc, SimpleSrc);
+  EXPECT_EQ(R.Status, VerifyStatus::Equivalent) << R.Diagnostic;
+  EXPECT_EQ(R.Kind, DiagKind::None);
+}
+
+TEST(DiagTaxonomy, ParseError) {
+  auto R = check(SimpleSrc, "definne i32 @f(i32 %x) { ret i32 %x }");
+  EXPECT_EQ(R.Status, VerifyStatus::SyntaxError);
+  EXPECT_EQ(R.Kind, DiagKind::ParseError);
+}
+
+TEST(DiagTaxonomy, StructureError) {
+  // Parses but is ill-formed SSA: use before def across blocks.
+  auto R = check(SimpleSrc, R"(
+define i32 @f(i32 %x) {
+entryblk:
+  br label %next
+next:
+  ret i32 %y
+later:
+  %y = add i32 %x, 1
+  br label %next
+}
+)");
+  EXPECT_EQ(R.Status, VerifyStatus::SyntaxError);
+  EXPECT_EQ(R.Kind, DiagKind::StructureError);
+}
+
+TEST(DiagTaxonomy, SignatureMismatch) {
+  auto R = check(SimpleSrc,
+                 "define i64 @f(i64 %x) {\n  %y = add i64 %x, 1\n"
+                 "  ret i64 %y\n}\n");
+  EXPECT_EQ(R.Status, VerifyStatus::NotEquivalent);
+  EXPECT_EQ(R.Kind, DiagKind::SignatureMismatch);
+}
+
+TEST(DiagTaxonomy, ValueMismatch) {
+  auto R = check(SimpleSrc,
+                 "define i32 @f(i32 %x) {\n  %y = add i32 %x, 2\n"
+                 "  ret i32 %y\n}\n");
+  EXPECT_EQ(R.Status, VerifyStatus::NotEquivalent);
+  EXPECT_EQ(R.Kind, DiagKind::ValueMismatch);
+}
+
+TEST(DiagTaxonomy, PoisonMismatch) {
+  // Adding nsw to an add that may overflow introduces poison.
+  VerifyOptions Opts;
+  Opts.FalsifyTrials = 0; // force the symbolic path
+  auto R = check(SimpleSrc,
+                 "define i32 @f(i32 %x) {\n  %y = add nsw i32 %x, 1\n"
+                 "  ret i32 %y\n}\n",
+                 Opts);
+  EXPECT_EQ(R.Status, VerifyStatus::NotEquivalent) << R.Diagnostic;
+  EXPECT_EQ(R.Kind, DiagKind::PoisonMismatch);
+}
+
+TEST(DiagTaxonomy, UBIntroduced) {
+  VerifyOptions Opts;
+  Opts.FalsifyTrials = 0;
+  auto R = check("define i32 @f(i32 %x) {\n  ret i32 0\n}\n",
+                 "define i32 @f(i32 %x) {\n  %q = udiv i32 4, %x\n"
+                 "  %z = sub i32 %q, %q\n  ret i32 %z\n}\n",
+                 Opts);
+  EXPECT_EQ(R.Status, VerifyStatus::NotEquivalent) << R.Diagnostic;
+  EXPECT_EQ(R.Kind, DiagKind::UBIntroduced);
+}
+
+TEST(DiagTaxonomy, CallMismatch) {
+  const char *Src = R"(
+declare void @foo(i32)
+define void @f(i32 %x) {
+  call void @foo(i32 %x)
+  ret void
+}
+)";
+  auto R = check(Src, "define void @f(i32 %x) {\n  ret void\n}\n");
+  EXPECT_EQ(R.Status, VerifyStatus::NotEquivalent);
+  EXPECT_EQ(R.Kind, DiagKind::CallMismatch);
+}
+
+TEST(DiagTaxonomy, SolverTimeout) {
+  VerifyOptions Opts;
+  Opts.SolverConflictBudget = 5;
+  Opts.FalsifyTrials = 0;
+  auto R = check("define i32 @f(i32 %x, i32 %y) {\n  %m = mul i32 %x, %y\n"
+                 "  ret i32 %m\n}\n",
+                 "define i32 @f(i32 %x, i32 %y) {\n  %m = mul i32 %y, %x\n"
+                 "  ret i32 %m\n}\n",
+                 Opts);
+  EXPECT_EQ(R.Status, VerifyStatus::Inconclusive) << R.Diagnostic;
+  EXPECT_EQ(R.Kind, DiagKind::SolverTimeout);
+}
+
+TEST(DiagTaxonomy, Unsupported) {
+  const char *Src = "define i32 @f(ptr %p) {\n  ret i32 0\n}\n";
+  auto R = check(Src, Src);
+  EXPECT_EQ(R.Status, VerifyStatus::Inconclusive);
+  EXPECT_EQ(R.Kind, DiagKind::Unsupported);
+}
+
+TEST(DiagTaxonomy, LoopBound) {
+  const char *Src = R"(
+define i32 @f(i32 %n) {
+entryblk:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entryblk ], [ %ni, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %done
+body:
+  %ni = add i32 %i, 1
+  br label %head
+done:
+  ret i32 %i
+}
+)";
+  VerifyOptions Strict;
+  Strict.StrictLoops = true;
+  auto R = check(Src, Src, Strict);
+  EXPECT_EQ(R.Status, VerifyStatus::Inconclusive);
+  EXPECT_EQ(R.Kind, DiagKind::LoopBound);
+}
+
+TEST(DiagTaxonomy, ResourceExhausted) {
+  // A fuel budget too small even for the falsification pre-pass: the shared
+  // token runs dry and verification reports deterministic exhaustion.
+  VerifyOptions Opts;
+  Opts.FuelBudget = 8;
+  auto R = check(SimpleSrc, SimpleSrc, Opts);
+  EXPECT_EQ(R.Status, VerifyStatus::Inconclusive) << R.Diagnostic;
+  EXPECT_EQ(R.Kind, DiagKind::ResourceExhausted);
+  // Spent counts attempted work, so it can slightly exceed the budget, but
+  // exhaustion latches: the blowup is bounded near the budget, not runaway.
+  EXPECT_GT(R.FuelSpent, 0u);
+}
+
+TEST(DiagTaxonomy, FuelBudgetZeroIsUnlimited) {
+  VerifyOptions Opts;
+  Opts.FuelBudget = 0;
+  auto R = check(SimpleSrc, SimpleSrc, Opts);
+  EXPECT_EQ(R.Status, VerifyStatus::Equivalent) << R.Diagnostic;
+}
+
+TEST(DiagTaxonomy, NamesAreDistinct) {
+  std::set<std::string> Names;
+  for (unsigned K = 0; K <= static_cast<unsigned>(DiagKind::ResourceExhausted);
+       ++K)
+    Names.insert(diagKindName(static_cast<DiagKind>(K)));
+  EXPECT_EQ(Names.size(),
+            static_cast<size_t>(DiagKind::ResourceExhausted) + 1);
+  EXPECT_EQ(std::string("resource-exhausted"),
+            diagKindName(DiagKind::ResourceExhausted));
+}
+
+//===--- Adversarial-emission hardening ----------------------------------===//
+
+TEST(DiagTaxonomy, OversizedCandidateRejectedBeforeParse) {
+  VerifyOptions Opts;
+  Opts.MaxCandidateBytes = 1024;
+  std::string Huge = "define i32 @f(i32 %x) {\n";
+  Huge.append(4096, ' ');
+  Huge += "  ret i32 %x\n}\n";
+  auto R = check(SimpleSrc, Huge, Opts);
+  EXPECT_EQ(R.Status, VerifyStatus::SyntaxError);
+  EXPECT_EQ(R.Kind, DiagKind::ParseError);
+  EXPECT_NE(R.Diagnostic.find("maximum size"), std::string::npos);
+}
+
+TEST(DiagTaxonomy, DefaultByteCapBoundsPathologicalEmissions) {
+  // The model can emit anything; 2 MB of garbage must be a cheap verdict.
+  std::string Huge(2u << 20, 'x');
+  auto R = check(SimpleSrc, Huge);
+  EXPECT_EQ(R.Status, VerifyStatus::SyntaxError);
+  EXPECT_EQ(R.Kind, DiagKind::ParseError);
+}
+
+TEST(DiagTaxonomy, InstructionCapRejectsBloatedFunction) {
+  VerifyOptions Opts;
+  Opts.MaxCandidateInsts = 8;
+  std::string Tgt = "define i32 @f(i32 %x) {\n  %v0 = add i32 %x, 0\n";
+  for (int I = 1; I < 20; ++I)
+    Tgt += "  %v" + std::to_string(I) + " = add i32 %v" +
+           std::to_string(I - 1) + ", 0\n";
+  Tgt += "  ret i32 %v19\n}\n";
+  auto R = check(SimpleSrc, Tgt, Opts);
+  EXPECT_EQ(R.Status, VerifyStatus::SyntaxError);
+  EXPECT_EQ(R.Kind, DiagKind::StructureError);
+  EXPECT_NE(R.Diagnostic.find("maximum function size"), std::string::npos);
+}
+
+TEST(DiagTaxonomy, CapsDisabledWhenZero) {
+  VerifyOptions Opts;
+  Opts.MaxCandidateBytes = 0;
+  Opts.MaxCandidateInsts = 0;
+  std::string Tgt = "define i32 @f(i32 %x) {\n  %v0 = add i32 %x, 1\n";
+  for (int I = 1; I < 20; ++I)
+    Tgt += "  %v" + std::to_string(I) + " = add i32 %v" +
+           std::to_string(I - 1) + ", 0\n";
+  Tgt += "  ret i32 %v19\n}\n";
+  auto R = check(SimpleSrc, Tgt, Opts);
+  EXPECT_EQ(R.Status, VerifyStatus::Equivalent) << R.Diagnostic;
+}
+
+TEST(DiagTaxonomy, DeepTypeStarChainDoesNotCrash) {
+  // A pathological nested-pointer spelling: thousands of '*' after a type.
+  // The parser may collapse it to a pointer (signature mismatch) or reject
+  // it outright; either way it must return promptly, never crash or hang.
+  std::string Tgt = "define i32 @f(i32";
+  Tgt.append(100000, '*');
+  Tgt += " %x) {\n  ret i32 0\n}\n";
+  auto R = check(SimpleSrc, Tgt);
+  EXPECT_NE(R.Status, VerifyStatus::Equivalent);
+}
+
+TEST(DiagTaxonomy, UnterminatedGarbageIsParseError) {
+  auto R = check(SimpleSrc, "define i32 @f(i32 %x) {\n  %y = add i32 ");
+  EXPECT_EQ(R.Status, VerifyStatus::SyntaxError);
+  EXPECT_EQ(R.Kind, DiagKind::ParseError);
+}
+
+} // namespace
+} // namespace veriopt
