@@ -13,9 +13,12 @@
 
 #include "pipeline/Evaluation.h"
 #include "pipeline/Pipeline.h"
+#include "trace/Json.h"
+#include "trace/Metrics.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 namespace veriopt {
@@ -69,6 +72,27 @@ inline void taxonomyRow(const char *Name, const VerifyTaxonomy &T) {
               T.Inconclusive, T.pct(T.Inconclusive));
   std::printf("  => different-and-correct rate:   %5.1f%%\n",
               T.differentCorrectRate());
+}
+
+/// Write the shared machine-readable result file, `BENCH_<name>.json` in
+/// the working directory. Every bench emits the same schema — the
+/// process-wide MetricsRegistry snapshot under "metrics", with
+/// bench-specific headline numbers published as `bench.*` gauges — so
+/// multi-run comparison tooling never needs per-binary parsers:
+///
+///   {"bench":"<name>",
+///    "metrics":{"counters":{...},"gauges":{...},"histograms":{...}}}
+inline bool writeBenchJson(const std::string &Name) {
+  const std::string Path = "BENCH_" + Name + ".json";
+  std::ofstream OS(Path, std::ios::binary | std::ios::trunc);
+  if (!OS)
+    return false;
+  OS << "{\"bench\":" << jsonString(Name)
+     << ",\"metrics\":" << MetricsRegistry::global().toJson() << "}\n";
+  OS.flush();
+  if (OS)
+    std::printf("\nwrote %s\n", Path.c_str());
+  return static_cast<bool>(OS);
 }
 
 } // namespace bench

@@ -102,5 +102,20 @@ int main() {
   std::printf("\ndeterminism (identical reward/equivalence trajectories "
               "across all configs): %s\n",
               Det ? "OK" : "VIOLATED");
+
+  // Headline numbers, published into the shared BENCH_*.json schema.
+  MetricsRegistry &M = MetricsRegistry::global();
+  auto publish = [&](const char *Key, const RunResult &R) {
+    M.gauge(std::string("bench.score_wall_ms.") + Key).set(R.ScoreWallMs);
+    M.gauge(std::string("bench.speedup.") + Key)
+        .set(Serial.ScoreWallMs / R.ScoreWallMs);
+    M.gauge(std::string("bench.cache_hit_rate.") + Key).set(R.Cache.hitRate());
+  };
+  publish("serial", Serial);
+  publish("serial_cache", Cached);
+  publish("threads4", Threaded);
+  publish("threads4_cache", Both);
+  M.gauge("bench.determinism_ok").set(Det ? 1 : 0);
+  writeBenchJson("parallel_scoring");
   return Det ? 0 : 1;
 }

@@ -148,5 +148,22 @@ int main() {
               "definitive verdicts (%u -> %u): %s\n",
               T1.TerminalInconclusive, T3.TerminalInconclusive, T1.Definitive,
               T3.Definitive, Improved ? "OK" : "VIOLATED");
+
+  // Headline numbers, published into the shared BENCH_*.json schema.
+  MetricsRegistry &M = MetricsRegistry::global();
+  auto publish = [&](const char *Key, const LadderStats &S) {
+    M.gauge(std::string("bench.definitive.") + Key).set(S.Definitive);
+    M.gauge(std::string("bench.terminal_inconclusive.") + Key)
+        .set(S.TerminalInconclusive);
+    M.gauge(std::string("bench.rescued.") + Key).set(S.Rescued);
+    M.gauge(std::string("bench.conflicts.") + Key)
+        .set(static_cast<double>(S.Conflicts));
+    M.gauge(std::string("bench.fuel.") + Key).set(static_cast<double>(S.Fuel));
+  };
+  publish("tiers1", T1);
+  publish("tiers2", T2);
+  publish("tiers3", T3);
+  M.gauge("bench.ladder_improved").set(Improved ? 1 : 0);
+  writeBenchJson("robust_verify");
   return Improved ? 0 : 1;
 }

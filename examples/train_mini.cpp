@@ -6,21 +6,52 @@
 //
 // Takes a couple of minutes. Build & run:  ./build/examples/train_mini
 //
+// Flags:
+//   --tiny                 few samples / few steps (the CI smoke config)
+//   --trace <out.jsonl>    record the run's trace + metrics (see
+//                          docs/OBSERVABILITY.md; render with tools/report)
+//   --chrome-trace <out>   also write a chrome://tracing-loadable JSON
+//
 //===----------------------------------------------------------------------===//
 
 #include "pipeline/Evaluation.h"
 #include "pipeline/Pipeline.h"
+#include "trace/Metrics.h"
+#include "trace/Trace.h"
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 using namespace veriopt;
 
-int main() {
+int main(int argc, char **argv) {
+  bool Tiny = false;
+  std::string TracePath, ChromePath;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--tiny") == 0) {
+      Tiny = true;
+    } else if (std::strcmp(argv[I], "--trace") == 0 && I + 1 < argc) {
+      TracePath = argv[++I];
+    } else if (std::strcmp(argv[I], "--chrome-trace") == 0 && I + 1 < argc) {
+      ChromePath = argv[++I];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--tiny] [--trace out.jsonl] "
+                   "[--chrome-trace out.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  if (!TracePath.empty() || !ChromePath.empty())
+    TraceRecorder::instance().enable();
+
   // A small corpus so this example stays quick; the bench binaries use the
   // full configuration.
   DatasetOptions D;
-  D.TrainCount = 30;
-  D.ValidCount = 24;
+  D.TrainCount = Tiny ? 8 : 30;
+  D.ValidCount = Tiny ? 6 : 24;
   D.Seed = 123;
   std::printf("building dataset (LLVM/GCC-test-suite-style functions, "
               "-O0 lowered, Alive-filtered)...\n");
@@ -35,9 +66,9 @@ int main() {
 
   PipelineOptions P;
   P.Data = D;
-  P.Stage1Steps = 20;
-  P.Stage2Steps = 40;
-  P.Stage3Steps = 80;
+  P.Stage1Steps = Tiny ? 4 : 20;
+  P.Stage2Steps = Tiny ? 6 : 40;
+  P.Stage3Steps = Tiny ? 8 : 80;
   P.GRPO.GroupSize = 6;
   std::printf("running the four-stage training pipeline...\n");
   PipelineArtifacts Art = runTrainingPipeline(DS, P);
@@ -72,5 +103,25 @@ int main() {
               "tie %.0f%%; fallback composition %+.1f%%\n",
               100.0 * Lat.VsRefBetter / N, 100.0 * Lat.VsRefWorse / N,
               100.0 * Lat.VsRefTie / N, 100.0 * Lat.FallbackGainOverRef);
+
+  if (!TracePath.empty()) {
+    if (TraceRecorder::instance().writeJsonl(TracePath,
+                                             &MetricsRegistry::global()))
+      std::printf("wrote trace: %s  (render: tools/report %s)\n",
+                  TracePath.c_str(), TracePath.c_str());
+    else {
+      std::fprintf(stderr, "error: could not write %s\n", TracePath.c_str());
+      return 1;
+    }
+  }
+  if (!ChromePath.empty()) {
+    if (TraceRecorder::instance().writeChromeTrace(ChromePath))
+      std::printf("wrote chrome trace: %s  (open in chrome://tracing)\n",
+                  ChromePath.c_str());
+    else {
+      std::fprintf(stderr, "error: could not write %s\n", ChromePath.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

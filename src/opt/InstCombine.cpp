@@ -15,8 +15,12 @@
 
 #include "opt/Pass.h"
 
+#include "trace/Metrics.h"
+#include "trace/Trace.h"
+
 #include <algorithm>
 #include <deque>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -58,6 +62,23 @@ bool rangesOverlap(int64_t AOff, unsigned ASize, int64_t BOff,
          BOff < AOff + static_cast<int64_t>(ASize);
 }
 
+/// Bulk-publish one run's rule-fire tallies: per-rule process-wide metric
+/// counters plus (when tracing) one "opt.rule_fire" counter event per rule.
+/// Aggregating locally first keeps the per-fire hot path to one map bump.
+void flushRuleFires(const std::map<const char *, uint64_t> &Fires) {
+  if (Fires.empty())
+    return;
+  MetricsRegistry &M = MetricsRegistry::global();
+  TraceRecorder &R = TraceRecorder::instance();
+  for (const auto &[Rule, N] : Fires) {
+    M.counter(std::string("opt.rule_fire.") + Rule).inc(N);
+    if (R.enabled())
+      R.counter("opt.rule_fire",
+                {TraceArg::ofStr("rule", Rule),
+                 TraceArg::ofInt("count", static_cast<int64_t>(N))});
+  }
+}
+
 class InstCombine : public Pass {
 public:
   explicit InstCombine(unsigned CatMask) : CatMask(CatMask) {}
@@ -94,12 +115,15 @@ public:
     // DCE sweep: instcombine leaves no trivially dead code behind.
     Changed |= removeDeadCode(F, Trace);
     Erased.clear();
+    flushRuleFires(RuleFires);
+    RuleFires.clear();
     return Changed;
   }
 
   /// Shared with the standalone DCE pass.
   static bool removeDeadCode(Function &F, PassTrace *Trace) {
     bool Any = false;
+    uint64_t DceFires = 0;
     bool LocalChanged = true;
     while (LocalChanged) {
       LocalChanged = false;
@@ -113,10 +137,15 @@ public:
           BB->erase(I);
           if (Trace)
             Trace->record("dce");
+          ++DceFires;
           LocalChanged = true;
           Any = true;
         }
       }
+    }
+    if (DceFires) {
+      static const char DceRule[] = "dce";
+      flushRuleFires({{DceRule, DceFires}});
     }
     return Any;
   }
@@ -135,6 +164,7 @@ private:
   void record(const char *Rule) {
     if (Trace)
       Trace->record(Rule);
+    ++RuleFires[Rule]; // keyed by literal identity; flushed at end of run()
     Changed = true;
   }
 
@@ -944,6 +974,7 @@ private:
   std::deque<Instruction *> Worklist;
   std::unordered_set<Instruction *> InWorklist;
   std::unordered_set<Instruction *> Erased;
+  std::map<const char *, uint64_t> RuleFires;
 };
 
 class DCEPass : public Pass {

@@ -2,6 +2,8 @@
 
 #include "pipeline/Pipeline.h"
 
+#include "trace/Trace.h"
+
 #include <algorithm>
 
 namespace veriopt {
@@ -137,6 +139,12 @@ static void rebuildAugmented(PipelineArtifacts &Art,
 
 PipelineArtifacts runTrainingPipeline(const Dataset &DS,
                                       const PipelineOptions &Opts) {
+  TraceSpan RunSpan("pipeline.run");
+  RunSpan.arg(TraceArg::ofInt("seed", static_cast<int64_t>(Opts.Seed)));
+  // Thread count shapes the schedule, not the result — nondeterministic
+  // plane by convention, so traces at different widths stay diffable.
+  RunSpan.meta(TraceArg::ofInt("threads", Opts.Threads));
+
   PipelineArtifacts Art;
   Art.Base = std::make_unique<RewritePolicyModel>(Opts.BaseModel);
   Art.UMax = computeUMax(DS.Train);
@@ -227,10 +235,14 @@ PipelineArtifacts runTrainingPipeline(const Dataset &DS,
   auto writeCkpt = [&](const PipelineCheckpoint &Snap) {
     if (Opts.CheckpointPath.empty())
       return;
-    if (saveCheckpoint(Opts.CheckpointPath, Snap, Opts.Faults))
+    bool Ok = saveCheckpoint(Opts.CheckpointPath, Snap, Opts.Faults);
+    if (Ok)
       ++Art.CheckpointsWritten;
     else
       ++Art.CheckpointWriteFailures; // previous checkpoint still stands
+    TraceRecorder::instance().instant(
+        "pipeline.checkpoint",
+        {TraceArg::ofInt("stage", Snap.StageIdx), TraceArg::ofBool("ok", Ok)});
   };
 
   /// Run the remainder of one GRPO stage: periodic checkpoints, halt on
@@ -267,12 +279,15 @@ PipelineArtifacts runTrainingPipeline(const Dataset &DS,
   //===--- Stage 1: MODEL-ZERO + diagnostic-augmented sample harvest ------===//
 
   if (StartStage == 0) {
+    TraceSpan StageSpan("pipeline.stage");
+    StageSpan.arg(TraceArg::ofStr("stage", "stage1"));
     if (!Art.ModelZero)
       Art.ModelZero = std::make_unique<RewritePolicyModel>(Opts.BaseModel);
     {
       GRPOOptions G = GBase;
       G.Mode = PromptMode::Generic;
       G.Seed = Opts.Seed * 3 + 1;
+      G.TraceLabel = "stage1";
       // Every failed rollout becomes a correction-augmented sample (wrong
       // attempt, Alive verdict class, oracle target) — the model-adaptive
       // dataset of §III-C1. The harvest runs in the sequential OnRollout
@@ -318,7 +333,11 @@ PipelineArtifacts runTrainingPipeline(const Dataset &DS,
       SFT.Epochs = Opts.Stage2SFTEpochs;
       SFT.LearningRate = Opts.Stage2SFTLearningRate;
       SFT.Seed = Opts.Seed * 5 + 2;
-      sftTrain(*Art.WarmUp, Art.Augmented, SFT);
+      {
+        TraceSpan SftSpan("pipeline.stage");
+        SftSpan.arg(TraceArg::ofStr("stage", "stage2.sft"));
+        sftTrain(*Art.WarmUp, Art.Augmented, SFT);
+      }
       Art.Correctness = std::make_unique<RewritePolicyModel>(*Art.WarmUp);
 
       writeCkpt(snapshot(1, nullptr)); // stage boundary
@@ -328,9 +347,12 @@ PipelineArtifacts runTrainingPipeline(const Dataset &DS,
   //===--- Stage 2: GRPO -> MODEL-CORRECTNESS ----------------------------===//
 
   if (!Halt && StartStage <= 1 && Art.Correctness) {
+    TraceSpan StageSpan("pipeline.stage");
+    StageSpan.arg(TraceArg::ofStr("stage", "stage2"));
     GRPOOptions G = GBase;
     G.Mode = PromptMode::Augmented;
     G.Seed = Opts.Seed * 7 + 3;
+    G.TraceLabel = "stage2";
     GRPOTrainer Trainer(*Art.Correctness, makeCorrectnessReward(RV), G);
     runStage(1, Trainer, Art.Stage2Log, Opts.Stage2Steps);
     if (!Halt) {
@@ -342,6 +364,8 @@ PipelineArtifacts runTrainingPipeline(const Dataset &DS,
   //===--- Stage 3: incremental latency GRPO -> MODEL-LATENCY ------------===//
 
   if (!Halt && StartStage <= 2 && Art.Latency) {
+    TraceSpan StageSpan("pipeline.stage");
+    StageSpan.arg(TraceArg::ofStr("stage", "stage3"));
     LatencyRewardParams P;
     P.UMax = Art.UMax;
     GRPOOptions G = GBase;
@@ -349,6 +373,7 @@ PipelineArtifacts runTrainingPipeline(const Dataset &DS,
     G.Temperature = Opts.Stage3Temperature;
     G.LearningRate = Opts.Stage3LearningRate;
     G.Seed = Opts.Seed * 11 + 4;
+    G.TraceLabel = "stage3";
     GRPOTrainer Trainer(*Art.Latency, makeLatencyReward(RV, P), G);
     runStage(2, Trainer, Art.Stage3Log, Opts.Stage3Steps);
     if (!Halt)

@@ -2,6 +2,9 @@
 
 #include "rl/Trainer.h"
 
+#include "trace/Metrics.h"
+#include "trace/Trace.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -44,6 +47,7 @@ TrainLogEntry GRPOTrainer::step(const std::vector<const Sample *> &Batch) {
     double Advantage = 0;
   };
   const unsigned StepNo = ++StepCount;
+  TraceSpan StepSpan("grpo.step");
   std::vector<Rollout> Rollouts;
   Rollouts.reserve(Batch.size() * Opts.GroupSize);
 
@@ -51,15 +55,19 @@ TrainLogEntry GRPOTrainer::step(const std::vector<const Sample *> &Batch) {
   // derived from (Seed, Step, PromptIdx, G) — never from a shared stream —
   // so the sampled completions are a pure function of the options,
   // independent of scoring order and thread count.
-  for (unsigned PromptIdx = 0; PromptIdx < Batch.size(); ++PromptIdx) {
-    const Sample *S = Batch[PromptIdx];
-    for (unsigned G = 0; G < Opts.GroupSize; ++G) {
-      Rollout Ro;
-      Ro.S = S;
-      RNG RoR(mixSeed(mixSeed(mixSeed(Opts.Seed, StepNo), PromptIdx), G));
-      Ro.C = Model.generate(*S->source(), Opts.Mode, RoR, /*Greedy=*/false,
-                            Opts.Temperature);
-      Rollouts.push_back(std::move(Ro));
+  {
+    TraceSpan GenSpan("grpo.generate");
+    GenSpan.arg(TraceArg::ofInt("step", StepNo));
+    for (unsigned PromptIdx = 0; PromptIdx < Batch.size(); ++PromptIdx) {
+      const Sample *S = Batch[PromptIdx];
+      for (unsigned G = 0; G < Opts.GroupSize; ++G) {
+        Rollout Ro;
+        Ro.S = S;
+        RNG RoR(mixSeed(mixSeed(mixSeed(Opts.Seed, StepNo), PromptIdx), G));
+        Ro.C = Model.generate(*S->source(), Opts.Mode, RoR, /*Greedy=*/false,
+                              Opts.Temperature);
+        Rollouts.push_back(std::move(Ro));
+      }
     }
   }
 
@@ -70,14 +78,20 @@ TrainLogEntry GRPOTrainer::step(const std::vector<const Sample *> &Batch) {
   if (Opts.Cache)
     Before = Opts.Cache->counters();
   auto ScoreStart = std::chrono::steady_clock::now();
-  auto ScoreOne = [&](size_t I) {
-    Rollouts[I].Score = Reward(*Rollouts[I].S, Rollouts[I].C);
-  };
-  if (Opts.Pool && Opts.Threads > 1)
-    Opts.Pool->parallelFor(Rollouts.size(), ScoreOne);
-  else
-    for (size_t I = 0; I < Rollouts.size(); ++I)
-      ScoreOne(I);
+  {
+    TraceSpan ScoreSpan("grpo.score");
+    ScoreSpan.arg(TraceArg::ofInt("step", StepNo));
+    ScoreSpan.arg(
+        TraceArg::ofInt("rollouts", static_cast<int64_t>(Rollouts.size())));
+    auto ScoreOne = [&](size_t I) {
+      Rollouts[I].Score = Reward(*Rollouts[I].S, Rollouts[I].C);
+    };
+    if (Opts.Pool && Opts.Threads > 1)
+      Opts.Pool->parallelFor(Rollouts.size(), ScoreOne);
+    else
+      for (size_t I = 0; I < Rollouts.size(); ++I)
+        ScoreOne(I);
+  }
   auto ScoreEnd = std::chrono::steady_clock::now();
 
   double RewardSum = 0;
@@ -169,6 +183,39 @@ TrainLogEntry GRPOTrainer::step(const std::vector<const Sample *> &Batch) {
   Log.RetryEscalations = Escalations;
   Log.TerminalInconclusive = TerminalInconclusive;
   Log.MaxRetryTier = MaxTier;
+
+  if (StepSpan.active()) {
+    // Deterministic plane: everything the bit-identical-trajectory guarantee
+    // covers. Wall-derived values (score wall time, hit rate) go in meta.
+    if (!Opts.TraceLabel.empty())
+      StepSpan.arg(TraceArg::ofStr("stage", Opts.TraceLabel));
+    StepSpan.arg(TraceArg::ofInt("step", StepNo));
+    StepSpan.arg(TraceArg::ofFloat("mean_reward", Log.MeanReward));
+    StepSpan.arg(TraceArg::ofFloat("ema_reward", Log.EMAReward));
+    StepSpan.arg(TraceArg::ofFloat("equivalent_rate", Log.EquivalentRate));
+    StepSpan.arg(TraceArg::ofFloat("copy_rate", Log.CopyRate));
+    StepSpan.arg(TraceArg::ofFloat("grad_norm", Log.GradNorm));
+    StepSpan.arg(TraceArg::ofInt("falsify_wins", Log.FalsifyWins));
+    StepSpan.arg(TraceArg::ofInt(
+        "solver_conflicts", static_cast<int64_t>(Log.SolverConflicts)));
+    StepSpan.arg(
+        TraceArg::ofInt("retry_escalations", Log.RetryEscalations));
+    StepSpan.arg(TraceArg::ofInt("terminal_inconclusive",
+                                 Log.TerminalInconclusive));
+    StepSpan.arg(TraceArg::ofInt("max_retry_tier", Log.MaxRetryTier));
+    StepSpan.meta(TraceArg::ofFloat("score_wall_ms", Log.ScoreWallMs));
+    StepSpan.meta(TraceArg::ofFloat("cache_hit_rate", Log.CacheHitRate));
+  }
+
+  MetricsRegistry &Reg = MetricsRegistry::global();
+  static Counter &Steps = Reg.counter("grpo.steps");
+  static Counter &RolloutsScored = Reg.counter("grpo.rollouts");
+  static Histogram &ScoreWall =
+      Reg.histogram("grpo.score_wall_ms", latencyMsBounds());
+  Steps.inc();
+  RolloutsScored.inc(N);
+  ScoreWall.observe(Log.ScoreWallMs);
+  Reg.gauge("grpo.ema_reward").set(Log.EMAReward);
   return Log;
 }
 

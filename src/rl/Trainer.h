@@ -65,6 +65,9 @@ struct GRPOOptions {
   VerifyCache *Cache = nullptr;
   /// Optional sequential observer of every scored rollout.
   RolloutHook OnRollout;
+  /// Stage label stamped onto this trainer's trace events ("stage1"...);
+  /// empty means unlabeled. Deterministic, so it lives in event Args.
+  std::string TraceLabel;
 };
 
 /// One training-step log record (drives the Fig. 4 curves, plus the

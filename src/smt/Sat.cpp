@@ -94,6 +94,7 @@ void SatSolver::enqueue(Lit L, ClauseRef Reason) {
 SatSolver::ClauseRef SatSolver::propagate() {
   while (QHead < Trail.size()) {
     Lit P = Trail[QHead++]; // P is true; visit watchers of ~P... (see below)
+    ++Propagations;
     // Watches[P.Code] holds clauses watching ~P (attached via (~lit).Code),
     // i.e. clauses that may become unit now that P is true.
     std::vector<Watch> &WList = Watches[P.Code];
@@ -303,6 +304,7 @@ SatSolver::Result SatSolver::solve(uint64_t ConflictBudget, Fuel *F) {
       backtrack(0);
       return Result::Unknown;
     }
+    ++Decisions;
     TrailLim.push_back(static_cast<unsigned>(Trail.size()));
     enqueue(Next, NoReason);
   }

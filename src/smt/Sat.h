@@ -58,6 +58,8 @@ public:
   }
   unsigned numClauses() const { return static_cast<unsigned>(Clauses.size()); }
   uint64_t conflicts() const { return Conflicts; }
+  uint64_t propagations() const { return Propagations; }
+  uint64_t decisions() const { return Decisions; }
 
   /// Add a clause (disjunction of literals). Returns false if the formula
   /// became trivially unsatisfiable (empty clause / conflicting units).
@@ -125,6 +127,8 @@ private:
   std::vector<uint8_t> Seen; // scratch for analyze()
 
   uint64_t Conflicts = 0;
+  uint64_t Propagations = 0;
+  uint64_t Decisions = 0;
   bool Unsatisfiable = false;
 };
 

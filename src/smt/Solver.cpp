@@ -3,6 +3,7 @@
 #include "smt/Solver.h"
 
 #include "smt/BitBlaster.h"
+#include "trace/Metrics.h"
 
 namespace veriopt {
 
@@ -42,6 +43,16 @@ SmtCheck checkSat(BVContext &Ctx, const BVExpr *Constraint,
     break;
   }
   Out.Conflicts = S.conflicts();
+
+  MetricsRegistry &M = MetricsRegistry::global();
+  static Counter &Queries = M.counter("smt.queries");
+  static Counter &Conflicts = M.counter("smt.conflicts");
+  static Counter &Propagations = M.counter("smt.propagations");
+  static Counter &Decisions = M.counter("smt.decisions");
+  Queries.inc();
+  Conflicts.inc(S.conflicts());
+  Propagations.inc(S.propagations());
+  Decisions.inc(S.decisions());
   return Out;
 }
 

@@ -1,0 +1,470 @@
+//===- Report.cpp - Trace schema validation and run reports -------------------//
+
+#include "trace/Report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace veriopt {
+
+//===--- Loading --------------------------------------------------------------//
+
+bool parseTraceJsonl(const std::string &Text, TraceLog &Out,
+                     std::string *Err) {
+  Out.Events.clear();
+  size_t LineNo = 0, Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    std::string Line = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    JsonValue V;
+    std::string JErr;
+    if (!parseJson(Line, V, &JErr)) {
+      if (Err)
+        *Err = "line " + std::to_string(LineNo) + ": " + JErr;
+      return false;
+    }
+    Out.Events.push_back(std::move(V));
+  }
+  return true;
+}
+
+bool loadTraceJsonl(const std::string &Path, TraceLog &Out,
+                    std::string *Err) {
+  std::ifstream IS(Path, std::ios::binary);
+  if (!IS) {
+    if (Err)
+      *Err = "cannot open " + Path;
+    return false;
+  }
+  std::ostringstream SS;
+  SS << IS.rdbuf();
+  return parseTraceJsonl(SS.str(), Out, Err);
+}
+
+//===--- Validation -----------------------------------------------------------//
+
+const std::vector<std::string> &knownTraceEventNames() {
+  static const std::vector<std::string> Names = {
+      "pipeline.run",     "pipeline.stage", "pipeline.checkpoint",
+      "grpo.step",        "grpo.generate",  "grpo.score",
+      "verify.candidate", "verify.falsify", "verify.encode",
+      "verify.sat",       "verify.tier",    "opt.rule_fire",
+      "metric",           "metric.hist",
+  };
+  return Names;
+}
+
+namespace {
+
+struct ArgRule {
+  const char *Key;
+  JsonValue::Kind Kind;
+};
+
+/// Per-event required args (the documented schema's mandatory subset;
+/// events may carry more).
+const std::map<std::string, std::vector<ArgRule>> &requiredArgs() {
+  static const std::map<std::string, std::vector<ArgRule>> Rules = {
+      {"pipeline.run", {{"seed", JsonValue::Kind::Number}}},
+      {"pipeline.stage", {{"stage", JsonValue::Kind::String}}},
+      {"grpo.step",
+       {{"step", JsonValue::Kind::Number},
+        {"mean_reward", JsonValue::Kind::Number},
+        {"ema_reward", JsonValue::Kind::Number},
+        {"equivalent_rate", JsonValue::Kind::Number}}},
+      {"grpo.generate", {{"step", JsonValue::Kind::Number}}},
+      {"grpo.score",
+       {{"step", JsonValue::Kind::Number},
+        {"rollouts", JsonValue::Kind::Number}}},
+      {"verify.candidate",
+       {{"status", JsonValue::Kind::String},
+        {"diag", JsonValue::Kind::String},
+        {"conflicts", JsonValue::Kind::Number},
+        {"fuel", JsonValue::Kind::Number}}},
+      {"verify.sat", {{"result", JsonValue::Kind::String}}},
+      {"verify.tier",
+       {{"tier", JsonValue::Kind::Number},
+        {"status", JsonValue::Kind::String},
+        {"diag", JsonValue::Kind::String}}},
+      {"opt.rule_fire",
+       {{"rule", JsonValue::Kind::String},
+        {"count", JsonValue::Kind::Number}}},
+      {"metric",
+       {{"key", JsonValue::Kind::String},
+        {"value", JsonValue::Kind::Number}}},
+      {"metric.hist",
+       {{"key", JsonValue::Kind::String},
+        {"count", JsonValue::Kind::Number},
+        {"sum", JsonValue::Kind::Number},
+        {"bounds", JsonValue::Kind::String},
+        {"counts", JsonValue::Kind::String}}},
+  };
+  return Rules;
+}
+
+bool validateEvent(const JsonValue &E, std::string &Why) {
+  if (!E.isObject()) {
+    Why = "event is not a JSON object";
+    return false;
+  }
+  static const std::set<std::string> TopKeys = {
+      "name", "ph", "ts_ns", "dur_ns", "tid", "seq", "args", "meta"};
+  for (const auto &[K, _] : E.object())
+    if (!TopKeys.count(K)) {
+      Why = "unknown top-level field '" + K + "'";
+      return false;
+    }
+
+  const JsonValue *Name = E.get("name");
+  if (!Name || !Name->isString()) {
+    Why = "missing/non-string 'name'";
+    return false;
+  }
+  const auto &Known = knownTraceEventNames();
+  if (std::find(Known.begin(), Known.end(), Name->str()) == Known.end()) {
+    Why = "unknown event name '" + Name->str() + "'";
+    return false;
+  }
+
+  const JsonValue *Ph = E.get("ph");
+  if (!Ph || !Ph->isString() ||
+      (Ph->str() != "X" && Ph->str() != "C" && Ph->str() != "i")) {
+    Why = "'ph' must be one of \"X\", \"C\", \"i\"";
+    return false;
+  }
+  for (const char *K : {"ts_ns", "tid", "seq"}) {
+    const JsonValue *V = E.get(K);
+    if (!V || !V->isNumber() || V->number() < 0) {
+      Why = std::string("missing/negative numeric '") + K + "'";
+      return false;
+    }
+  }
+  if (Ph->str() == "X") {
+    const JsonValue *Dur = E.get("dur_ns");
+    if (!Dur || !Dur->isNumber() || Dur->number() < 0) {
+      Why = "span (ph=X) without numeric 'dur_ns'";
+      return false;
+    }
+  }
+  const JsonValue *Args = E.get("args");
+  if (!Args || !Args->isObject()) {
+    Why = "missing 'args' object";
+    return false;
+  }
+  if (const JsonValue *Meta = E.get("meta"))
+    if (!Meta->isObject()) {
+      Why = "'meta' is not an object";
+      return false;
+    }
+
+  auto It = requiredArgs().find(Name->str());
+  if (It != requiredArgs().end())
+    for (const ArgRule &R : It->second) {
+      const JsonValue *V = Args->get(R.Key);
+      if (!V || V->kind() != R.Kind) {
+        Why = "event '" + Name->str() + "' missing required arg '" + R.Key +
+              "' of the documented type";
+        return false;
+      }
+    }
+  return true;
+}
+
+} // namespace
+
+bool validateTraceLog(const TraceLog &Log, std::string *Err) {
+  for (size_t I = 0; I < Log.Events.size(); ++I) {
+    std::string Why;
+    if (!validateEvent(Log.Events[I], Why)) {
+      if (Err)
+        *Err = "line " + std::to_string(I + 1) + ": " + Why;
+      return false;
+    }
+  }
+  return true;
+}
+
+//===--- Rendering ------------------------------------------------------------//
+
+namespace {
+
+std::string fmt(const char *F, double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), F, V);
+  return Buf;
+}
+
+double argNum(const JsonValue &E, const char *Key, double Default = 0) {
+  const JsonValue *Args = E.get("args");
+  if (!Args)
+    return Default;
+  const JsonValue *V = Args->get(Key);
+  return V && V->isNumber() ? V->number() : Default;
+}
+
+std::string argStr(const JsonValue &E, const char *Key) {
+  const JsonValue *Args = E.get("args");
+  if (!Args)
+    return "";
+  const JsonValue *V = Args->get(Key);
+  return V && V->isString() ? V->str() : "";
+}
+
+std::string name(const JsonValue &E) {
+  const JsonValue *N = E.get("name");
+  return N && N->isString() ? N->str() : "";
+}
+
+double durMs(const JsonValue &E) {
+  const JsonValue *D = E.get("dur_ns");
+  return D && D->isNumber() ? D->number() / 1e6 : 0;
+}
+
+/// Downsample \p Ys to \p Cols columns and render one ASCII row.
+std::string sparkline(const std::vector<double> &Ys, size_t Cols = 48) {
+  static const char Levels[] = " .:-=+*#@";
+  const size_t NL = sizeof(Levels) - 2; // top index
+  if (Ys.empty())
+    return "";
+  double Lo = Ys[0], Hi = Ys[0];
+  for (double Y : Ys) {
+    Lo = std::min(Lo, Y);
+    Hi = std::max(Hi, Y);
+  }
+  size_t N = std::min(Cols, Ys.size());
+  std::string Out;
+  for (size_t C = 0; C < N; ++C) {
+    // Mean of this column's slice.
+    size_t B = C * Ys.size() / N, E = (C + 1) * Ys.size() / N;
+    double Acc = 0;
+    for (size_t I = B; I < E; ++I)
+      Acc += Ys[I];
+    Acc /= static_cast<double>(E - B);
+    size_t Idx =
+        Hi > Lo ? static_cast<size_t>((Acc - Lo) / (Hi - Lo) * NL + 0.5)
+                : NL / 2;
+    Out.push_back(Levels[std::min(Idx, NL)]);
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string renderRunReport(const TraceLog &Log, unsigned TopN) {
+  std::ostringstream OS;
+
+  // Pass over the log once, bucketing what the sections need.
+  size_t Spans = 0, Counters = 0, Instants = 0;
+  std::map<std::string, std::pair<uint64_t, double>> SpanAgg; // count, ms
+  std::map<std::string, std::vector<const JsonValue *>> StepsByStage;
+  std::map<std::pair<std::string, std::string>, uint64_t> Verdicts;
+  uint64_t VerifyQueries = 0;
+  std::vector<const JsonValue *> Candidates;
+  std::map<int64_t, std::map<std::string, uint64_t>> TierOutcomes;
+  std::map<std::string, double> Metric; // from "metric" lines
+  std::map<std::string, uint64_t> RuleFires;
+
+  for (const JsonValue &E : Log.Events) {
+    const std::string N = name(E);
+    const std::string Ph = E.get("ph") && E.get("ph")->isString()
+                               ? E.get("ph")->str()
+                               : "";
+    if (Ph == "X") {
+      ++Spans;
+      auto &Agg = SpanAgg[N];
+      ++Agg.first;
+      Agg.second += durMs(E);
+    } else if (Ph == "C") {
+      ++Counters;
+    } else {
+      ++Instants;
+    }
+
+    if (N == "grpo.step") {
+      std::string Stage = argStr(E, "stage");
+      if (Stage.empty())
+        Stage = "(unlabeled)";
+      StepsByStage[Stage].push_back(&E);
+    } else if (N == "verify.candidate") {
+      ++VerifyQueries;
+      ++Verdicts[{argStr(E, "status"), argStr(E, "diag")}];
+      Candidates.push_back(&E);
+    } else if (N == "verify.tier") {
+      ++TierOutcomes[static_cast<int64_t>(argNum(E, "tier"))]
+                    [argStr(E, "status")];
+    } else if (N == "metric") {
+      Metric[argStr(E, "key")] = argNum(E, "value");
+    } else if (N == "opt.rule_fire") {
+      RuleFires[argStr(E, "rule")] +=
+          static_cast<uint64_t>(argNum(E, "count"));
+    }
+  }
+
+  OS << "================================================================\n"
+     << "LLM-VeriOpt run report\n"
+     << "================================================================\n\n";
+
+  //--- Run summary ----------------------------------------------------------
+  OS << "-- events --------------------------------------------------------\n";
+  OS << "total " << Log.Events.size() << "  (spans " << Spans << ", counters "
+     << Counters << ", instants " << Instants << ")\n";
+  {
+    std::vector<std::pair<std::string, std::pair<uint64_t, double>>> Rows(
+        SpanAgg.begin(), SpanAgg.end());
+    std::stable_sort(Rows.begin(), Rows.end(),
+                     [](const auto &A, const auto &B) {
+                       return A.second.second > B.second.second;
+                     });
+    for (const auto &[SpanName, Agg] : Rows)
+      OS << "  " << SpanName
+         << std::string(SpanName.size() < 24 ? 24 - SpanName.size() : 1, ' ')
+         << "x" << Agg.first << "  total " << fmt("%.1f", Agg.second)
+         << " ms\n";
+  }
+  OS << "\n";
+
+  //--- Per-stage reward curves ----------------------------------------------
+  OS << "-- GRPO reward curves (per stage) --------------------------------\n";
+  if (StepsByStage.empty())
+    OS << "no grpo.step events in this trace\n";
+  for (auto &[Stage, Steps] : StepsByStage) {
+    std::stable_sort(Steps.begin(), Steps.end(),
+                     [](const JsonValue *A, const JsonValue *B) {
+                       return argNum(*A, "step") < argNum(*B, "step");
+                     });
+    std::vector<double> Ema, Mean;
+    for (const JsonValue *E : Steps) {
+      Ema.push_back(argNum(*E, "ema_reward"));
+      Mean.push_back(argNum(*E, "mean_reward"));
+    }
+    const JsonValue &Last = *Steps.back();
+    OS << Stage << ": " << Steps.size() << " steps, mean reward "
+       << fmt("%.3f", Mean.front()) << " -> " << fmt("%.3f", Mean.back())
+       << ", final EMA " << fmt("%.3f", Ema.back()) << ", equivalent-rate "
+       << fmt("%.1f%%", 100 * argNum(Last, "equivalent_rate")) << "\n";
+    OS << "  ema  |" << sparkline(Ema) << "|\n";
+    OS << "  mean |" << sparkline(Mean) << "|\n";
+  }
+  OS << "\n";
+
+  //--- Verdict breakdown ----------------------------------------------------
+  OS << "-- verification verdicts (uncached queries, by DiagKind) ---------\n";
+  if (VerifyQueries == 0) {
+    OS << "no verify.candidate events in this trace\n";
+  } else {
+    OS << "queries: " << VerifyQueries << "\n";
+    std::vector<std::pair<std::pair<std::string, std::string>, uint64_t>>
+        Rows(Verdicts.begin(), Verdicts.end());
+    std::stable_sort(Rows.begin(), Rows.end(),
+                     [](const auto &A, const auto &B) {
+                       return A.second > B.second;
+                     });
+    for (const auto &[Key, Count] : Rows) {
+      std::string Label = Key.first +
+                          (Key.second.empty() || Key.second == "none"
+                               ? ""
+                               : " / " + Key.second);
+      OS << "  " << Label
+         << std::string(Label.size() < 36 ? 36 - Label.size() : 1, ' ')
+         << Count << "  ("
+         << fmt("%.1f%%", 100.0 * static_cast<double>(Count) /
+                              static_cast<double>(VerifyQueries))
+         << ")\n";
+    }
+  }
+  OS << "\n";
+
+  //--- Retry ladder ---------------------------------------------------------
+  OS << "-- retry ladder --------------------------------------------------\n";
+  if (TierOutcomes.empty()) {
+    OS << "no verify.tier events in this trace\n";
+  } else {
+    for (const auto &[Tier, Outcomes] : TierOutcomes) {
+      uint64_t Total = 0;
+      for (const auto &[_, C] : Outcomes)
+        Total += C;
+      OS << "  tier " << Tier << ": " << Total << " runs";
+      for (const auto &[Status, C] : Outcomes)
+        OS << "  " << Status << "=" << C;
+      OS << "\n";
+    }
+  }
+  OS << "\n";
+
+  //--- Slowest verification queries -----------------------------------------
+  OS << "-- slowest verification queries ----------------------------------\n";
+  if (Candidates.empty()) {
+    OS << "none\n";
+  } else {
+    std::stable_sort(Candidates.begin(), Candidates.end(),
+                     [](const JsonValue *A, const JsonValue *B) {
+                       return durMs(*A) > durMs(*B);
+                     });
+    size_t N = std::min<size_t>(TopN, Candidates.size());
+    for (size_t I = 0; I < N; ++I) {
+      const JsonValue &E = *Candidates[I];
+      OS << "  " << (I + 1) << ". " << fmt("%8.2f", durMs(E)) << " ms  "
+         << argStr(E, "status") << "/" << argStr(E, "diag") << "  conflicts "
+         << static_cast<uint64_t>(argNum(E, "conflicts")) << "  fuel "
+         << static_cast<uint64_t>(argNum(E, "fuel")) << "\n";
+    }
+  }
+  OS << "\n";
+
+  //--- Cache efficacy -------------------------------------------------------
+  OS << "-- verify-cache efficacy -----------------------------------------\n";
+  {
+    auto M = [&](const char *K) {
+      auto It = Metric.find(K);
+      return It == Metric.end() ? 0.0 : It->second;
+    };
+    double Hits = M("verify.cache.hit"), Misses = M("verify.cache.miss");
+    if (Hits + Misses == 0) {
+      OS << "no cache metrics in this trace\n";
+    } else {
+      OS << "  lookups " << static_cast<uint64_t>(Hits + Misses) << "  hits "
+         << static_cast<uint64_t>(Hits) << "  misses "
+         << static_cast<uint64_t>(Misses) << "  hit-rate "
+         << fmt("%.1f%%", 100.0 * Hits / (Hits + Misses)) << "\n";
+      OS << "  single-flight joins "
+         << static_cast<uint64_t>(M("verify.cache.singleflight_join"))
+         << "  evictions " << static_cast<uint64_t>(M("verify.cache.eviction"))
+         << "\n";
+    }
+  }
+  OS << "\n";
+
+  //--- InstCombine rule fires -----------------------------------------------
+  OS << "-- instcombine rule fires ----------------------------------------\n";
+  if (RuleFires.empty()) {
+    OS << "no opt.rule_fire events in this trace\n";
+  } else {
+    std::vector<std::pair<std::string, uint64_t>> Rows(RuleFires.begin(),
+                                                       RuleFires.end());
+    std::stable_sort(Rows.begin(), Rows.end(),
+                     [](const auto &A, const auto &B) {
+                       return A.second > B.second;
+                     });
+    size_t N = std::min<size_t>(TopN, Rows.size());
+    for (size_t I = 0; I < N; ++I)
+      OS << "  " << Rows[I].first
+         << std::string(Rows[I].first.size() < 28 ? 28 - Rows[I].first.size()
+                                                  : 1,
+                        ' ')
+         << Rows[I].second << "\n";
+  }
+
+  return OS.str();
+}
+
+} // namespace veriopt

@@ -1,0 +1,51 @@
+//===- Report.h - Trace schema validation and run reports --------*- C++ -*-=//
+//
+// Loads a run's JSONL trace (TraceRecorder::writeJsonl output), validates
+// it against the documented schema (docs/OBSERVABILITY.md — field types,
+// the known-event-name registry, and per-event required args), and renders
+// the human-readable end-of-run report: per-stage reward curves, verdict
+// breakdown by DiagKind, the retry-ladder summary, top-N slowest
+// verification queries, cache efficacy, and InstCombine rule-fire counts.
+//
+// Lives in the library (not the tool) so tests can golden-file the
+// rendering and CI can validate without shelling out.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_TRACE_REPORT_H
+#define VERIOPT_TRACE_REPORT_H
+
+#include "trace/Json.h"
+
+#include <string>
+#include <vector>
+
+namespace veriopt {
+
+/// A parsed trace: one JsonValue per JSONL line, in file order.
+struct TraceLog {
+  std::vector<JsonValue> Events;
+};
+
+/// Parse JSONL text into \p Out. Fails on the first malformed line.
+bool parseTraceJsonl(const std::string &Text, TraceLog &Out,
+                     std::string *Err);
+
+/// Read + parse a JSONL file.
+bool loadTraceJsonl(const std::string &Path, TraceLog &Out, std::string *Err);
+
+/// Validate every event against the documented schema. On failure \p Err
+/// names the first offending line (1-based) and the violated rule.
+bool validateTraceLog(const TraceLog &Log, std::string *Err);
+
+/// The documented event-name registry (validation rejects unknown names so
+/// schema drift fails CI instead of rotting silently).
+const std::vector<std::string> &knownTraceEventNames();
+
+/// Render the end-of-run report. Deterministic for a given log: wall-clock
+/// values are read from the events, never from the environment.
+std::string renderRunReport(const TraceLog &Log, unsigned TopN = 10);
+
+} // namespace veriopt
+
+#endif // VERIOPT_TRACE_REPORT_H

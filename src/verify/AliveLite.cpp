@@ -8,6 +8,8 @@
 #include "ir/Verifier.h"
 #include "smt/Solver.h"
 #include "support/RNG.h"
+#include "trace/Metrics.h"
+#include "trace/Trace.h"
 #include "verify/Encoder.h"
 
 #include <map>
@@ -41,6 +43,20 @@ const char *diagKindName(DiagKind K) {
     return "loop-bound";
   case DiagKind::ResourceExhausted:
     return "resource-exhausted";
+  }
+  return "unknown";
+}
+
+const char *verifyStatusName(VerifyStatus S) {
+  switch (S) {
+  case VerifyStatus::Equivalent:
+    return "equivalent";
+  case VerifyStatus::NotEquivalent:
+    return "not-equivalent";
+  case VerifyStatus::SyntaxError:
+    return "syntax-error";
+  case VerifyStatus::Inconclusive:
+    return "inconclusive";
   }
   return "unknown";
 }
@@ -218,8 +234,11 @@ VerifyResult verifyRefinementImpl(const Function &Src, const Function &Tgt,
   }
 
   // Cheap refutation first (ablation: micro_components measures the win).
-  if (Opts.FalsifyTrials > 0 && falsify(Src, Tgt, Opts, F, Out))
-    return Out;
+  if (Opts.FalsifyTrials > 0) {
+    TRACE_SPAN("verify.falsify");
+    if (falsify(Src, Tgt, Opts, F, Out))
+      return Out;
+  }
   if (F.exhausted())
     return exhaustedResult(Src);
 
@@ -245,8 +264,12 @@ VerifyResult verifyRefinementImpl(const Function &Src, const Function &Tgt,
   Limits.MaxStepsPerPath = Opts.MaxStepsPerPath;
   Limits.FuelTok = &F;
 
-  FnEncoding SE = encodeFunction(Src, Ctx, ArgVars, World, Limits);
-  FnEncoding TE = encodeFunction(Tgt, Ctx, ArgVars, World, Limits);
+  FnEncoding SE, TE;
+  {
+    TRACE_SPAN("verify.encode");
+    SE = encodeFunction(Src, Ctx, ArgVars, World, Limits);
+    TE = encodeFunction(Tgt, Ctx, ArgVars, World, Limits);
+  }
   if (SE.FuelOut || TE.FuelOut)
     return exhaustedResult(Src);
   if (SE.Unsupported || TE.Unsupported) {
@@ -348,7 +371,17 @@ VerifyResult verifyRefinementImpl(const Function &Src, const Function &Tgt,
   for (const BVExpr *WV : World.vars())
     ModelTerms.push_back(WV);
 
-  SmtCheck Res = checkSat(Ctx, Cex, ModelTerms, Opts.SolverConflictBudget, &F);
+  SmtCheck Res;
+  {
+    TraceSpan SatSpan("verify.sat");
+    Res = checkSat(Ctx, Cex, ModelTerms, Opts.SolverConflictBudget, &F);
+    SatSpan.arg(TraceArg::ofStr("result", Res.St == SmtCheck::Sat ? "sat"
+                                          : Res.St == SmtCheck::Unsat
+                                              ? "unsat"
+                                              : "unknown"));
+    SatSpan.arg(TraceArg::ofInt("conflicts",
+                                static_cast<int64_t>(Res.Conflicts)));
+  }
   Out.SolverConflicts = Res.Conflicts;
 
   if (Res.St == SmtCheck::Unknown) {
@@ -439,9 +472,9 @@ VerifyResult verifyRefinement(const Function &Src, const Function &Tgt,
   return Out;
 }
 
-VerifyResult verifyCandidateText(const Function &Src,
-                                 const std::string &TgtText,
-                                 const VerifyOptions &Opts) {
+static VerifyResult verifyCandidateTextImpl(const Function &Src,
+                                            const std::string &TgtText,
+                                            const VerifyOptions &Opts) {
   VerifyResult Out;
   // Adversarial-emission guard: refuse pathologically large candidates
   // before paying any parse cost.
@@ -489,6 +522,40 @@ VerifyResult verifyCandidateText(const Function &Src,
     return Out;
   }
   return verifyRefinement(Src, *Tgt, Opts);
+}
+
+VerifyResult verifyCandidateText(const Function &Src,
+                                 const std::string &TgtText,
+                                 const VerifyOptions &Opts) {
+  TraceSpan Span("verify.candidate");
+  VerifyResult Out = verifyCandidateTextImpl(Src, TgtText, Opts);
+  if (Span.active()) {
+    Span.arg(TraceArg::ofStr("status", verifyStatusName(Out.Status)));
+    Span.arg(TraceArg::ofStr("diag", diagKindName(Out.Kind)));
+    Span.arg(TraceArg::ofInt("conflicts",
+                             static_cast<int64_t>(Out.SolverConflicts)));
+    Span.arg(TraceArg::ofInt("fuel", static_cast<int64_t>(Out.FuelSpent)));
+    Span.arg(TraceArg::ofBool("falsified", Out.FoundByFalsification));
+    Span.arg(TraceArg::ofBool("bounded_only", Out.BoundedOnly));
+  }
+
+  // The ad-hoc aggregates previously scattered over TrainLogEntry /
+  // PipelineArtifacts now also land in the process-wide registry.
+  MetricsRegistry &M = MetricsRegistry::global();
+  static Counter &Queries = M.counter("verify.queries");
+  static Histogram &Conflicts =
+      M.histogram("verify.conflicts", workUnitBounds());
+  static Histogram &FuelSpent = M.histogram("verify.fuel", workUnitBounds());
+  Queries.inc();
+  Conflicts.observe(static_cast<double>(Out.SolverConflicts));
+  FuelSpent.observe(static_cast<double>(Out.FuelSpent));
+  M.counter(std::string("verify.verdict.") + verifyStatusName(Out.Status))
+      .inc();
+  M.counter(std::string("verify.diag.") + diagKindName(Out.Kind)).inc();
+  if (Out.FoundByFalsification)
+    M.counter("verify.falsify_wins").inc();
+
+  return Out;
 }
 
 } // namespace veriopt

@@ -55,6 +55,7 @@ enum class DiagKind {
 };
 
 const char *diagKindName(DiagKind K);
+const char *verifyStatusName(VerifyStatus S);
 
 struct VerifyOptions {
   unsigned MaxPaths = 128;          ///< per function

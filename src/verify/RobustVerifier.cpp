@@ -2,6 +2,9 @@
 
 #include "verify/RobustVerifier.h"
 
+#include "trace/Metrics.h"
+#include "trace/Trace.h"
+
 namespace veriopt {
 
 namespace {
@@ -71,6 +74,14 @@ RobustVerifier::Outcome RobustVerifier::verify(const std::string &SrcText,
 
     Out.Tiers.push_back({Tier, R.Status, R.Kind, R.SolverConflicts,
                          R.FuelSpent, Injected});
+    TraceRecorder::instance().instant(
+        "verify.tier",
+        {TraceArg::ofInt("tier", Tier),
+         TraceArg::ofStr("status", verifyStatusName(R.Status)),
+         TraceArg::ofStr("diag", diagKindName(R.Kind)),
+         TraceArg::ofInt("conflicts", static_cast<int64_t>(R.SolverConflicts)),
+         TraceArg::ofInt("fuel", static_cast<int64_t>(R.FuelSpent)),
+         TraceArg::ofBool("injected", Injected)});
     TotalConflicts += R.SolverConflicts;
     TotalFuel += R.FuelSpent;
     Final = std::move(R);
@@ -80,16 +91,28 @@ RobustVerifier::Outcome RobustVerifier::verify(const std::string &SrcText,
       break;
   }
 
+  MetricsRegistry &Reg = MetricsRegistry::global();
+  static Counter &MQueries = Reg.counter("verify.retry.queries");
+  static Counter &MEscalations = Reg.counter("verify.retry.escalations");
+  static Counter &MRescued = Reg.counter("verify.retry.rescued");
+  static Counter &MTerminal =
+      Reg.counter("verify.retry.terminal_inconclusive");
+  MQueries.inc();
   if (Out.Tiers.size() > 1) {
     Out.Escalated = true;
     NEscalations.fetch_add(1, std::memory_order_relaxed);
-    if (retryable(Final))
+    MEscalations.inc();
+    if (retryable(Final)) {
       NTerminalInconclusive.fetch_add(1, std::memory_order_relaxed);
-    else
+      MTerminal.inc();
+    } else {
       NRescued.fetch_add(1, std::memory_order_relaxed);
+      MRescued.inc();
+    }
   } else if (retryable(Final)) {
     // Single-rung ladder that still ran out of budget.
     NTerminalInconclusive.fetch_add(1, std::memory_order_relaxed);
+    MTerminal.inc();
   }
 
   // Simulated oracle bug: flip a definitive verdict. The trainer must

@@ -4,10 +4,36 @@
 
 #include "ir/Parser.h"
 #include "ir/Printer.h"
+#include "trace/Metrics.h"
 
 #include <sstream>
 
 namespace veriopt {
+
+namespace {
+
+// Process-wide mirrors of the per-cache Counters, so a run's cache efficacy
+// lands in the trace's "metric" lines without plumbing cache pointers around.
+Counter &hitCounter() {
+  static Counter &C = MetricsRegistry::global().counter("verify.cache.hit");
+  return C;
+}
+Counter &missCounter() {
+  static Counter &C = MetricsRegistry::global().counter("verify.cache.miss");
+  return C;
+}
+Counter &joinCounter() {
+  static Counter &C =
+      MetricsRegistry::global().counter("verify.cache.singleflight_join");
+  return C;
+}
+Counter &evictionCounter() {
+  static Counter &C =
+      MetricsRegistry::global().counter("verify.cache.eviction");
+  return C;
+}
+
+} // namespace
 
 std::string VerifyCache::makeKey(const std::string &SrcText,
                                  const std::string &TgtText,
@@ -70,6 +96,7 @@ VerifyResult VerifyCache::verify(const std::string &SrcText,
       std::lock_guard<std::mutex> L(M);
       ++Stats.Misses;
     }
+    missCounter().inc();
     return verifyCandidateText(Src, TgtText, Opts);
   }
 
@@ -81,17 +108,21 @@ VerifyResult VerifyCache::verify(const std::string &SrcText,
     if (It != Index.end()) {
       LRU.splice(LRU.begin(), LRU, It->second); // touch
       ++Stats.Hits;
+      hitCounter().inc();
       return It->second->second;
     }
     auto PIt = Pending.find(Key);
     if (PIt != Pending.end()) {
       Slot = PIt->second; // join the in-flight computation
       ++Stats.Hits;
+      hitCounter().inc();
+      joinCounter().inc();
     } else {
       Slot = std::make_shared<InFlight>();
       Pending.emplace(Key, Slot);
       Owner = true;
       ++Stats.Misses;
+      missCounter().inc();
     }
   }
 
@@ -111,6 +142,7 @@ VerifyResult VerifyCache::verify(const std::string &SrcText,
       Index.erase(LRU.back().first);
       LRU.pop_back();
       ++Stats.Evictions;
+      evictionCounter().inc();
     }
     Pending.erase(LRU.front().first);
   }

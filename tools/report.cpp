@@ -1,0 +1,73 @@
+//===- report.cpp - Render a run's JSONL trace into a report ----------------===//
+//
+// The observability CLI:
+//
+//   report run.jsonl              validate, then print the run report
+//   report run.jsonl --validate   schema validation only (CI gate)
+//   report run.jsonl --top 20     widen the top-N tables
+//
+// Input is the JSONL written by a pipeline run with tracing enabled
+// (e.g. `train_mini --tiny --trace run.jsonl`); the schema is documented in
+// docs/OBSERVABILITY.md. Exit status is non-zero on unreadable input or a
+// schema violation, so CI can gate on it directly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace veriopt;
+
+static int usage(const char *Argv0) {
+  std::fprintf(stderr, "usage: %s <trace.jsonl> [--validate] [--top N]\n",
+               Argv0);
+  return 2;
+}
+
+int main(int argc, char **argv) {
+  std::string Path;
+  bool ValidateOnly = false;
+  unsigned TopN = 10;
+
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--validate") == 0) {
+      ValidateOnly = true;
+    } else if (std::strcmp(argv[I], "--top") == 0 && I + 1 < argc) {
+      TopN = static_cast<unsigned>(std::atoi(argv[++I]));
+      if (TopN == 0)
+        return usage(argv[0]);
+    } else if (argv[I][0] == '-') {
+      return usage(argv[0]);
+    } else if (Path.empty()) {
+      Path = argv[I];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (Path.empty())
+    return usage(argv[0]);
+
+  TraceLog Log;
+  std::string Err;
+  if (!loadTraceJsonl(Path, Log, &Err)) {
+    std::fprintf(stderr, "error: %s: %s\n", Path.c_str(), Err.c_str());
+    return 1;
+  }
+  if (!validateTraceLog(Log, &Err)) {
+    std::fprintf(stderr, "error: %s: schema violation: %s\n", Path.c_str(),
+                 Err.c_str());
+    return 1;
+  }
+  if (ValidateOnly) {
+    std::printf("OK: %zu events conform to the trace schema\n",
+                Log.Events.size());
+    return 0;
+  }
+
+  std::fputs(renderRunReport(Log, TopN).c_str(), stdout);
+  return 0;
+}
