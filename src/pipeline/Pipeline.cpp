@@ -3,6 +3,7 @@
 #include "pipeline/Pipeline.h"
 
 #include "trace/Trace.h"
+#include "verify/BatchVerifier.h"
 
 #include <algorithm>
 
@@ -171,6 +172,16 @@ PipelineArtifacts runTrainingPipeline(const Dataset &DS,
   GBase.Threads = Opts.Threads;
   GBase.Pool = &Pool;
   GBase.Cache = Cache.get();
+
+  // Batched group verification: pre-verify each prompt group through one
+  // shared solver context, seeding the cache the reward replays from.
+  // Shares the ladder configuration with RV so cache keys line up.
+  BatchVerifier::Options BO;
+  BO.Robust = RVO;
+  BO.Pool = &Pool;
+  BO.Threads = Opts.Threads;
+  BatchVerifier BV(BO, Cache.get(), Opts.Faults);
+  GBase.Batch = (Opts.BatchVerify && Cache) ? &BV : nullptr;
 
   //===--- Resume --------------------------------------------------------===//
 

@@ -56,6 +56,11 @@ struct PipelineOptions {
   /// Verify-memo capacity in entries; 0 disables the cache. The cache is
   /// shared across stages (keys carry the full verification budget).
   size_t VerifyCacheCapacity = 4096;
+  /// Batched group verification (BatchVerifier): pre-verify each prompt
+  /// group through one shared solver context before scoring, seeding the
+  /// cache. Requires the cache; verdicts are bit-identical either way, so
+  /// the sequential path (off) remains the oracle.
+  bool BatchVerify = true;
 
   //===--- Fault-tolerant runtime ---------------------------------------===//
 

@@ -4,6 +4,7 @@
 
 #include "trace/Metrics.h"
 #include "trace/Trace.h"
+#include "verify/BatchVerifier.h"
 
 #include <algorithm>
 #include <chrono>
@@ -68,6 +69,32 @@ TrainLogEntry GRPOTrainer::step(const std::vector<const Sample *> &Batch) {
                               Opts.Temperature);
         Rollouts.push_back(std::move(Ro));
       }
+    }
+  }
+
+  // Phase 1.5: batched group pre-verification. One shared solver context
+  // per prompt group computes every verdict the scoring pass is about to
+  // ask for and seeds the verification cache; scoring then replays from
+  // the cache through the ordinary retry ladder. The batch runs the same
+  // ladder over the same budgets, so verdicts — and therefore rewards and
+  // the trained model — are bit-identical with this knob off.
+  if (Opts.Batch && Opts.Cache) {
+    for (unsigned PromptIdx = 0; PromptIdx < Batch.size(); ++PromptIdx) {
+      const Sample *S = Batch[PromptIdx];
+      std::vector<std::string> Texts;
+      Texts.reserve(Opts.GroupSize * 2);
+      for (unsigned G = 0; G < Opts.GroupSize; ++G) {
+        const Completion &C = Rollouts[PromptIdx * Opts.GroupSize + G].C;
+        // Mirror exactly what the reward verifies: answers only when the
+        // format gate passes, think-attempts unconditionally in augmented
+        // mode (see answerReward / verifyAttempt).
+        if (C.FormatOk)
+          Texts.push_back(C.AnswerIR);
+        if (Opts.Mode == PromptMode::Augmented)
+          Texts.push_back(C.ThinkAttemptIR);
+      }
+      if (!Texts.empty())
+        Opts.Batch->verifyGroup(S->SrcText, *S->source(), Texts);
     }
   }
 

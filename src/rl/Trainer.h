@@ -21,6 +21,8 @@
 
 namespace veriopt {
 
+class BatchVerifier;
+
 /// What a stage-specific reward evaluation returns for one completion.
 struct RolloutScore {
   double Reward = 0;
@@ -63,6 +65,12 @@ struct GRPOOptions {
   /// Verification memo consulted by the reward (via the reward factories);
   /// referenced here only to report per-step hit rates in the log.
   VerifyCache *Cache = nullptr;
+  /// Batched group verification: when set (and Cache is set), each prompt
+  /// group's candidates are pre-verified through one shared solver context
+  /// between generation and scoring, seeding the cache the reward then
+  /// replays from. Verdicts are bit-identical with or without it, so the
+  /// trained model and the log never depend on this knob.
+  BatchVerifier *Batch = nullptr;
   /// Optional sequential observer of every scored rollout.
   RolloutHook OnRollout;
   /// Stage label stamped onto this trainer's trace events ("stage1"...);

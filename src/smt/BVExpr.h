@@ -152,6 +152,13 @@ public:
   /// Number of distinct interned nodes (for the simplification ablation).
   size_t numNodes() const { return Pool.size(); }
 
+  /// Hash-consing efficacy: interning requests that found an existing
+  /// structurally identical node vs. ones that allocated a new node. When a
+  /// group of candidates shares one context, cross-candidate hits measure
+  /// how much of the encoding was emitted once and reused.
+  uint64_t cseHits() const { return CseHits; }
+  uint64_t cseMisses() const { return CseMisses; }
+
   /// Evaluate a term under a model (VarId -> value). Used to confirm SAT
   /// models and in differential tests against the bit-blaster.
   APInt64 evaluate(const BVExpr *E,
@@ -165,6 +172,8 @@ private:
   std::deque<BVExpr> Pool;
   std::unordered_map<std::string, const BVExpr *> Interned;
   std::vector<std::string> VarNames;
+  uint64_t CseHits = 0;
+  uint64_t CseMisses = 0;
 };
 
 } // namespace veriopt

@@ -9,6 +9,14 @@ BitBlaster::BitBlaster(BVContext &Ctx, SatSolver &S) : Ctx(Ctx), Solver(S) {
   Solver.addClause(True);
 }
 
+BitBlaster::BitBlaster(BVContext &Ctx, SatSolver &S, const BitBlaster &Proto)
+    : Ctx(Ctx), Solver(S), True(Proto.True), Cache(Proto.Cache) {
+  // S must be a copy of Proto's solver: every literal in the inherited
+  // cache (including True) refers to variables that copy already owns.
+  assert(S.numVars() >= Proto.Solver.numVars() &&
+         "clone target is not a copy of the prototype's solver");
+}
+
 Lit BitBlaster::mkAnd(Lit A, Lit B) {
   if (isFalse(A) || isFalse(B))
     return falseLit();

@@ -21,6 +21,13 @@ class BitBlaster {
 public:
   BitBlaster(BVContext &Ctx, SatSolver &S);
 
+  /// Clone construction for incremental group verification: bind to \p S —
+  /// which must be a copy of the solver \p Proto was built against — and
+  /// inherit Proto's term-to-literal cache. Terms Proto already blasted
+  /// (the shared source-function prefix) resolve to the retained CNF in the
+  /// copied solver instead of being re-emitted.
+  BitBlaster(BVContext &Ctx, SatSolver &S, const BitBlaster &Proto);
+
   /// Encode \p E (LSB-first literal vector). Cached per term.
   const std::vector<Lit> &blast(const BVExpr *E);
 

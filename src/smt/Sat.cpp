@@ -16,6 +16,7 @@ SatSolver::SatSolver() {
   SavedPhase.push_back(LBool::False);
   LevelOf.push_back(0);
   ReasonOf.push_back(NoReason);
+  Frozen.push_back(0);
   Activity.push_back(0);
   Seen.push_back(0);
   Watches.resize(2);
@@ -27,10 +28,16 @@ unsigned SatSolver::newVar() {
   SavedPhase.push_back(LBool::False);
   LevelOf.push_back(0);
   ReasonOf.push_back(NoReason);
+  Frozen.push_back(0);
   Activity.push_back(0);
   Seen.push_back(0);
   Watches.resize(Watches.size() + 2);
   return V;
+}
+
+void SatSolver::setFrozen(unsigned Var, bool B) {
+  assert(Var < Frozen.size() && "freezing an unallocated variable");
+  Frozen[Var] = B ? 1 : 0;
 }
 
 bool SatSolver::addClause(std::vector<Lit> Ls) {
@@ -213,6 +220,33 @@ void SatSolver::analyze(ClauseRef Confl, std::vector<Lit> &Learnt,
     Seen[L.var()] = 0;
 }
 
+void SatSolver::analyzeFinal(Lit FailedAssump) {
+  // The trail implies ~FailedAssump; collect the placed assumptions that
+  // participate in that derivation (MiniSat's analyzeFinal). Every
+  // reason-free trail literal above level 0 is an assumption placement:
+  // analyzeFinal only runs from the placement loop, where all open decision
+  // levels belong to assumptions.
+  Core.clear();
+  Core.push_back(FailedAssump);
+  if (TrailLim.empty())
+    return;
+  Seen[FailedAssump.var()] = 1;
+  for (size_t I = Trail.size(); I > TrailLim[0]; --I) {
+    unsigned V = Trail[I - 1].var();
+    if (!Seen[V])
+      continue;
+    if (ReasonOf[V] == NoReason) {
+      Core.push_back(Trail[I - 1]);
+    } else {
+      for (Lit L : Clauses[ReasonOf[V]].Ls)
+        if (L.var() != V && LevelOf[L.var()] > 0)
+          Seen[L.var()] = 1;
+    }
+    Seen[V] = 0;
+  }
+  Seen[FailedAssump.var()] = 0;
+}
+
 void SatSolver::backtrack(unsigned Level) {
   if (TrailLim.size() <= Level)
     return;
@@ -234,10 +268,19 @@ Lit SatSolver::pickBranchLit() {
   unsigned Best = 0;
   double BestAct = -1;
   for (unsigned V = 1; V < Assign.size(); ++V)
-    if (Assign[V] == LBool::Undef && Activity[V] > BestAct) {
+    if (Assign[V] == LBool::Undef && !Frozen[V] && Activity[V] > BestAct) {
       Best = V;
       BestAct = Activity[V];
     }
+  if (Best == 0) {
+    // Only frozen variables (dormant group selectors) remain: decide them
+    // last, so saved phases — false by default — deactivate their groups.
+    for (unsigned V = 1; V < Assign.size(); ++V)
+      if (Assign[V] == LBool::Undef && Activity[V] > BestAct) {
+        Best = V;
+        BestAct = Activity[V];
+      }
+  }
   if (Best == 0)
     return Lit(); // everything assigned
   bool Neg = SavedPhase[Best] != LBool::True; // phase saving, default false
@@ -245,11 +288,37 @@ Lit SatSolver::pickBranchLit() {
 }
 
 SatSolver::Result SatSolver::solve(uint64_t ConflictBudget, Fuel *F) {
-  if (Unsatisfiable)
-    return Result::Unsat;
-  if (propagate() != NoReason)
-    return Result::Unsat;
+  return solve(std::vector<Lit>(), ConflictBudget, F);
+}
 
+SatSolver::Result SatSolver::solve(const std::vector<Lit> &Assumptions,
+                                   uint64_t ConflictBudget, Fuel *F) {
+  uint64_t StartConflicts = Conflicts;
+  uint64_t StartPropagations = Propagations;
+  uint64_t StartDecisions = Decisions;
+  LastAssumptions = 0;
+  Core.clear();
+
+  Result R;
+  if (Unsatisfiable) {
+    R = Result::Unsat;
+  } else if (propagate() != NoReason) {
+    // Pending top-level units conflicted: the trail is at level 0, so this
+    // is a global contradiction independent of any assumption.
+    Unsatisfiable = true;
+    R = Result::Unsat;
+  } else {
+    R = search(Assumptions, ConflictBudget, F);
+  }
+
+  LastConflicts = Conflicts - StartConflicts;
+  LastPropagations = Propagations - StartPropagations;
+  LastDecisions = Decisions - StartDecisions;
+  return R;
+}
+
+SatSolver::Result SatSolver::search(const std::vector<Lit> &Assumptions,
+                                    uint64_t ConflictBudget, Fuel *F) {
   uint64_t RestartLimit = 100;
   uint64_t ConflictsSinceRestart = 0;
   uint64_t StartConflicts = Conflicts;
@@ -259,8 +328,13 @@ SatSolver::Result SatSolver::solve(uint64_t ConflictBudget, Fuel *F) {
     if (Confl != NoReason) {
       ++Conflicts;
       ++ConflictsSinceRestart;
-      if (TrailLim.empty())
-        return Result::Unsat; // conflict at level 0
+      if (TrailLim.empty()) {
+        // Conflict at level 0: no assumption is on the trail, so the
+        // instance is unsatisfiable outright. Latch it so later calls
+        // answer immediately instead of re-searching stale state.
+        Unsatisfiable = true;
+        return Result::Unsat;
+      }
       if (ConflictBudget && Conflicts - StartConflicts >= ConflictBudget) {
         // Leave the solver reusable: a later solve() must not see a stale
         // conflicting trail.
@@ -297,9 +371,41 @@ SatSolver::Result SatSolver::solve(uint64_t ConflictBudget, Fuel *F) {
       continue;
     }
 
-    Lit Next = pickBranchLit();
-    if (Next.Code == 0)
-      return Result::Sat; // complete assignment, no conflict
+    // No conflict. Re-place any assumptions not currently on the trail as
+    // pseudo-decisions (they sit below every real decision and are
+    // re-established here after each restart or backjump).
+    Lit Next;
+    while (TrailLim.size() < Assumptions.size()) {
+      Lit A = Assumptions[TrailLim.size()];
+      LBool V = value(A);
+      if (V == LBool::True) {
+        // Already implied: open a dummy level so decision-level indices
+        // keep matching assumption indices.
+        TrailLim.push_back(static_cast<unsigned>(Trail.size()));
+        continue;
+      }
+      if (V == LBool::False) {
+        // The trail refutes this assumption: unsat *under assumptions*.
+        // Do not latch Unsatisfiable — other assumptions may succeed.
+        analyzeFinal(A);
+        backtrack(0);
+        return Result::Unsat;
+      }
+      Next = A;
+      break;
+    }
+    if (Next.Code == 0) {
+      Next = pickBranchLit();
+      if (Next.Code == 0) {
+        // Complete assignment, no conflict: snapshot the model, then
+        // release the trail so the solver stays reusable.
+        Model = Assign;
+        backtrack(0);
+        return Result::Sat;
+      }
+    } else {
+      ++LastAssumptions;
+    }
     if (F && !F->consume(fuel::SatDecision)) {
       backtrack(0);
       return Result::Unknown;
@@ -311,8 +417,8 @@ SatSolver::Result SatSolver::solve(uint64_t ConflictBudget, Fuel *F) {
 }
 
 bool SatSolver::modelValue(unsigned Var) const {
-  assert(Var < Assign.size() && "model query out of range");
-  return Assign[Var] == LBool::True;
+  assert(Var < Model.size() && "model query out of range");
+  return Model[Var] == LBool::True;
 }
 
 } // namespace veriopt

@@ -6,6 +6,23 @@
 // underneath the bit-vector layer that stands in for Z3 in the Alive-lite
 // translation validator.
 //
+// The solver is *incremental* in the MiniSat sense: clauses (including
+// learned clauses) are retained across solve() calls, and a call may pass a
+// list of assumption literals that are treated as pseudo-decisions below
+// every real decision. An UNSAT answer under assumptions does not poison
+// the solver — conflictCore() names the failed assumption subset and the
+// next call may retry with different assumptions. Only a conflict at
+// decision level 0 (no assumptions involved) latches the instance as
+// globally unsatisfiable.
+//
+// Every solve() call returns with the trail backtracked to decision level 0
+// (models are snapshotted first), so addClause()/solve() may be freely
+// interleaved. Selector variables guarding group-local encodings should be
+// marked with setFrozen(): frozen variables are branched on only after
+// every unfrozen variable is assigned, so dormant groups stay deactivated
+// (phase saving defaults selectors to false) instead of being speculatively
+// activated mid-search.
+//
 // A conflict budget bounds each query; exhausting it returns Unknown, which
 // the verifier surfaces as the paper's "Inconclusive" outcome.
 //
@@ -61,6 +78,22 @@ public:
   uint64_t propagations() const { return Propagations; }
   uint64_t decisions() const { return Decisions; }
 
+  /// Per-call accounting: deltas accumulated by the most recent solve().
+  uint64_t lastConflicts() const { return LastConflicts; }
+  uint64_t lastPropagations() const { return LastPropagations; }
+  uint64_t lastDecisions() const { return LastDecisions; }
+  /// Assumption placements performed by the most recent solve() (counts
+  /// re-placements after restarts and backjumps, so it measures how often
+  /// the assumption prefix was rebuilt).
+  uint64_t lastAssumptions() const { return LastAssumptions; }
+
+  /// Exclude \p Var from normal branching: frozen variables (selector
+  /// literals guarding a group-local encoding) are decided only once every
+  /// unfrozen variable is assigned, so inactive groups stay deactivated
+  /// (saved phase defaults to false) instead of being branched true
+  /// mid-search. Assumptions may still assert frozen variables directly.
+  void setFrozen(unsigned Var, bool B);
+
   /// Add a clause (disjunction of literals). Returns false if the formula
   /// became trivially unsatisfiable (empty clause / conflicting units).
   bool addClause(std::vector<Lit> Ls);
@@ -76,7 +109,21 @@ public:
   /// distinguish fuel-out from conflict-budget-out).
   Result solve(uint64_t ConflictBudget = 0, Fuel *F = nullptr);
 
-  /// Model access after Sat.
+  /// Solve under \p Assumptions: each literal is asserted as a
+  /// pseudo-decision below all real decisions (and re-placed after every
+  /// restart or backjump). Unsat means "unsatisfiable together with the
+  /// assumptions"; conflictCore() then holds the failed subset. Clauses
+  /// learned during the call are retained for later calls.
+  Result solve(const std::vector<Lit> &Assumptions,
+               uint64_t ConflictBudget = 0, Fuel *F = nullptr);
+
+  /// After an Unsat answer: the subset of the assumptions that was refuted
+  /// (their conjunction is inconsistent with the clauses). Empty when the
+  /// instance is globally unsatisfiable independent of any assumption.
+  const std::vector<Lit> &conflictCore() const { return Core; }
+
+  /// Model access after Sat. The model is snapshotted before the solver
+  /// backtracks, so it stays valid across later addClause()/solve() calls.
   bool modelValue(unsigned Var) const;
   bool modelValue(Lit L) const {
     return modelValue(L.var()) != L.negated();
@@ -106,11 +153,13 @@ private:
   void enqueue(Lit L, ClauseRef Reason);
   ClauseRef propagate();
   void analyze(ClauseRef Confl, std::vector<Lit> &Learnt, unsigned &BtLevel);
+  void analyzeFinal(Lit FailedAssump);
   void backtrack(unsigned Level);
   Lit pickBranchLit();
   void bumpVar(unsigned V);
   void decayActivities();
-  bool ensureUnassignedExists();
+  Result search(const std::vector<Lit> &Assumptions, uint64_t ConflictBudget,
+                Fuel *F);
 
   std::vector<Clause> Clauses;
   std::vector<std::vector<Watch>> Watches; // indexed by Lit code
@@ -118,6 +167,7 @@ private:
   std::vector<LBool> SavedPhase;           // per var
   std::vector<unsigned> LevelOf;           // per var
   std::vector<ClauseRef> ReasonOf;         // per var
+  std::vector<uint8_t> Frozen;             // per var: deprioritized branching
   std::vector<Lit> Trail;
   std::vector<unsigned> TrailLim; // decision-level boundaries
   size_t QHead = 0;
@@ -126,9 +176,16 @@ private:
   double ActivityInc = 1.0;
   std::vector<uint8_t> Seen; // scratch for analyze()
 
+  std::vector<LBool> Model; // snapshot of the last Sat assignment
+  std::vector<Lit> Core;    // failed assumptions of the last Unsat
+
   uint64_t Conflicts = 0;
   uint64_t Propagations = 0;
   uint64_t Decisions = 0;
+  uint64_t LastConflicts = 0;
+  uint64_t LastPropagations = 0;
+  uint64_t LastDecisions = 0;
+  uint64_t LastAssumptions = 0;
   bool Unsatisfiable = false;
 };
 

@@ -19,7 +19,9 @@
 #ifndef VERIOPT_SUPPORT_FUEL_H
 #define VERIOPT_SUPPORT_FUEL_H
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace veriopt {
 
@@ -58,6 +60,8 @@ public:
   /// the tank cannot cover them; callers must then unwind and report
   /// ResourceExhausted.
   bool consume(uint64_t Units = 1) {
+    if (Trace)
+      Trace->push_back(Units);
     Spent += Units;
     if (!Limited)
       return true;
@@ -67,6 +71,24 @@ public:
       return false;
     }
     Remaining -= Units;
+    return true;
+  }
+
+  /// Record every subsequent consume()'s unit count into \p T (null stops
+  /// recording). The batch verifier records the charges of a shared,
+  /// candidate-independent computation once, then *replays* them against
+  /// each candidate's own budget (see Fuel::replay), so sharing work across
+  /// a group never changes where any individual budget exhausts.
+  void setTrace(std::vector<uint64_t> *T) { Trace = T; }
+
+  /// Re-charge a recorded consume() sequence slice against this token,
+  /// stopping at the first charge the tank cannot cover (exactly where the
+  /// recorded computation would have aborted under this budget). Returns
+  /// false on exhaustion, mirroring consume().
+  bool replay(const std::vector<uint64_t> &T, size_t Begin, size_t End) {
+    for (size_t I = Begin; I < End; ++I)
+      if (!consume(T[I]))
+        return false;
     return true;
   }
 
@@ -80,6 +102,7 @@ private:
   uint64_t Spent = 0;
   bool Limited = false;
   bool Empty = false;
+  std::vector<uint64_t> *Trace = nullptr;
 };
 
 } // namespace veriopt

@@ -58,8 +58,8 @@ const std::vector<std::string> &knownTraceEventNames() {
       "pipeline.run",     "pipeline.stage", "pipeline.checkpoint",
       "grpo.step",        "grpo.generate",  "grpo.score",
       "verify.candidate", "verify.falsify", "verify.encode",
-      "verify.sat",       "verify.tier",    "opt.rule_fire",
-      "metric",           "metric.hist",
+      "verify.sat",       "verify.tier",    "batch.verify",
+      "opt.rule_fire",    "metric",         "metric.hist",
   };
   return Names;
 }
@@ -92,6 +92,11 @@ const std::map<std::string, std::vector<ArgRule>> &requiredArgs() {
         {"conflicts", JsonValue::Kind::Number},
         {"fuel", JsonValue::Kind::Number}}},
       {"verify.sat", {{"result", JsonValue::Kind::String}}},
+      {"batch.verify",
+       {{"candidates", JsonValue::Kind::Number},
+        {"unique", JsonValue::Kind::Number},
+        {"cached", JsonValue::Kind::Number},
+        {"computed", JsonValue::Kind::Number}}},
       {"verify.tier",
        {{"tier", JsonValue::Kind::Number},
         {"status", JsonValue::Kind::String},
@@ -440,6 +445,35 @@ std::string renderRunReport(const TraceLog &Log, unsigned TopN) {
          << static_cast<uint64_t>(M("verify.cache.singleflight_join"))
          << "  evictions " << static_cast<uint64_t>(M("verify.cache.eviction"))
          << "\n";
+    }
+  }
+  OS << "\n";
+
+  //--- Batched verification efficacy ----------------------------------------
+  OS << "-- batch verification efficacy -----------------------------------\n";
+  {
+    auto M = [&](const char *K) {
+      auto It = Metric.find(K);
+      return It == Metric.end() ? 0.0 : It->second;
+    };
+    double Groups = M("batch.groups");
+    if (Groups == 0) {
+      OS << "no batch.* metrics in this trace (BatchVerify off or no cache)\n";
+    } else {
+      double Cands = M("batch.candidates"), Uniq = M("batch.unique");
+      double Hits = M("batch.cache_hits"), Comp = M("batch.computed");
+      OS << "  groups " << static_cast<uint64_t>(Groups) << "  candidates "
+         << static_cast<uint64_t>(Cands) << "  unique "
+         << static_cast<uint64_t>(Uniq) << "  (dedupe saved "
+         << static_cast<uint64_t>(Cands - Uniq) << ")\n";
+      OS << "  ladder rungs: computed " << static_cast<uint64_t>(Comp)
+         << "  served-from-cache " << static_cast<uint64_t>(Hits) << "\n";
+      OS << "  assumption solves "
+         << static_cast<uint64_t>(M("smt.assumption_solves"))
+         << "  clauses inherited "
+         << static_cast<uint64_t>(M("smt.clauses_retained"))
+         << "  encode CSE hits "
+         << static_cast<uint64_t>(M("encode.cse_hits")) << "\n";
     }
   }
   OS << "\n";

@@ -2,18 +2,7 @@
 
 #include "verify/AliveLite.h"
 
-#include "interp/Interpreter.h"
-#include "ir/Parser.h"
-#include "ir/Printer.h"
-#include "ir/Verifier.h"
-#include "smt/Solver.h"
-#include "support/RNG.h"
-#include "trace/Metrics.h"
-#include "trace/Trace.h"
-#include "verify/Encoder.h"
-
-#include <map>
-#include <sstream>
+#include "verify/RefinementQuery.h"
 
 namespace veriopt {
 
@@ -61,501 +50,22 @@ const char *verifyStatusName(VerifyStatus S) {
   return "unknown";
 }
 
-namespace {
-
-std::string header(const Function &Src) {
-  std::ostringstream OS;
-  OS << "----------------------------------------\n"
-     << "define " << Src.getReturnType()->getName() << " @" << Src.getName()
-     << "\n";
-  return OS.str();
-}
-
-std::string renderBindings(const std::vector<CexBinding> &Bs) {
-  std::ostringstream OS;
-  OS << "\nExample:\n";
-  for (const CexBinding &B : Bs)
-    OS << B.Name << " = " << B.Value.toString() << "\n";
-  return OS.str();
-}
-
-/// Argument names as the diagnostics print them: "i32 %x".
-std::string argLabel(const Function &F, unsigned I) {
-  std::string Name = F.getArg(I)->hasName()
-                         ? "%" + F.getArg(I)->getName()
-                         : "%" + std::to_string(I);
-  return F.getParamType(I)->getName() + " " + Name;
-}
-
-/// Sequence-compare two interpreter call logs (per-callee order and args).
-bool callLogsMatch(const std::vector<CallEvent> &A,
-                   const std::vector<CallEvent> &B) {
-  if (A.size() != B.size())
-    return false;
-  std::map<std::string, std::vector<const CallEvent *>> ByCalleeA, ByCalleeB;
-  for (const auto &E : A)
-    ByCalleeA[E.Callee].push_back(&E);
-  for (const auto &E : B)
-    ByCalleeB[E.Callee].push_back(&E);
-  if (ByCalleeA.size() != ByCalleeB.size())
-    return false;
-  for (auto &[Name, ListA] : ByCalleeA) {
-    auto It = ByCalleeB.find(Name);
-    if (It == ByCalleeB.end() || It->second.size() != ListA.size())
-      return false;
-    for (size_t I = 0; I < ListA.size(); ++I)
-      if (ListA[I]->Args != It->second[I]->Args)
-        return false;
-  }
-  return true;
-}
-
-/// Random + adversarial inputs for the falsification pre-pass. The first
-/// six sweeps are corner sweeps with a *per-argument* corner index
-/// (staggered by argument position, so mixed patterns like (0, 1) or
-/// (INT_MAX, all-ones) get tried, not just all-same-corner tuples); every
-/// later sweep is fully random.
-std::vector<APInt64> sampleArgs(const Function &F, RNG &R, unsigned Trial) {
-  std::vector<APInt64> Args;
-  for (unsigned I = 0; I < F.getNumParams(); ++I) {
-    unsigned W = F.getParamType(I)->getBitWidth();
-    if (Trial >= 6) {
-      Args.push_back(APInt64(W, R.next()));
-      continue;
-    }
-    switch ((Trial + I) % 6) {
-    case 0:
-      Args.push_back(APInt64::zero(W));
-      break;
-    case 1:
-      Args.push_back(APInt64::one(W));
-      break;
-    case 2:
-      Args.push_back(APInt64::allOnes(W));
-      break;
-    case 3:
-      Args.push_back(APInt64::signedMin(W));
-      break;
-    case 4:
-      Args.push_back(APInt64::signedMax(W));
-      break;
-    default:
-      Args.push_back(APInt64(W, R.next()));
-      break;
-    }
-  }
-  return Args;
-}
-
-/// Try to refute equivalence with concrete executions before any SMT work.
-bool falsify(const Function &Src, const Function &Tgt,
-             const VerifyOptions &Opts, Fuel &F, VerifyResult &Out) {
-  for (unsigned I = 0; I < Src.getNumParams(); ++I)
-    if (!Src.getParamType(I)->isInteger())
-      return false;
-  InterpOptions IOpts;
-  IOpts.FuelTok = &F;
-  RNG R(0xA11CE + Src.getNumParams());
-  for (unsigned Trial = 0; Trial < Opts.FalsifyTrials; ++Trial) {
-    if (F.exhausted())
-      return false;
-    std::vector<APInt64> Args = sampleArgs(Src, R, Trial);
-    ExecResult SR = interpret(Src, Args, IOpts);
-    if (SR.St != ExecResult::Ok || SR.RetPoison)
-      continue; // source undefined/poison: target is unconstrained
-    ExecResult TR = interpret(Tgt, Args, IOpts);
-    if (TR.St == ExecResult::Timeout || TR.St == ExecResult::Unsupported)
-      continue;
-
-    DiagKind Kind = DiagKind::None;
-    std::string Detail;
-    if (TR.St == ExecResult::UndefinedBehavior) {
-      Kind = DiagKind::UBIntroduced;
-      Detail = "Target has undefined behavior where source is defined (" +
-               TR.Reason + ")";
-    } else if (!callLogsMatch(SR.Calls, TR.Calls)) {
-      Kind = DiagKind::CallMismatch;
-      Detail = "Mismatch in external calls";
-    } else if (TR.RetPoison) {
-      Kind = DiagKind::PoisonMismatch;
-      Detail = "Target returns poison where source is well-defined";
-    } else if (!SR.IsVoid && SR.RetVal != TR.RetVal) {
-      Kind = DiagKind::ValueMismatch;
-      Detail = "Value mismatch";
-    }
-    if (Kind == DiagKind::None)
-      continue;
-
-    Out.Status = VerifyStatus::NotEquivalent;
-    Out.Kind = Kind;
-    Out.FoundByFalsification = true;
-    for (unsigned I = 0; I < Src.getNumParams(); ++I)
-      Out.Counterexample.push_back({argLabel(Src, I), Args[I]});
-    std::ostringstream OS;
-    OS << header(Src) << "Transformation doesn't verify!\nERROR: " << Detail
-       << "\n"
-       << renderBindings(Out.Counterexample);
-    if (Kind == DiagKind::ValueMismatch) {
-      OS << "Source value: " << SR.RetVal.toString() << "\n"
-         << "Target value: " << TR.RetVal.toString() << "\n";
-    }
-    Out.Diagnostic = OS.str();
-    return true;
-  }
-  return false;
-}
-
-VerifyResult exhaustedResult(const Function &Src) {
-  VerifyResult Out;
-  Out.Status = VerifyStatus::Inconclusive;
-  Out.Kind = DiagKind::ResourceExhausted;
-  Out.Diagnostic =
-      header(Src) + "Inconclusive: verification fuel budget exhausted\n";
-  return Out;
-}
-
-VerifyResult verifyRefinementImpl(const Function &Src, const Function &Tgt,
-                                  const VerifyOptions &Opts, Fuel &F) {
-  VerifyResult Out;
-
-  // Signatures must match exactly.
-  bool SigOk = Src.getReturnType() == Tgt.getReturnType() &&
-               Src.getNumParams() == Tgt.getNumParams();
-  if (SigOk)
-    for (unsigned I = 0; I < Src.getNumParams(); ++I)
-      SigOk = SigOk && Src.getParamType(I) == Tgt.getParamType(I);
-  if (!SigOk) {
-    Out.Status = VerifyStatus::NotEquivalent;
-    Out.Kind = DiagKind::SignatureMismatch;
-    Out.Diagnostic = header(Src) +
-                     "Transformation doesn't verify!\n"
-                     "ERROR: Source and target signatures differ\n";
-    return Out;
-  }
-
-  // Cheap refutation first (ablation: micro_components measures the win).
-  if (Opts.FalsifyTrials > 0) {
-    TRACE_SPAN("verify.falsify");
-    if (falsify(Src, Tgt, Opts, F, Out))
-      return Out;
-  }
-  if (F.exhausted())
-    return exhaustedResult(Src);
-
-  // Symbolic encoding over a shared context / argument space / world.
-  BVContext Ctx;
-  ExternalWorld World;
-  std::vector<const BVExpr *> ArgVars;
-  for (unsigned I = 0; I < Src.getNumParams(); ++I) {
-    if (!Src.getParamType(I)->isInteger()) {
-      Out.Status = VerifyStatus::Inconclusive;
-      Out.Kind = DiagKind::Unsupported;
-      Out.Diagnostic = "Inconclusive: pointer-typed parameters are outside "
-                       "the symbolic model\n";
-      return Out;
-    }
-    ArgVars.push_back(
-        Ctx.var(Src.getParamType(I)->getBitWidth(), argLabel(Src, I)));
-  }
-
-  EncodeLimits Limits;
-  Limits.MaxPaths = Opts.MaxPaths;
-  Limits.MaxBlockVisitsPerPath = Opts.MaxBlockVisitsPerPath;
-  Limits.MaxStepsPerPath = Opts.MaxStepsPerPath;
-  Limits.FuelTok = &F;
-
-  FnEncoding SE, TE;
-  {
-    TRACE_SPAN("verify.encode");
-    SE = encodeFunction(Src, Ctx, ArgVars, World, Limits);
-    TE = encodeFunction(Tgt, Ctx, ArgVars, World, Limits);
-  }
-  if (SE.FuelOut || TE.FuelOut)
-    return exhaustedResult(Src);
-  if (SE.Unsupported || TE.Unsupported) {
-    Out.Status = VerifyStatus::Inconclusive;
-    Out.Kind = DiagKind::Unsupported;
-    Out.Diagnostic = "Inconclusive: " +
-                     (SE.Unsupported ? SE.UnsupportedWhy : TE.UnsupportedWhy) +
-                     "\n";
-    return Out;
-  }
-
-  // No execution completed within the bound (e.g. the candidate loops
-  // forever): nothing can be claimed, even in bounded mode.
-  if (SE.Paths.empty() || TE.Paths.empty()) {
-    Out.Status = VerifyStatus::Inconclusive;
-    Out.Kind = DiagKind::LoopBound;
-    Out.Diagnostic =
-        "Inconclusive: no execution path completes within the unroll "
-        "bound\n";
-    return Out;
-  }
-
-  bool Truncated = !SE.Truncated->isFalse() || !TE.Truncated->isFalse();
-  if (Truncated && Opts.StrictLoops) {
-    Out.Status = VerifyStatus::Inconclusive;
-    Out.Kind = DiagKind::LoopBound;
-    Out.Diagnostic = "Inconclusive: loop unroll bound reached\n";
-    return Out;
-  }
-
-  // Assumption region: inputs where both sides stayed within the unroll
-  // bound (bounded translation validation, as in Alive2).
-  const BVExpr *InBound =
-      Ctx.and1(Ctx.not1(SE.Truncated), Ctx.not1(TE.Truncated));
-
-  // Call-trace matching per (callee, occurrence).
-  const BVExpr *CallMismatch = Ctx.falseVal();
-  {
-    std::map<std::pair<std::string, unsigned>,
-             std::pair<std::vector<const CallRecord *>,
-                       std::vector<const CallRecord *>>>
-        ByKey;
-    for (const CallRecord &Rec : SE.Calls)
-      ByKey[{Rec.Callee, Rec.Index}].first.push_back(&Rec);
-    for (const CallRecord &Rec : TE.Calls)
-      ByKey[{Rec.Callee, Rec.Index}].second.push_back(&Rec);
-    for (auto &[Key, Lists] : ByKey) {
-      const BVExpr *SrcExec = Ctx.falseVal();
-      for (const CallRecord *Rec : Lists.first)
-        SrcExec = Ctx.or1(SrcExec, Rec->Guard);
-      const BVExpr *TgtExec = Ctx.falseVal();
-      for (const CallRecord *Rec : Lists.second)
-        TgtExec = Ctx.or1(TgtExec, Rec->Guard);
-      CallMismatch = Ctx.or1(CallMismatch, Ctx.ne(SrcExec, TgtExec));
-      // Where both execute, arguments must agree.
-      for (const CallRecord *SRec : Lists.first)
-        for (const CallRecord *TRec : Lists.second) {
-          const BVExpr *Both = Ctx.and1(SRec->Guard, TRec->Guard);
-          if (Both->isFalse())
-            continue;
-          const BVExpr *ArgsDiffer = Ctx.falseVal();
-          if (SRec->Args.size() != TRec->Args.size()) {
-            ArgsDiffer = Ctx.trueVal();
-          } else {
-            for (size_t I = 0; I < SRec->Args.size(); ++I)
-              ArgsDiffer = Ctx.or1(
-                  ArgsDiffer, Ctx.ne(SRec->Args[I], TRec->Args[I]));
-          }
-          CallMismatch = Ctx.or1(CallMismatch, Ctx.and1(Both, ArgsDiffer));
-        }
-    }
-  }
-
-  // Refinement violation condition.
-  const BVExpr *SrcDefined = Ctx.not1(SE.UB);
-  const BVExpr *Violation = TE.UB;
-  Violation = Ctx.or1(Violation, CallMismatch);
-  const BVExpr *ValueViol = Ctx.falseVal();
-  const BVExpr *PoisonViol = Ctx.falseVal();
-  if (!Src.getReturnType()->isVoid()) {
-    const BVExpr *RetS = SE.returnTerm(Ctx);
-    const BVExpr *RetT = TE.returnTerm(Ctx);
-    const BVExpr *PoisS = SE.returnPoison(Ctx);
-    const BVExpr *PoisT = TE.returnPoison(Ctx);
-    assert(RetS && RetT && "non-void function without return paths");
-    // When the source's return is non-poison, the target must return the
-    // same non-poison value; a poison source return refines to anything.
-    PoisonViol = Ctx.and1(Ctx.not1(PoisS), PoisT);
-    ValueViol = Ctx.and1(Ctx.not1(PoisS),
-                         Ctx.and1(Ctx.not1(PoisT), Ctx.ne(RetS, RetT)));
-    Violation = Ctx.or1(Violation, Ctx.or1(PoisonViol, ValueViol));
-  }
-  const BVExpr *Cex = Ctx.and1(InBound, Ctx.and1(SrcDefined, Violation));
-
-  // Extract a model over the arguments AND the external world so the
-  // counterexample classification/rendering evaluates under the same
-  // assignment the SAT solver found.
-  std::vector<const BVExpr *> ModelTerms = ArgVars;
-  for (const BVExpr *WV : World.vars())
-    ModelTerms.push_back(WV);
-
-  SmtCheck Res;
-  {
-    TraceSpan SatSpan("verify.sat");
-    Res = checkSat(Ctx, Cex, ModelTerms, Opts.SolverConflictBudget, &F);
-    SatSpan.arg(TraceArg::ofStr("result", Res.St == SmtCheck::Sat ? "sat"
-                                          : Res.St == SmtCheck::Unsat
-                                              ? "unsat"
-                                              : "unknown"));
-    SatSpan.arg(TraceArg::ofInt("conflicts",
-                                static_cast<int64_t>(Res.Conflicts)));
-  }
-  Out.SolverConflicts = Res.Conflicts;
-
-  if (Res.St == SmtCheck::Unknown) {
-    Out.Status = VerifyStatus::Inconclusive;
-    if (F.exhausted()) {
-      Out.Kind = DiagKind::ResourceExhausted;
-      Out.Diagnostic =
-          header(Src) + "Inconclusive: verification fuel budget exhausted\n";
-    } else {
-      Out.Kind = DiagKind::SolverTimeout;
-      Out.Diagnostic = "Inconclusive: SMT solver budget exhausted\n";
-    }
-    return Out;
-  }
-
-  if (Res.St == SmtCheck::Unsat) {
-    Out.Status = VerifyStatus::Equivalent;
-    Out.Kind = DiagKind::None;
-    Out.BoundedOnly = Truncated;
-    std::ostringstream OS;
-    OS << header(Src) << "Transformation seems to be correct!";
-    if (Truncated)
-      OS << " (within unroll bound " << Opts.MaxBlockVisitsPerPath << ")";
-    OS << "\n";
-    Out.Diagnostic = OS.str();
-    return Out;
-  }
-
-  // SAT: counterexample. Classify by evaluating the sub-conditions.
-  Out.Status = VerifyStatus::NotEquivalent;
-  auto evalTrue = [&](const BVExpr *E) {
-    return Ctx.evaluate(E, Res.Model).isOne();
-  };
-  if (evalTrue(TE.UB))
-    Out.Kind = DiagKind::UBIntroduced;
-  else if (evalTrue(CallMismatch))
-    Out.Kind = DiagKind::CallMismatch;
-  else if (evalTrue(PoisonViol))
-    Out.Kind = DiagKind::PoisonMismatch;
-  else
-    Out.Kind = DiagKind::ValueMismatch;
-
-  for (unsigned I = 0; I < Src.getNumParams(); ++I) {
-    APInt64 V = Res.Model.count(ArgVars[I]->VarId)
-                    ? Res.Model[ArgVars[I]->VarId]
-                    : APInt64::zero(ArgVars[I]->Width);
-    Out.Counterexample.push_back({argLabel(Src, I), V});
-  }
-
-  std::ostringstream OS;
-  OS << header(Src) << "Transformation doesn't verify!\nERROR: ";
-  switch (Out.Kind) {
-  case DiagKind::UBIntroduced:
-    OS << "Target is more poisonous/undefined than source";
-    break;
-  case DiagKind::CallMismatch:
-    OS << "Mismatch in external calls";
-    break;
-  case DiagKind::PoisonMismatch:
-    OS << "Target returns poison where source is well-defined";
-    break;
-  default:
-    OS << "Value mismatch";
-    break;
-  }
-  OS << "\n" << renderBindings(Out.Counterexample);
-  if (Out.Kind == DiagKind::ValueMismatch &&
-      !Src.getReturnType()->isVoid()) {
-    OS << "Source value: "
-       << Ctx.evaluate(SE.returnTerm(Ctx), Res.Model).toString() << "\n"
-       << "Target value: "
-       << Ctx.evaluate(TE.returnTerm(Ctx), Res.Model).toString() << "\n";
-  }
-  Out.Diagnostic = OS.str();
-  return Out;
-}
-
-} // namespace
+/// The implementation lives in RefinementQuery.cpp: both public entry
+/// points are thin wrappers that build a fresh, exclusively-owned source
+/// encoding per call. BatchVerifier reuses the same machinery with one
+/// shared encoding per group; the results are bit-identical by
+/// construction (see RefinementQuery.h).
 
 VerifyResult verifyRefinement(const Function &Src, const Function &Tgt,
                               const VerifyOptions &Opts) {
-  // One fuel token per verification: a deterministic total-work bound that
-  // is independent of thread count and wall clock, so identical queries
-  // yield bit-identical results everywhere.
-  Fuel F(Opts.FuelBudget);
-  VerifyResult Out = verifyRefinementImpl(Src, Tgt, Opts, F);
-  Out.FuelSpent = F.spent();
-  return Out;
-}
-
-static VerifyResult verifyCandidateTextImpl(const Function &Src,
-                                            const std::string &TgtText,
-                                            const VerifyOptions &Opts) {
-  VerifyResult Out;
-  // Adversarial-emission guard: refuse pathologically large candidates
-  // before paying any parse cost.
-  if (Opts.MaxCandidateBytes > 0 && TgtText.size() > Opts.MaxCandidateBytes) {
-    Out.Status = VerifyStatus::SyntaxError;
-    Out.Kind = DiagKind::ParseError;
-    Out.Diagnostic = header(Src) + "ERROR: Candidate exceeds maximum size (" +
-                     std::to_string(TgtText.size()) + " > " +
-                     std::to_string(Opts.MaxCandidateBytes) + " bytes)\n";
-    return Out;
-  }
-  auto M = parseModule(TgtText);
-  if (!M) {
-    Out.Status = VerifyStatus::SyntaxError;
-    Out.Kind = DiagKind::ParseError;
-    Out.Diagnostic = header(Src) + "ERROR: Could not parse transformed IR (" +
-                     M.error().render() + ")\n";
-    return Out;
-  }
-  Function *Tgt = M.value()->getMainFunction();
-  if (!Tgt) {
-    Out.Status = VerifyStatus::SyntaxError;
-    Out.Kind = DiagKind::ParseError;
-    Out.Diagnostic =
-        header(Src) + "ERROR: Transformed IR contains no function\n";
-    return Out;
-  }
-  if (Opts.MaxCandidateInsts > 0 &&
-      Tgt->instructionCount() > Opts.MaxCandidateInsts) {
-    Out.Status = VerifyStatus::SyntaxError;
-    Out.Kind = DiagKind::StructureError;
-    Out.Diagnostic = header(Src) +
-                     "ERROR: Candidate exceeds maximum function size (" +
-                     std::to_string(Tgt->instructionCount()) + " > " +
-                     std::to_string(Opts.MaxCandidateInsts) +
-                     " instructions)\n";
-    return Out;
-  }
-  std::string Err;
-  if (!isWellFormed(*Tgt, &Err)) {
-    Out.Status = VerifyStatus::SyntaxError;
-    Out.Kind = DiagKind::StructureError;
-    Out.Diagnostic =
-        header(Src) + "ERROR: Transformed IR is ill-formed (" + Err + ")\n";
-    return Out;
-  }
-  return verifyRefinement(Src, *Tgt, Opts);
+  auto SC = buildSourceEncoding(Src, Opts);
+  return verifyAgainstEncoding(*SC, Tgt, Opts, /*Shared=*/false);
 }
 
 VerifyResult verifyCandidateText(const Function &Src,
                                  const std::string &TgtText,
                                  const VerifyOptions &Opts) {
-  TraceSpan Span("verify.candidate");
-  VerifyResult Out = verifyCandidateTextImpl(Src, TgtText, Opts);
-  if (Span.active()) {
-    Span.arg(TraceArg::ofStr("status", verifyStatusName(Out.Status)));
-    Span.arg(TraceArg::ofStr("diag", diagKindName(Out.Kind)));
-    Span.arg(TraceArg::ofInt("conflicts",
-                             static_cast<int64_t>(Out.SolverConflicts)));
-    Span.arg(TraceArg::ofInt("fuel", static_cast<int64_t>(Out.FuelSpent)));
-    Span.arg(TraceArg::ofBool("falsified", Out.FoundByFalsification));
-    Span.arg(TraceArg::ofBool("bounded_only", Out.BoundedOnly));
-  }
-
-  // The ad-hoc aggregates previously scattered over TrainLogEntry /
-  // PipelineArtifacts now also land in the process-wide registry.
-  MetricsRegistry &M = MetricsRegistry::global();
-  static Counter &Queries = M.counter("verify.queries");
-  static Histogram &Conflicts =
-      M.histogram("verify.conflicts", workUnitBounds());
-  static Histogram &FuelSpent = M.histogram("verify.fuel", workUnitBounds());
-  Queries.inc();
-  Conflicts.observe(static_cast<double>(Out.SolverConflicts));
-  FuelSpent.observe(static_cast<double>(Out.FuelSpent));
-  M.counter(std::string("verify.verdict.") + verifyStatusName(Out.Status))
-      .inc();
-  M.counter(std::string("verify.diag.") + diagKindName(Out.Kind)).inc();
-  if (Out.FoundByFalsification)
-    M.counter("verify.falsify_wins").inc();
-
-  return Out;
+  return verifyCandidateTextOn(nullptr, Src, TgtText, Opts);
 }
 
 } // namespace veriopt

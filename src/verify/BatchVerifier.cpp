@@ -1,0 +1,169 @@
+//===- BatchVerifier.cpp - Batched group verification -------------------------//
+
+#include "verify/BatchVerifier.h"
+
+#include "trace/Metrics.h"
+#include "trace/Trace.h"
+#include "verify/RefinementQuery.h"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace veriopt {
+
+std::vector<VerifyResult>
+BatchVerifier::verifyGroup(const std::string &SrcText, const Function &Src,
+                           const std::vector<std::string> &Texts,
+                           GroupStats *Stats) const {
+  TraceSpan Span("batch.verify");
+
+  // Canonical dedupe: GRPO's small action space makes byte- or
+  // renaming-identical candidates common within a group; they share every
+  // per-tier cache key, so one ladder serves all of them.
+  std::vector<size_t> UniqueOf(Texts.size());
+  std::vector<size_t> UniqueIdx; // positions of first occurrences
+  {
+    std::unordered_map<std::string, size_t> Seen;
+    const VerifyOptions Tier0 = [&] {
+      RobustVerifier RV(Opts.Robust);
+      return RV.tierOptions(0);
+    }();
+    for (size_t I = 0; I < Texts.size(); ++I) {
+      std::string Key = VerifyCache::makeKey(SrcText, Texts[I], Tier0);
+      auto [It, Inserted] = Seen.emplace(std::move(Key), UniqueIdx.size());
+      if (Inserted)
+        UniqueIdx.push_back(I);
+      UniqueOf[I] = It->second;
+    }
+  }
+
+  // The shared source half is built on first need: a group whose every
+  // rung is already cached never pays for it.
+  std::unique_ptr<SourceEncoding> SC;
+  std::once_flag SCOnce;
+  auto sharedEncoding = [&]() -> SourceEncoding * {
+    std::call_once(SCOnce, [&] {
+      SC = buildSourceEncoding(Src, [&] {
+        RobustVerifier RV(Opts.Robust);
+        return RV.tierOptions(0);
+      }());
+    });
+    return SC.get();
+  };
+
+  const unsigned MaxTiers = Opts.Robust.MaxTiers ? Opts.Robust.MaxTiers : 1;
+  std::vector<VerifyResult> Finals(UniqueIdx.size());
+  std::vector<unsigned> Hits(UniqueIdx.size(), 0), Comps(UniqueIdx.size(), 0);
+
+  // One task per unique candidate: its full ladder runs on one thread, so
+  // per-candidate trace spans stay contiguous. Mirrors
+  // RobustVerifier::verify rung for rung — same fault sites, same budget
+  // tiers, same early exit — but leaves the verify.tier instants and
+  // verify.retry.* metrics to the scoring pass, which replays this ladder
+  // over the seeded cache entries and reports them once.
+  auto RunOne = [&](size_t U) {
+    const std::string &TgtText = Texts[UniqueIdx[U]];
+    const std::string FaultKey = SrcText + '\x1f' + TgtText;
+    RobustVerifier Ladder(Opts.Robust);
+
+    uint64_t TotalConflicts = 0, TotalFuel = 0;
+    VerifyResult Final;
+    for (unsigned Tier = 0; Tier < MaxTiers; ++Tier) {
+      VerifyResult R;
+      if (Tier == 0 && Faults &&
+          Faults->shouldInject(FaultSite::OracleBudget, FaultKey)) {
+        // Mirror of RobustVerifier's injected tier-0 exhaustion. Never
+        // cached there either (the injection fires before its cache), so
+        // the scoring pass re-injects identically.
+        R.Status = VerifyStatus::Inconclusive;
+        R.Kind = DiagKind::ResourceExhausted;
+        R.Diagnostic = "Inconclusive: injected oracle budget exhaustion\n";
+      } else {
+        const VerifyOptions TierOpts = Ladder.tierOptions(Tier);
+        std::string Key;
+        bool Served = false;
+        if (Cache) {
+          Key = VerifyCache::makeKey(SrcText, TgtText, TierOpts);
+          Served = Cache->peek(Key, R);
+        }
+        if (Served) {
+          ++Hits[U];
+        } else {
+          R = verifyCandidateTextOn(sharedEncoding(), Src, TgtText, TierOpts);
+          ++Comps[U];
+          if (Cache)
+            Cache->seed(Key, R);
+        }
+      }
+      TotalConflicts += R.SolverConflicts;
+      TotalFuel += R.FuelSpent;
+      Final = std::move(R);
+      Final.RetryTier = Tier;
+      if (!RobustVerifier::retryable(Final))
+        break;
+    }
+
+    // Mirror of the VerdictFlip site (applied after the ladder, outside
+    // the cache, exactly as RobustVerifier does).
+    if (Faults && (Final.Status == VerifyStatus::Equivalent ||
+                   Final.Status == VerifyStatus::NotEquivalent) &&
+        Faults->shouldInject(FaultSite::VerdictFlip, FaultKey)) {
+      if (Final.Status == VerifyStatus::Equivalent) {
+        Final.Status = VerifyStatus::NotEquivalent;
+        Final.Kind = DiagKind::ValueMismatch;
+        Final.Diagnostic += "(injected verdict flip)\n";
+      } else {
+        Final.Status = VerifyStatus::Equivalent;
+        Final.Kind = DiagKind::None;
+        Final.Counterexample.clear();
+        Final.Diagnostic += "(injected verdict flip)\n";
+      }
+    }
+
+    Final.SolverConflicts = TotalConflicts;
+    Final.FuelSpent = TotalFuel;
+    Finals[U] = std::move(Final);
+  };
+
+  if (Opts.Pool && Opts.Threads > 1)
+    Opts.Pool->parallelFor(UniqueIdx.size(), RunOne);
+  else
+    for (size_t U = 0; U < UniqueIdx.size(); ++U)
+      RunOne(U);
+
+  GroupStats GS;
+  GS.Candidates = static_cast<unsigned>(Texts.size());
+  GS.Unique = static_cast<unsigned>(UniqueIdx.size());
+  for (size_t U = 0; U < UniqueIdx.size(); ++U) {
+    GS.CacheHits += Hits[U];
+    GS.Computed += Comps[U];
+  }
+  if (Stats)
+    *Stats = GS;
+
+  MetricsRegistry &M = MetricsRegistry::global();
+  static Counter &Groups = M.counter("batch.groups");
+  static Counter &Cands = M.counter("batch.candidates");
+  static Counter &Uniq = M.counter("batch.unique");
+  static Counter &CacheHits = M.counter("batch.cache_hits");
+  static Counter &Computed = M.counter("batch.computed");
+  Groups.inc();
+  Cands.inc(GS.Candidates);
+  Uniq.inc(GS.Unique);
+  CacheHits.inc(GS.CacheHits);
+  Computed.inc(GS.Computed);
+
+  if (Span.active()) {
+    Span.arg(TraceArg::ofInt("candidates", GS.Candidates));
+    Span.arg(TraceArg::ofInt("unique", GS.Unique));
+    Span.arg(TraceArg::ofInt("cached", GS.CacheHits));
+    Span.arg(TraceArg::ofInt("computed", GS.Computed));
+  }
+
+  std::vector<VerifyResult> Out(Texts.size());
+  for (size_t I = 0; I < Texts.size(); ++I)
+    Out[I] = Finals[UniqueOf[I]];
+  return Out;
+}
+
+} // namespace veriopt

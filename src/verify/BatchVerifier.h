@@ -1,0 +1,74 @@
+//===- BatchVerifier.h - Batched group verification --------------*- C++ -*-=//
+//
+// Verifies a whole GRPO group — G candidate texts against one source —
+// through a single shared solver context. The source function's
+// falsification runs, symbolic encoding, and CNF are built once
+// (SourceEncoding); each candidate pays only for its own screen, encode,
+// and an assumption-guarded SAT activation on a clone of the retained
+// prefix (QueryPrefix).
+//
+// The batch runs the same escalating-budget ladder as RobustVerifier —
+// including its deterministic fault sites — and pre-warms the verification
+// cache with every tier it computes, so the scoring pass replays verdicts
+// from the cache and reports the same per-tier telemetry it would have
+// produced by computing them itself. Verdicts, diagnostics, conflict
+// counts, and fuel spent are bit-identical to the sequential oracle at any
+// thread count (see RefinementQuery.h for the mechanisms).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_VERIFY_BATCHVERIFIER_H
+#define VERIOPT_VERIFY_BATCHVERIFIER_H
+
+#include "support/ThreadPool.h"
+#include "verify/RobustVerifier.h"
+
+#include <string>
+#include <vector>
+
+namespace veriopt {
+
+class BatchVerifier {
+public:
+  struct Options {
+    /// Ladder configuration shared with the scoring pass's RobustVerifier;
+    /// the two must agree or cache keys will not line up.
+    RobustVerifyOptions Robust;
+    /// Per-candidate parallelism (the group fans out over the pool; the
+    /// context-mutating build phase serializes internally).
+    ThreadPool *Pool = nullptr;
+    unsigned Threads = 1;
+  };
+
+  /// Group-level reuse accounting, also mirrored into batch.* metrics.
+  struct GroupStats {
+    unsigned Candidates = 0; ///< texts passed in
+    unsigned Unique = 0;     ///< distinct canonical candidates
+    unsigned CacheHits = 0;  ///< ladder rungs served by existing entries
+    unsigned Computed = 0;   ///< ladder rungs computed by this batch
+  };
+
+  BatchVerifier(const Options &O, VerifyCache *Cache,
+                FaultInjector *Faults = nullptr)
+      : Opts(O), Cache(Cache), Faults(Faults) {}
+
+  /// Verify every candidate in \p Texts against \p Src, sharing the source
+  /// half across the group. Returns the final ladder result per candidate,
+  /// aligned with \p Texts; every computed rung is seeded into the cache
+  /// first. \p SrcText must be the printed form of \p Src.
+  std::vector<VerifyResult> verifyGroup(const std::string &SrcText,
+                                        const Function &Src,
+                                        const std::vector<std::string> &Texts,
+                                        GroupStats *Stats = nullptr) const;
+
+  const Options &options() const { return Opts; }
+
+private:
+  Options Opts;
+  VerifyCache *Cache = nullptr;
+  FaultInjector *Faults = nullptr;
+};
+
+} // namespace veriopt
+
+#endif // VERIOPT_VERIFY_BATCHVERIFIER_H

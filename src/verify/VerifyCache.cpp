@@ -155,6 +155,33 @@ VerifyResult VerifyCache::verify(const std::string &SrcText,
   return Result;
 }
 
+bool VerifyCache::peek(const std::string &Key, VerifyResult &Out) const {
+  std::lock_guard<std::mutex> L(M);
+  if (Faults && Faults->shouldInject(FaultSite::CacheMiss, Key))
+    return false;
+  auto It = Index.find(Key);
+  if (It == Index.end())
+    return false;
+  Out = It->second->second;
+  return true;
+}
+
+void VerifyCache::seed(const std::string &Key, const VerifyResult &R) {
+  std::lock_guard<std::mutex> L(M);
+  if (Faults && Faults->shouldInject(FaultSite::CacheMiss, Key))
+    return;
+  if (Index.count(Key))
+    return;
+  LRU.emplace_front(Key, R);
+  Index.emplace(Key, LRU.begin());
+  while (Capacity && LRU.size() > Capacity) {
+    Index.erase(LRU.back().first);
+    LRU.pop_back();
+    ++Stats.Evictions;
+    evictionCounter().inc();
+  }
+}
+
 VerifyCache::Counters VerifyCache::counters() const {
   std::lock_guard<std::mutex> L(M);
   return Stats;

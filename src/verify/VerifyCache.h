@@ -47,6 +47,25 @@ public:
   VerifyResult verify(const std::string &SrcText, const Function &Src,
                       const std::string &TgtText, const VerifyOptions &Opts);
 
+  /// The cache key for a query: every budget knob, the source text, and the
+  /// canonically re-printed candidate. Public so the batch verifier can
+  /// pre-compute group keys (and dedupe canonical-equal candidates) without
+  /// triggering lookups.
+  static std::string makeKey(const std::string &SrcText,
+                             const std::string &TgtText,
+                             const VerifyOptions &Opts);
+
+  /// Silent lookup for the batch pre-verification pass: no hit/miss
+  /// accounting, no LRU touch, no single-flight join. Honors the CacheMiss
+  /// fault site (an injected-missing entry stays invisible here too, so the
+  /// batch recomputes exactly what the scoring pass would).
+  bool peek(const std::string &Key, VerifyResult &Out) const;
+
+  /// Insert a computed result without counting a miss, so the batch pass
+  /// can pre-warm group verdicts for the scoring pass. No-op when the key
+  /// is resident or its CacheMiss fault fires; evictions count normally.
+  void seed(const std::string &Key, const VerifyResult &R);
+
   struct Counters {
     uint64_t Hits = 0;      ///< served from the memo (incl. in-flight joins)
     uint64_t Misses = 0;    ///< paid a full verification
@@ -81,10 +100,6 @@ private:
   };
 
   using LRUList = std::list<std::pair<std::string, VerifyResult>>;
-
-  static std::string makeKey(const std::string &SrcText,
-                             const std::string &TgtText,
-                             const VerifyOptions &Opts);
 
   size_t Capacity;
   mutable std::mutex M;

@@ -2,6 +2,8 @@
 
 #include "rl/Trainer.h"
 
+#include "verify/BatchVerifier.h"
+
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -145,6 +147,72 @@ TEST(Trainer, ParallelScoringIsBitIdenticalToSerial) {
   for (const TrainLogEntry &E : Parallel)
     HitRate += E.CacheHitRate;
   EXPECT_GT(HitRate, 0.0) << "verify cache never hit during training";
+}
+
+TEST(Trainer, BatchVerificationIsBitIdenticalToSequential) {
+  // The BatchVerify knob only changes *where* verification work happens
+  // (pre-scoring, through one shared solver context) — every logged value
+  // and the trained parameters must match the knob-off run exactly, at any
+  // thread count.
+  const Dataset &DS = tinyDataset();
+  RobustVerifyOptions RVO;
+  RVO.Base.FalsifyTrials = 8;
+  RVO.Base.SolverConflictBudget = 20000;
+  RVO.MaxTiers = 2;
+
+  auto runConfig = [&](bool UseBatch, unsigned Threads,
+                       std::vector<double> &ParamsOut) {
+    RewritePolicyModel Model(presetQwen3B());
+    auto Cache = std::make_unique<VerifyCache>(512);
+    auto RV = std::make_unique<RobustVerifier>(RVO, Cache.get());
+    const RobustVerifier *R = RV.get();
+    RewardFn Reward = [R](const Sample &S, Completion &Co) {
+      RewardBreakdown B = answerReward(S, Co, *R);
+      RolloutScore Sc;
+      Sc.Reward = B.Total;
+      Sc.Equivalent = B.Equivalent;
+      Sc.IsCopy = B.IsCopy;
+      Sc.AnswerVerify = B.Verify;
+      return Sc;
+    };
+    ThreadPool Pool(Threads);
+    BatchVerifier::Options BO;
+    BO.Robust = RVO;
+    BO.Pool = &Pool;
+    BO.Threads = Threads;
+    BatchVerifier BV(BO, Cache.get());
+    GRPOOptions G;
+    G.GroupSize = 6;
+    G.PromptsPerStep = 3;
+    G.Seed = 7;
+    G.Threads = Threads;
+    G.Pool = &Pool;
+    G.Cache = Cache.get();
+    G.Batch = UseBatch ? &BV : nullptr;
+    GRPOTrainer Trainer(Model, Reward, G);
+    auto Logs = Trainer.train(DS.Train, 10);
+    ParamsOut = Model.params();
+    return Logs;
+  };
+
+  std::vector<double> OffParams, OnParams, OnThreadedParams;
+  auto Off = runConfig(/*UseBatch=*/false, 1, OffParams);
+  auto On = runConfig(/*UseBatch=*/true, 1, OnParams);
+  auto OnThreaded = runConfig(/*UseBatch=*/true, 4, OnThreadedParams);
+
+  ASSERT_EQ(Off.size(), On.size());
+  for (size_t I = 0; I < Off.size(); ++I) {
+    EXPECT_EQ(Off[I].MeanReward, On[I].MeanReward) << "step " << I;
+    EXPECT_EQ(Off[I].EMAReward, On[I].EMAReward) << "step " << I;
+    EXPECT_EQ(Off[I].EquivalentRate, On[I].EquivalentRate) << "step " << I;
+    EXPECT_EQ(Off[I].GradNorm, On[I].GradNorm) << "step " << I;
+    EXPECT_EQ(Off[I].SolverConflicts, On[I].SolverConflicts) << "step " << I;
+    EXPECT_EQ(Off[I].RetryEscalations, On[I].RetryEscalations);
+    EXPECT_EQ(Off[I].MeanReward, OnThreaded[I].MeanReward) << "step " << I;
+    EXPECT_EQ(Off[I].GradNorm, OnThreaded[I].GradNorm) << "step " << I;
+  }
+  EXPECT_EQ(OffParams, OnParams);
+  EXPECT_EQ(OffParams, OnThreadedParams);
 }
 
 TEST(Trainer, RolloutHookSeesEveryRolloutInOrder) {

@@ -170,5 +170,226 @@ TEST_P(RandomSat, AgreesWithBruteForce) {
 INSTANTIATE_TEST_SUITE_P(Ratios, RandomSat,
                          ::testing::Values(20, 35, 42, 50, 70));
 
+//===--- Assumptions and incrementality --------------------------------------//
+
+TEST(SatAssume, UnsatUnderAssumptionsDoesNotLatch) {
+  // a -> b, assume {a, ~b}: Unsat together with the assumptions, but the
+  // clauses alone are satisfiable — the next call must still say Sat.
+  SatSolver S;
+  unsigned A = S.newVar(), B = S.newVar();
+  S.addClause(Lit(A, true), Lit(B, false));
+  EXPECT_EQ(S.solve({Lit(A, false), Lit(B, true)}), SatSolver::Result::Unsat);
+  EXPECT_FALSE(S.conflictCore().empty());
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+  // And retrying with compatible assumptions succeeds on the same solver.
+  EXPECT_EQ(S.solve({Lit(A, false), Lit(B, false)}), SatSolver::Result::Sat);
+  EXPECT_TRUE(S.modelValue(A));
+  EXPECT_TRUE(S.modelValue(B));
+}
+
+TEST(SatAssume, GloballyUnsatHasEmptyCore) {
+  SatSolver S;
+  unsigned A = S.newVar(), B = S.newVar();
+  S.addClause(Lit(A, false));
+  S.addClause(Lit(A, true));
+  EXPECT_EQ(S.solve({Lit(B, false)}), SatSolver::Result::Unsat);
+  // The refutation owes nothing to the assumption.
+  EXPECT_TRUE(S.conflictCore().empty());
+  // Globally unsat does latch: no assumptions can revive the instance.
+  EXPECT_EQ(S.solve(), SatSolver::Result::Unsat);
+  EXPECT_EQ(S.solve({Lit(B, true)}), SatSolver::Result::Unsat);
+}
+
+TEST(SatAssume, ConflictCoreIsRefutedSubsetOfAssumptions) {
+  // x1..x4 free; clause (~x2 | ~x3). Assume all four true: the core must
+  // name only assumptions, and must itself be refutable.
+  SatSolver S;
+  std::vector<Lit> Assumps;
+  for (int I = 0; I < 4; ++I)
+    Assumps.push_back(Lit(S.newVar(), false));
+  S.addClause(~Assumps[1], ~Assumps[2]);
+  ASSERT_EQ(S.solve(Assumps), SatSolver::Result::Unsat);
+  // Copy: conflictCore() aliases solver state the next solve() overwrites.
+  const std::vector<Lit> Core = S.conflictCore();
+  ASSERT_FALSE(Core.empty());
+  for (Lit L : Core) {
+    bool IsAssumption = false;
+    for (Lit A : Assumps)
+      IsAssumption |= (L == A);
+    EXPECT_TRUE(IsAssumption);
+  }
+  // The named subset alone is already inconsistent with the clauses.
+  EXPECT_EQ(S.solve(Core), SatSolver::Result::Unsat);
+  // Dropping one core member restores satisfiability (the clause is binary,
+  // so the core is minimal here).
+  std::vector<Lit> AllButOne(Core.begin(), Core.end() - 1);
+  EXPECT_EQ(S.solve(AllButOne), SatSolver::Result::Sat);
+}
+
+TEST(SatAssume, AssumptionAlreadyImpliedIsSat) {
+  // Unit clause forces a; assuming a (and a again) must not confuse the
+  // placement loop that handles already-true assumptions.
+  SatSolver S;
+  unsigned A = S.newVar(), B = S.newVar();
+  S.addClause(Lit(A, false));
+  S.addClause(Lit(A, true), Lit(B, false)); // a -> b
+  EXPECT_EQ(S.solve({Lit(A, false), Lit(A, false), Lit(B, false)}),
+            SatSolver::Result::Sat);
+  EXPECT_TRUE(S.modelValue(A));
+  EXPECT_TRUE(S.modelValue(B));
+  // Assuming against the forced unit is Unsat with that assumption cored.
+  ASSERT_EQ(S.solve({Lit(A, true)}), SatSolver::Result::Unsat);
+  ASSERT_EQ(S.conflictCore().size(), 1u);
+  EXPECT_EQ(S.conflictCore()[0], Lit(A, true));
+}
+
+TEST(SatAssume, FrozenSelectorsActivateGroups) {
+  // Two "groups" guarded by frozen selectors: sel_i -> (x == i's phase).
+  // Activating either one alone is Sat; activating both is Unsat, and only
+  // selector assumptions appear in the core.
+  SatSolver S;
+  unsigned X = S.newVar();
+  unsigned S1 = S.newVar(), S2 = S.newVar();
+  S.setFrozen(S1, true);
+  S.setFrozen(S2, true);
+  S.addClause(Lit(S1, true), Lit(X, false)); // s1 -> x
+  S.addClause(Lit(S2, true), Lit(X, true));  // s2 -> ~x
+  EXPECT_EQ(S.solve({Lit(S1, false)}), SatSolver::Result::Sat);
+  EXPECT_TRUE(S.modelValue(X));
+  EXPECT_EQ(S.solve({Lit(S2, false)}), SatSolver::Result::Sat);
+  EXPECT_FALSE(S.modelValue(X));
+  ASSERT_EQ(S.solve({Lit(S1, false), Lit(S2, false)}),
+            SatSolver::Result::Unsat);
+  for (Lit L : S.conflictCore())
+    EXPECT_TRUE(L == Lit(S1, false) || L == Lit(S2, false));
+  // The solver is still reusable afterwards.
+  EXPECT_EQ(S.solve({Lit(S1, false)}), SatSolver::Result::Sat);
+}
+
+TEST(SatAssume, FuelExhaustionMidAssumptionSolveIsUnknown) {
+  // Assumption placement charges decision fuel; a tank too small to place
+  // the prefix must stop with Unknown and latch the token, not crash or
+  // mis-report Unsat.
+  SatSolver S;
+  std::vector<Lit> Assumps;
+  for (int I = 0; I < 8; ++I)
+    Assumps.push_back(Lit(S.newVar(), false));
+  S.addClause(~Assumps[0], Assumps[1]); // give propagation something to do
+  Fuel F(2);
+  EXPECT_EQ(S.solve(Assumps, /*ConflictBudget=*/0, &F),
+            SatSolver::Result::Unknown);
+  EXPECT_TRUE(F.exhausted());
+  // Refueled, the same solver finishes the same query.
+  Fuel Full(1 << 20);
+  EXPECT_EQ(S.solve(Assumps, 0, &Full), SatSolver::Result::Sat);
+}
+
+//===--- Back-to-back solves vs fresh solvers --------------------------------//
+
+/// Regression net for incremental-state bugs: a solver carried across
+/// solve() calls (learned clauses, saved phases, activities and all) must
+/// return the same verdict a fresh solver does on every query of a sequence.
+TEST(SatIncremental, BackToBackSolvesMatchFreshSolvers) {
+  RNG R(777);
+  const unsigned NumVars = 10;
+  for (int Round = 0; Round < 20; ++Round) {
+    // One clause set, queried under several assumption sets in sequence.
+    std::vector<std::vector<Lit>> Clauses;
+    SatSolver Inc;
+    for (unsigned V = 0; V < NumVars; ++V)
+      Inc.newVar();
+    bool AddedOk = true;
+    for (int C = 0; C < 38; ++C) {
+      std::vector<Lit> Cl;
+      for (int K = 0; K < 3; ++K)
+        Cl.push_back(Lit(1 + static_cast<unsigned>(R.below(NumVars)),
+                         R.chance(0.5)));
+      Clauses.push_back(Cl);
+      AddedOk = Inc.addClause(Cl) && AddedOk;
+    }
+    for (int Q = 0; Q < 6; ++Q) {
+      std::vector<Lit> Assumps;
+      for (int K = 0; K < 3; ++K)
+        Assumps.push_back(Lit(1 + static_cast<unsigned>(R.below(NumVars)),
+                              R.chance(0.5)));
+      SatSolver Fresh;
+      for (unsigned V = 0; V < NumVars; ++V)
+        Fresh.newVar();
+      bool FreshOk = true;
+      for (const auto &Cl : Clauses)
+        FreshOk = Fresh.addClause(Cl) && FreshOk;
+      ASSERT_EQ(AddedOk, FreshOk);
+      auto Got = AddedOk ? Inc.solve(Assumps) : SatSolver::Result::Unsat;
+      auto Want = FreshOk ? Fresh.solve(Assumps) : SatSolver::Result::Unsat;
+      EXPECT_EQ(Got, Want) << "round " << Round << " query " << Q;
+      if (Got == SatSolver::Result::Sat) {
+        // Models may differ, but the incremental model must satisfy the
+        // clauses and the assumptions.
+        for (Lit A : Assumps)
+          EXPECT_TRUE(Inc.modelValue(A));
+        for (const auto &Cl : Clauses) {
+          bool Any = false;
+          for (Lit L : Cl)
+            Any |= Inc.modelValue(L);
+          EXPECT_TRUE(Any);
+        }
+      }
+    }
+  }
+}
+
+TEST(SatIncremental, SolveAfterBudgetUnknownMatchesFresh) {
+  // A budget-starved Unknown in between must not perturb later verdicts
+  // (the historic stale-state failure mode).
+  auto buildPHP = [](SatSolver &S, int N, int H) {
+    std::vector<std::vector<unsigned>> P(N, std::vector<unsigned>(H));
+    for (auto &Row : P)
+      for (unsigned &V : Row)
+        V = S.newVar();
+    for (int I = 0; I < N; ++I) {
+      std::vector<Lit> Cl;
+      for (int K = 0; K < H; ++K)
+        Cl.push_back(Lit(P[I][K], false));
+      S.addClause(Cl);
+    }
+    for (int K = 0; K < H; ++K)
+      for (int I = 0; I < N; ++I)
+        for (int J = I + 1; J < N; ++J)
+          S.addClause(Lit(P[I][K], true), Lit(P[J][K], true));
+  };
+  SatSolver Inc;
+  buildPHP(Inc, 6, 5);
+  EXPECT_EQ(Inc.solve(2), SatSolver::Result::Unknown);
+  EXPECT_EQ(Inc.solve(3), SatSolver::Result::Unknown);
+  SatSolver Fresh;
+  buildPHP(Fresh, 6, 5);
+  EXPECT_EQ(Inc.solve(0), Fresh.solve(0));
+  EXPECT_EQ(Inc.solve(0), SatSolver::Result::Unsat);
+}
+
+TEST(SatIncremental, LearnedClausesRetainedAcrossCalls) {
+  // numClauses() counts learnt clauses too: after a search that conflicts,
+  // the clause database must have grown, and per-call stats must reset.
+  SatSolver S;
+  unsigned P[4][3];
+  for (auto &Row : P)
+    for (unsigned &V : Row)
+      V = S.newVar();
+  for (int I = 0; I < 4; ++I)
+    S.addClause(std::vector<Lit>{Lit(P[I][0], false), Lit(P[I][1], false),
+                                 Lit(P[I][2], false)});
+  for (int H = 0; H < 3; ++H)
+    for (int I = 0; I < 4; ++I)
+      for (int J = I + 1; J < 4; ++J)
+        S.addClause(Lit(P[I][H], true), Lit(P[J][H], true));
+  uint64_t Before = S.numClauses();
+  ASSERT_EQ(S.solve(), SatSolver::Result::Unsat);
+  EXPECT_GT(S.lastConflicts(), 0u);
+  EXPECT_GT(S.numClauses(), Before);
+  // A second solve on the latched instance is immediate: no new conflicts.
+  ASSERT_EQ(S.solve(), SatSolver::Result::Unsat);
+  EXPECT_EQ(S.lastConflicts(), 0u);
+}
+
 } // namespace
 } // namespace veriopt

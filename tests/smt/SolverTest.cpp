@@ -193,5 +193,113 @@ TEST(Solver, DifferentialAgainstEvaluator) {
   }
 }
 
+//===--- QueryPrefix: retained-prefix activations ----------------------------//
+
+TEST(QueryPrefix, ActivationAgreesWithCheckSat) {
+  // The incremental front door must return the same statuses (and valid
+  // models) as the one-shot door on the same constraints.
+  BVContext C;
+  const BVExpr *X = C.var(8, "x");
+  const BVExpr *Y = C.var(8, "y");
+  QueryPrefix P(C, {X, Y});
+
+  // Valid identity: negation is Unsat both ways.
+  const BVExpr *Valid = C.not1(C.eq(C.bvxor(C.bvxor(X, Y), Y), X));
+  EXPECT_EQ(P.activate(Valid, {}, 0, nullptr, false).St, SmtCheck::Unsat);
+  EXPECT_EQ(checkSat(C, Valid).St, SmtCheck::Unsat);
+
+  // Refutable claim: Sat with a genuine witness.
+  const BVExpr *Wrong =
+      C.ne(C.add(X, C.constant(8, 1)), C.sub(X, C.constant(8, 1)));
+  auto R = P.activate(Wrong, {X}, 0, nullptr, false);
+  ASSERT_EQ(R.St, SmtCheck::Sat);
+  ASSERT_TRUE(R.Model.count(X->VarId));
+  APInt64 XV = R.Model[X->VarId];
+  EXPECT_NE(XV.add(APInt64(8, 1)), XV.sub(APInt64(8, 1)));
+  EXPECT_EQ(checkSat(C, Wrong).St, SmtCheck::Sat);
+}
+
+TEST(QueryPrefix, CloneActivationMatchesInPlaceBitForBit) {
+  // activate() (copy of the master) and activateInPlace() (the master
+  // itself) must agree on status, model, and the conflict count — this is
+  // the foundation of the batch path's bit-identity with the sequential
+  // oracle.
+  auto build = [](BVContext &C, const BVExpr *&X, const BVExpr *&Y,
+                  const BVExpr *&Q) {
+    X = C.var(16, "x");
+    Y = C.var(16, "y");
+    // Factoring query: real CDCL search, so conflict counts are nontrivial.
+    Q = C.and1(C.eq(C.mul(X, Y), C.constant(16, 391)),
+               C.and1(C.ult(C.constant(16, 1), X),
+                      C.ult(C.constant(16, 1), Y)));
+  };
+  BVContext C1, C2;
+  const BVExpr *X1, *Y1, *Q1, *X2, *Y2, *Q2;
+  build(C1, X1, Y1, Q1);
+  build(C2, X2, Y2, Q2);
+  QueryPrefix P1(C1, {X1, Y1});
+  QueryPrefix P2(C2, {X2, Y2});
+  auto A = P1.activate(Q1, {X1, Y1}, 0, nullptr, false);
+  auto B = P2.activateInPlace(Q2, {X2, Y2}, 0, nullptr);
+  ASSERT_EQ(A.St, SmtCheck::Sat);
+  ASSERT_EQ(B.St, SmtCheck::Sat);
+  EXPECT_EQ(A.Conflicts, B.Conflicts);
+  EXPECT_EQ(A.Model[X1->VarId], B.Model[X2->VarId]);
+  EXPECT_EQ(A.Model[Y1->VarId], B.Model[Y2->VarId]);
+}
+
+TEST(QueryPrefix, RepeatedActivationsAreIndependent) {
+  // Activations never touch the master, so the same query asked first,
+  // in-between, and last must return identical results (status, model,
+  // conflicts) regardless of what other candidates were activated.
+  BVContext C;
+  const BVExpr *X = C.var(8, "x");
+  QueryPrefix P(C, {X});
+  const BVExpr *Q1 = C.ne(C.mul(X, C.constant(8, 3)),
+                          C.add(C.add(X, X), X)); // valid -> Unsat
+  const BVExpr *Q2 = C.ne(C.shl(X, C.constant(8, 1)),
+                          C.add(X, C.constant(8, 1))); // Sat
+  auto First = P.activate(Q1, {X}, 0, nullptr, false);
+  auto Other = P.activate(Q2, {X}, 0, nullptr, false);
+  auto Again = P.activate(Q1, {X}, 0, nullptr, false);
+  EXPECT_EQ(First.St, SmtCheck::Unsat);
+  EXPECT_EQ(Other.St, SmtCheck::Sat);
+  EXPECT_EQ(Again.St, First.St);
+  EXPECT_EQ(Again.Conflicts, First.Conflicts);
+}
+
+TEST(QueryPrefix, BudgetExhaustionReportsUnknown) {
+  BVContext C;
+  const BVExpr *X = C.var(32, "x");
+  const BVExpr *Y = C.var(32, "y");
+  QueryPrefix P(C, {X, Y});
+  const BVExpr *Hard = C.ne(C.mul(X, Y), C.mul(Y, X));
+  EXPECT_EQ(P.activate(Hard, {}, /*ConflictBudget=*/10, nullptr, false).St,
+            SmtCheck::Unknown);
+  // A later activation with an adequate budget still finishes: the Unknown
+  // left no residue on the master.
+  EXPECT_EQ(P.activate(C.ne(X, X), {}, 0, nullptr, false).St, SmtCheck::Unsat);
+}
+
+TEST(QueryPrefix, FuelExhaustionLatchesToken) {
+  BVContext C;
+  const BVExpr *X = C.var(32, "x");
+  const BVExpr *Y = C.var(32, "y");
+  QueryPrefix P(C, {X, Y});
+  const BVExpr *Hard = C.ne(C.mul(X, Y), C.mul(Y, X));
+  Fuel F(50);
+  EXPECT_EQ(P.activate(Hard, {}, 0, &F, false).St, SmtCheck::Unknown);
+  EXPECT_TRUE(F.exhausted());
+}
+
+TEST(QueryPrefix, TriviallyFalseConstraintShortCircuits) {
+  BVContext C;
+  const BVExpr *X = C.var(8, "x");
+  QueryPrefix P(C, {X});
+  auto R = P.activate(C.constant(1, 0), {}, 0, nullptr, false);
+  EXPECT_EQ(R.St, SmtCheck::Unsat);
+  EXPECT_EQ(R.Conflicts, 0u);
+}
+
 } // namespace
 } // namespace veriopt

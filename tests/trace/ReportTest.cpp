@@ -92,6 +92,13 @@ TEST(Report, RejectsMissingRequiredArg) {
   EXPECT_NE(Err.find("mean_reward"), std::string::npos) << Err;
 }
 
+TEST(Report, BatchVerifySpanRequiresReuseCounts) {
+  // batch.verify must carry the dedupe/reuse accounting the report reads.
+  std::string Err = validateErr(
+      R"({"name":"batch.verify","ph":"X","ts_ns":0,"dur_ns":1,"tid":0,"seq":0,"args":{"candidates":8}})");
+  EXPECT_NE(Err.find("unique"), std::string::npos) << Err;
+}
+
 TEST(Report, RejectsWrongArgType) {
   std::string Err = validateErr(
       R"({"name":"metric","ph":"C","ts_ns":0,"tid":0,"seq":0,"args":{"key":"k","value":"nope"}})");
@@ -156,6 +163,17 @@ std::string syntheticRun() {
   Metric(2, "verify.cache.singleflight_join", 4);
   Metric(3, "verify.cache.eviction", 2);
 
+  OS << R"({"name":"batch.verify","ph":"X","ts_ns":0,"dur_ns":7000000,"tid":5,"seq":0,"args":{"candidates":8,"unique":6,"cached":2,"computed":9}})"
+     << "\n";
+  Metric(4, "batch.groups", 1);
+  Metric(5, "batch.candidates", 8);
+  Metric(6, "batch.unique", 6);
+  Metric(7, "batch.cache_hits", 2);
+  Metric(8, "batch.computed", 9);
+  Metric(9, "smt.assumption_solves", 6);
+  Metric(10, "smt.clauses_retained", 5400);
+  Metric(11, "encode.cse_hits", 240);
+
   OS << R"({"name":"opt.rule_fire","ph":"C","ts_ns":0,"tid":4,"seq":0,"args":{"rule":"dce","count":21}})"
      << "\n";
   OS << R"({"name":"opt.rule_fire","ph":"C","ts_ns":0,"tid":4,"seq":1,"args":{"rule":"const-fold","count":34}})"
@@ -196,6 +214,7 @@ TEST(Report, EmptyLogRendersPlaceholders) {
   EXPECT_NE(R.find("no grpo.step events"), std::string::npos);
   EXPECT_NE(R.find("no verify.candidate events"), std::string::npos);
   EXPECT_NE(R.find("no cache metrics"), std::string::npos);
+  EXPECT_NE(R.find("no batch.* metrics"), std::string::npos);
 }
 
 } // namespace

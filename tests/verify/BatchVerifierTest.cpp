@@ -1,0 +1,333 @@
+//===- BatchVerifierTest.cpp - Batched vs sequential differential ---------===//
+//
+// The batch path's contract is bit-identity with the sequential oracle:
+// for every candidate, verdict, diagnostic kind and text, counterexample,
+// summed solver conflicts, fuel spent, and retry tier must equal what a
+// fresh RobustVerifier::verify would have produced — at any thread count,
+// under fault injection, and with arbitrary cache-hit interleavings.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/BatchVerifier.h"
+
+#include "ir/Parser.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+namespace veriopt {
+namespace {
+
+struct Parsed {
+  std::unique_ptr<Module> M;
+  const Function *F;
+  std::string Text;
+  explicit Parsed(const std::string &Src) : Text(Src) {
+    auto R = parseModule(Src);
+    EXPECT_TRUE(R.hasValue()) << R.error().render();
+    M = R.takeValue();
+    F = M->getMainFunction();
+  }
+};
+
+const char *AddSrc = "define i32 @f(i32 %x) {\n  %y = add i32 %x, 1\n"
+                     "  ret i32 %y\n}\n";
+const char *MulSrc = "define i32 @f(i32 %x, i32 %y) {\n"
+                     "  %m = mul i32 %x, %y\n  ret i32 %m\n}\n";
+
+/// A representative GRPO group: correct rewrites, a renamed duplicate, a
+/// wrong candidate, a byte-identical repeat, unparseable text, and a
+/// candidate whose verdict needs real SMT search.
+std::vector<std::string> addGroup() {
+  return {
+      // equivalent: x+1 via different instruction name (renaming dup)
+      "define i32 @f(i32 %x) {\n  %y = add i32 %x, 1\n  ret i32 %y\n}\n",
+      "define i32 @f(i32 %x) {\n  %z = add i32 %x, 1\n  ret i32 %z\n}\n",
+      // equivalent: 1+x (commuted, needs the solver or falsification)
+      "define i32 @f(i32 %x) {\n  %y = add i32 1, %x\n  ret i32 %y\n}\n",
+      // wrong: x+2, counterexample expected
+      "define i32 @f(i32 %x) {\n  %y = add i32 %x, 2\n  ret i32 %y\n}\n",
+      // byte-identical repeat of the first candidate
+      "define i32 @f(i32 %x) {\n  %y = add i32 %x, 1\n  ret i32 %y\n}\n",
+      // unparseable
+      "define i32 @f(i32 %x) {\n  %y = frobnicate i32 %x\n  ret i32 %y\n}\n",
+      // sub of negative constant (equivalent, different opcode)
+      "define i32 @f(i32 %x) {\n  %y = sub i32 %x, -1\n  ret i32 %y\n}\n",
+      // wrong: returns the input
+      "define i32 @f(i32 %x) {\n  ret i32 %x\n}\n",
+  };
+}
+
+std::vector<std::string> mulGroup() {
+  return {
+      "define i32 @f(i32 %x, i32 %y) {\n  %m = mul i32 %x, %y\n"
+      "  ret i32 %m\n}\n",
+      // commuted: UNSAT proof needs real conflicts under a small budget
+      "define i32 @f(i32 %x, i32 %y) {\n  %m = mul i32 %y, %x\n"
+      "  ret i32 %m\n}\n",
+      // wrong: add instead of mul
+      "define i32 @f(i32 %x, i32 %y) {\n  %m = add i32 %x, %y\n"
+      "  ret i32 %m\n}\n",
+  };
+}
+
+/// The oracle: a fresh cacheless RobustVerifier per candidate, exactly what
+/// the scoring path runs with batching off.
+std::vector<VerifyResult> sequentialOracle(const Parsed &Src,
+                                           const std::vector<std::string> &Ts,
+                                           const RobustVerifyOptions &O,
+                                           FaultInjector *FI = nullptr) {
+  std::vector<VerifyResult> Out;
+  for (const std::string &T : Ts) {
+    RobustVerifier RV(O, nullptr, FI);
+    Out.push_back(RV.verify(Src.Text, *Src.F, T).Result);
+  }
+  return Out;
+}
+
+void expectIdentical(const std::vector<VerifyResult> &Got,
+                     const std::vector<VerifyResult> &Want) {
+  ASSERT_EQ(Got.size(), Want.size());
+  for (size_t I = 0; I < Got.size(); ++I) {
+    EXPECT_EQ(Got[I].Status, Want[I].Status) << "candidate " << I;
+    EXPECT_EQ(Got[I].Kind, Want[I].Kind) << "candidate " << I;
+    EXPECT_EQ(Got[I].Diagnostic, Want[I].Diagnostic) << "candidate " << I;
+    EXPECT_EQ(Got[I].BoundedOnly, Want[I].BoundedOnly) << "candidate " << I;
+    EXPECT_EQ(Got[I].FoundByFalsification, Want[I].FoundByFalsification)
+        << "candidate " << I;
+    EXPECT_EQ(Got[I].SolverConflicts, Want[I].SolverConflicts)
+        << "candidate " << I;
+    EXPECT_EQ(Got[I].FuelSpent, Want[I].FuelSpent) << "candidate " << I;
+    EXPECT_EQ(Got[I].RetryTier, Want[I].RetryTier) << "candidate " << I;
+    ASSERT_EQ(Got[I].Counterexample.size(), Want[I].Counterexample.size())
+        << "candidate " << I;
+    for (size_t J = 0; J < Got[I].Counterexample.size(); ++J) {
+      EXPECT_EQ(Got[I].Counterexample[J].Name, Want[I].Counterexample[J].Name);
+      EXPECT_EQ(Got[I].Counterexample[J].Value,
+                Want[I].Counterexample[J].Value);
+    }
+  }
+}
+
+RobustVerifyOptions defaultLadder() {
+  RobustVerifyOptions O;
+  O.MaxTiers = 3;
+  O.BudgetGrowth = 4;
+  return O;
+}
+
+TEST(BatchVerifier, MatchesSequentialOracleBitForBit) {
+  Parsed Src(AddSrc);
+  RobustVerifyOptions O = defaultLadder();
+  auto Want = sequentialOracle(Src, addGroup(), O);
+
+  VerifyCache Cache(256);
+  BatchVerifier::Options BO;
+  BO.Robust = O;
+  BatchVerifier BV(BO, &Cache);
+  BatchVerifier::GroupStats GS;
+  auto Got = BV.verifyGroup(Src.Text, *Src.F, addGroup(), &GS);
+
+  expectIdentical(Got, Want);
+  EXPECT_EQ(GS.Candidates, 8u);
+  // The byte-identical repeat and the renamed duplicate both collapse.
+  EXPECT_EQ(GS.Unique, 6u);
+  EXPECT_EQ(GS.CacheHits, 0u); // cold cache
+  EXPECT_GT(GS.Computed, 0u);
+}
+
+TEST(BatchVerifier, EscalatingLadderMatchesSequential) {
+  // Starved tier 0 forces escalations; RetryTier and the summed conflict /
+  // fuel accounting must match the sequential ladder exactly.
+  Parsed Src(MulSrc);
+  RobustVerifyOptions O;
+  O.Base.FalsifyTrials = 0;
+  O.Base.SolverConflictBudget = 60;
+  O.MaxTiers = 3;
+  O.BudgetGrowth = 16;
+  auto Want = sequentialOracle(Src, mulGroup(), O);
+  bool SawEscalation = false;
+  for (const auto &R : Want)
+    SawEscalation |= (R.RetryTier > 0);
+  EXPECT_TRUE(SawEscalation) << "corpus no longer exercises the ladder";
+
+  VerifyCache Cache(256);
+  BatchVerifier::Options BO;
+  BO.Robust = O;
+  BatchVerifier BV(BO, &Cache);
+  auto Got = BV.verifyGroup(Src.Text, *Src.F, mulGroup());
+  expectIdentical(Got, Want);
+}
+
+TEST(BatchVerifier, ThreadCountInvariance) {
+  Parsed Src(AddSrc);
+  RobustVerifyOptions O = defaultLadder();
+
+  VerifyCache C1(256);
+  BatchVerifier::Options B1;
+  B1.Robust = O;
+  BatchVerifier BV1(B1, &C1);
+  auto Sequential = BV1.verifyGroup(Src.Text, *Src.F, addGroup());
+
+  ThreadPool Pool(4);
+  VerifyCache C4(256);
+  BatchVerifier::Options B4;
+  B4.Robust = O;
+  B4.Pool = &Pool;
+  B4.Threads = 4;
+  BatchVerifier BV4(B4, &C4);
+  auto Threaded = BV4.verifyGroup(Src.Text, *Src.F, addGroup());
+
+  expectIdentical(Threaded, Sequential);
+}
+
+TEST(BatchVerifier, SeedsCacheSoScoringReplaysWithoutComputing) {
+  Parsed Src(AddSrc);
+  RobustVerifyOptions O = defaultLadder();
+  VerifyCache Cache(256);
+  BatchVerifier::Options BO;
+  BO.Robust = O;
+  BatchVerifier BV(BO, &Cache);
+  auto Batch = BV.verifyGroup(Src.Text, *Src.F, addGroup());
+
+  // The scoring pass replays the ladder through the same cache: every rung
+  // must hit, and the replayed outcome must equal the batch result.
+  uint64_t MissesBefore = Cache.counters().Misses;
+  RobustVerifier RV(O, &Cache);
+  std::vector<std::string> Group = addGroup();
+  for (size_t I = 0; I < Group.size(); ++I) {
+    auto Out = RV.verify(Src.Text, *Src.F, Group[I]);
+    EXPECT_EQ(Out.Result.Status, Batch[I].Status) << "candidate " << I;
+    EXPECT_EQ(Out.Result.Diagnostic, Batch[I].Diagnostic) << "candidate " << I;
+    EXPECT_EQ(Out.Result.SolverConflicts, Batch[I].SolverConflicts);
+    EXPECT_EQ(Out.Result.FuelSpent, Batch[I].FuelSpent);
+    EXPECT_EQ(Out.Result.RetryTier, Batch[I].RetryTier);
+  }
+  EXPECT_EQ(Cache.counters().Misses, MissesBefore)
+      << "scoring recomputed a rung the batch should have seeded";
+  EXPECT_GT(Cache.counters().Hits, 0u);
+}
+
+TEST(BatchVerifier, CacheHitInterleavingsStayIdentical) {
+  // Pre-warm the cache with a *subset* of the group through the normal
+  // sequential path, then batch the full group: served-from-cache and
+  // computed-in-batch members must both match the oracle.
+  Parsed Src(AddSrc);
+  RobustVerifyOptions O = defaultLadder();
+  auto Want = sequentialOracle(Src, addGroup(), O);
+
+  VerifyCache Cache(256);
+  RobustVerifier Warm(O, &Cache);
+  std::vector<std::string> Group = addGroup();
+  Warm.verify(Src.Text, *Src.F, Group[2]);
+  Warm.verify(Src.Text, *Src.F, Group[3]);
+
+  BatchVerifier::Options BO;
+  BO.Robust = O;
+  BatchVerifier BV(BO, &Cache);
+  BatchVerifier::GroupStats GS;
+  auto Got = BV.verifyGroup(Src.Text, *Src.F, Group, &GS);
+  expectIdentical(Got, Want);
+  EXPECT_GT(GS.CacheHits, 0u);
+
+  // A second batch of the same group is served entirely from the cache.
+  BatchVerifier::GroupStats GS2;
+  auto Again = BV.verifyGroup(Src.Text, *Src.F, Group, &GS2);
+  expectIdentical(Again, Want);
+  EXPECT_EQ(GS2.Computed, 0u);
+}
+
+TEST(BatchVerifier, OracleBudgetFaultMirrorsSequential) {
+  Parsed Src(AddSrc);
+  RobustVerifyOptions O = defaultLadder();
+  FaultInjector FIa(5), FIb(5);
+  FIa.enable(FaultSite::OracleBudget, 0.5);
+  FIb.enable(FaultSite::OracleBudget, 0.5);
+  auto Want = sequentialOracle(Src, addGroup(), O, &FIa);
+
+  VerifyCache Cache(256);
+  BatchVerifier::Options BO;
+  BO.Robust = O;
+  BatchVerifier BV(BO, &Cache, &FIb);
+  auto Got = BV.verifyGroup(Src.Text, *Src.F, addGroup());
+  expectIdentical(Got, Want);
+  // At 50% some queries must actually have been injected (seed-dependent
+  // but deterministic; guards against the fault site silently not firing).
+  EXPECT_GT(FIb.counters().injected(FaultSite::OracleBudget), 0u);
+}
+
+TEST(BatchVerifier, VerdictFlipFaultMirrorsSequential) {
+  Parsed Src(AddSrc);
+  RobustVerifyOptions O = defaultLadder();
+  FaultInjector FIa(7), FIb(7);
+  FIa.enable(FaultSite::VerdictFlip, 1.0);
+  FIb.enable(FaultSite::VerdictFlip, 1.0);
+  auto Want = sequentialOracle(Src, addGroup(), O, &FIa);
+
+  VerifyCache Cache(256);
+  BatchVerifier::Options BO;
+  BO.Robust = O;
+  BatchVerifier BV(BO, &Cache, &FIb);
+  auto Got = BV.verifyGroup(Src.Text, *Src.F, addGroup());
+  expectIdentical(Got, Want);
+  EXPECT_GT(FIb.counters().injected(FaultSite::VerdictFlip), 0u);
+}
+
+TEST(BatchVerifier, InjectedCacheMissesDoNotChangeVerdicts) {
+  Parsed Src(AddSrc);
+  RobustVerifyOptions O = defaultLadder();
+  auto Want = sequentialOracle(Src, addGroup(), O);
+
+  FaultInjector FI(11);
+  FI.enable(FaultSite::CacheMiss, 0.5);
+  VerifyCache Cache(256);
+  Cache.setFaultInjector(&FI);
+  BatchVerifier::Options BO;
+  BO.Robust = O;
+  BatchVerifier BV(BO, &Cache, &FI);
+  auto Got = BV.verifyGroup(Src.Text, *Src.F, addGroup());
+  expectIdentical(Got, Want);
+  // And the poisoned cache still replays correct verdicts sequentially.
+  RobustVerifier RV(O, &Cache, &FI);
+  std::vector<std::string> Group = addGroup();
+  for (size_t I = 0; I < Group.size(); ++I)
+    EXPECT_EQ(RV.verify(Src.Text, *Src.F, Group[I]).Result.Status,
+              Want[I].Status);
+}
+
+TEST(BatchVerifier, PointerSourceStaysInconclusive) {
+  // Unsupported sources short-circuit before any encoding is shared; the
+  // batch must not crash on a group whose source has no QueryPrefix.
+  Parsed Src("define i32 @f(ptr %p) {\n  ret i32 0\n}\n");
+  RobustVerifyOptions O = defaultLadder();
+  auto Want = sequentialOracle(Src, {Src.Text, Src.Text}, O);
+  VerifyCache Cache(64);
+  BatchVerifier::Options BO;
+  BO.Robust = O;
+  BatchVerifier BV(BO, &Cache);
+  auto Got = BV.verifyGroup(Src.Text, *Src.F, {Src.Text, Src.Text});
+  expectIdentical(Got, Want);
+  EXPECT_EQ(Got[0].Status, VerifyStatus::Inconclusive);
+  EXPECT_EQ(Got[0].Kind, DiagKind::Unsupported);
+}
+
+TEST(BatchVerifier, FuelStarvedLaddersMatchSequential) {
+  // Fuel exhaustion must land on exactly the same charge in the shared
+  // encoding's replay as in a fresh sequential run (the fuel-trace
+  // mechanism), across tiers that progressively unstarve.
+  Parsed Src(AddSrc);
+  RobustVerifyOptions O;
+  O.Base.FuelBudget = 8; // dies during falsification at tier 0
+  O.MaxTiers = 3;
+  O.BudgetGrowth = 100000;
+  auto Want = sequentialOracle(Src, addGroup(), O);
+  VerifyCache Cache(256);
+  BatchVerifier::Options BO;
+  BO.Robust = O;
+  BatchVerifier BV(BO, &Cache);
+  auto Got = BV.verifyGroup(Src.Text, *Src.F, addGroup());
+  expectIdentical(Got, Want);
+}
+
+} // namespace
+} // namespace veriopt
