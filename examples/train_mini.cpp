@@ -11,22 +11,29 @@
 //   --trace <out.jsonl>    record the run's trace + metrics (see
 //                          docs/OBSERVABILITY.md; render with tools/report)
 //   --chrome-trace <out>   also write a chrome://tracing-loadable JSON
+//   --eval-shards <n>      shard the final evaluation (0 = one per thread);
+//                          results are bit-identical at any setting
+//   --eval-threads <n>     worker threads for the sharded evaluation
 //
 //===----------------------------------------------------------------------===//
 
 #include "pipeline/Evaluation.h"
 #include "pipeline/Pipeline.h"
+#include "support/ThreadPool.h"
 #include "trace/Metrics.h"
 #include "trace/Trace.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 using namespace veriopt;
 
 int main(int argc, char **argv) {
   bool Tiny = false;
+  unsigned EvalShards = 1, EvalThreads = 1;
   std::string TracePath, ChromePath;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--tiny") == 0) {
@@ -35,10 +42,15 @@ int main(int argc, char **argv) {
       TracePath = argv[++I];
     } else if (std::strcmp(argv[I], "--chrome-trace") == 0 && I + 1 < argc) {
       ChromePath = argv[++I];
+    } else if (std::strcmp(argv[I], "--eval-shards") == 0 && I + 1 < argc) {
+      EvalShards = static_cast<unsigned>(std::atoi(argv[++I]));
+    } else if (std::strcmp(argv[I], "--eval-threads") == 0 && I + 1 < argc) {
+      EvalThreads = std::max(1, std::atoi(argv[++I]));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--tiny] [--trace out.jsonl] "
-                   "[--chrome-trace out.json]\n",
+                   "[--chrome-trace out.json] [--eval-shards n] "
+                   "[--eval-threads n]\n",
                    argv[0]);
       return 2;
     }
@@ -78,9 +90,15 @@ int main(int argc, char **argv) {
               "samples\n\n",
               Art.CorrectionSamples, Art.FirstTimeSamples);
 
+  P.EvalShards = EvalShards;
+  ThreadPool EvalPool(EvalThreads);
+  auto Eval = [&](const RewritePolicyModel &M, PromptMode Mode) {
+    return evaluateModelSharded(M, DS.Valid, Mode, VerifyOptions(),
+                                P.makeEvalOptions(&EvalPool));
+  };
   auto Row = [&](const char *Name, const RewritePolicyModel &M,
                  PromptMode Mode) {
-    EvalResult E = evaluateModel(M, DS.Valid, Mode);
+    EvalResult E = Eval(M, Mode);
     std::printf("%-18s correct %5.1f%%  diff-correct %5.1f%%  speedup "
                 "%.2fx\n",
                 Name, E.Taxonomy.pct(E.Taxonomy.Correct),
@@ -97,12 +115,13 @@ int main(int argc, char **argv) {
               "%.2fx (handwritten)\n",
               "instcombine", 100.0, 100.0, Ref.GeoSpeedupVsO0);
 
-  EvalResult Lat = evaluateModel(*Art.Latency, DS.Valid, PromptMode::Generic);
-  unsigned N = Lat.Taxonomy.Total;
+  EvalResult Lat = Eval(*Art.Latency, PromptMode::Generic);
   std::printf("\nMODEL-LATENCY vs instcombine: better %.0f%%, worse %.0f%%, "
               "tie %.0f%%; fallback composition %+.1f%%\n",
-              100.0 * Lat.VsRefBetter / N, 100.0 * Lat.VsRefWorse / N,
-              100.0 * Lat.VsRefTie / N, 100.0 * Lat.FallbackGainOverRef);
+              Lat.Taxonomy.pct(Lat.VsRefBetter),
+              Lat.Taxonomy.pct(Lat.VsRefWorse),
+              Lat.Taxonomy.pct(Lat.VsRefTie),
+              100.0 * Lat.FallbackGainOverRef);
 
   if (!TracePath.empty()) {
     if (TraceRecorder::instance().writeJsonl(TracePath,

@@ -5,9 +5,17 @@
 #include "cost/CostModel.h"
 #include "ir/Parser.h"
 #include "support/Stats.h"
+#include "support/ThreadPool.h"
+#include "trace/Json.h"
+#include "trace/Metrics.h"
+#include "trace/Trace.h"
 #include "verify/AliveLite.h"
+#include "verify/BatchVerifier.h"
 
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 
 namespace veriopt {
@@ -29,9 +37,12 @@ void fillMetrics(SampleEval &E, const Sample &S, const Function *Out) {
   E.SizeOut = binarySize(*Kept);
 }
 
-void aggregate(EvalResult &R) {
+} // namespace
+
+void recomputeAggregates(EvalResult &R) {
   auto fold = [](MetricAgg &Agg, auto Getter,
                  const std::vector<SampleEval> &Per) {
+    Agg = MetricAgg();
     std::vector<double> Rel, Ratio;
     for (const SampleEval &E : Per) {
       auto [Base, Out] = Getter(E);
@@ -46,8 +57,11 @@ void aggregate(EvalResult &R) {
         Ratio.push_back(std::max(Out, 0.25) / Base);
       }
     }
-    Agg.MeanRelChange = mean(Rel);
-    Agg.GeoRatio = geomean(Ratio);
+    // Degenerate-corpus convention: with no positive-baseline sample there
+    // is no change to report — 0.0 relative change and a neutral 1.0
+    // geomean ratio, not the NaN/0 an empty mean/geomean would yield.
+    Agg.MeanRelChange = Rel.empty() ? 0.0 : mean(Rel);
+    Agg.GeoRatio = Ratio.empty() ? 1.0 : geomean(Ratio);
   };
   fold(R.Latency,
        [](const SampleEval &E) { return std::pair(E.LatO0, E.LatOut); },
@@ -63,6 +77,7 @@ void aggregate(EvalResult &R) {
        },
        R.PerSample);
 
+  R.VsRefBetter = R.VsRefWorse = R.VsRefTie = 0;
   std::vector<double> Speedups, FallbackGain;
   for (const SampleEval &E : R.PerSample) {
     double Out = std::max(E.LatOut, 0.25);
@@ -76,11 +91,75 @@ void aggregate(EvalResult &R) {
       ++R.VsRefTie;
     FallbackGain.push_back(Ref / std::min(Out, Ref));
   }
-  R.GeoSpeedupVsO0 = geomean(Speedups);
-  R.FallbackGainOverRef = geomean(FallbackGain) - 1.0;
+  // Same convention for an empty corpus: a neutral 1.0 speedup and a 0.0
+  // fallback gain (geomean(empty) is 0, which would report a nonsense
+  // -100% gain).
+  R.GeoSpeedupVsO0 = Speedups.empty() ? 1.0 : geomean(Speedups);
+  R.FallbackGainOverRef =
+      FallbackGain.empty() ? 0.0 : geomean(FallbackGain) - 1.0;
 }
 
-} // namespace
+//===--- Per-sample core ------------------------------------------------------//
+
+SampleEval evaluateCandidate(const Sample &S, const Completion &C,
+                             const CandidateVerifier &Verify,
+                             VerifyTaxonomy &Tax) {
+  SampleEval E;
+  ++Tax.Total;
+
+  std::unique_ptr<Module> OutM;
+  const Function *OutF = nullptr;
+  VerifyResult VR;
+  if (!C.FormatOk) {
+    VR.Status = VerifyStatus::SyntaxError;
+    VR.Kind = DiagKind::ParseError;
+  } else {
+    VR = Verify(S, C.AnswerIR);
+    if (VR.equivalent()) {
+      // An Equivalent verdict whose answer fails to reparse (a lying or
+      // fault-injected verifier, or parser/verifier drift) must not be
+      // trusted: classify as Inconclusive with a distinct diagnostic and
+      // keep the -O0 fallback. The old assert() compiled out under NDEBUG
+      // and ran takeValue() on the error state — UB.
+      auto Parsed = parseModule(C.AnswerIR);
+      if (!Parsed || !Parsed.value()->getMainFunction()) {
+        VR = VerifyResult();
+        VR.Status = VerifyStatus::Inconclusive;
+        VR.Kind = DiagKind::ParseError;
+        VR.Diagnostic = "Inconclusive: verifier reported Equivalent but the "
+                        "candidate did not reparse; keeping the -O0 output\n";
+      } else {
+        OutM = Parsed.takeValue();
+        OutF = OutM->getMainFunction();
+      }
+    }
+  }
+  E.Status = VR.Status;
+  E.IsCopy = C.FormatOk && C.AnswerIR == S.SrcText;
+
+  switch (VR.Status) {
+  case VerifyStatus::Equivalent:
+    ++Tax.Correct;
+    Tax.CorrectCopies += E.IsCopy;
+    break;
+  case VerifyStatus::NotEquivalent:
+    ++Tax.SemanticError;
+    break;
+  case VerifyStatus::SyntaxError:
+    ++Tax.SyntaxError;
+    break;
+  case VerifyStatus::Inconclusive:
+    ++Tax.Inconclusive;
+    break;
+  }
+
+  // Fallback to -O0 when the output is not verifiably correct (§V-B).
+  E.UsedFallback = OutF == nullptr;
+  fillMetrics(E, S, OutF);
+  return E;
+}
+
+//===--- Serial oracle --------------------------------------------------------//
 
 EvalResult evaluateModel(const RewritePolicyModel &Model,
                          const std::vector<Sample> &Valid, PromptMode Mode,
@@ -89,51 +168,15 @@ EvalResult evaluateModel(const RewritePolicyModel &Model,
   R.ModelName = Model.config().Name;
   RNG Rng(0xE7A1); // greedy decoding ignores it; kept for API symmetry
 
+  CandidateVerifier Verify = [&VOpts](const Sample &S,
+                                      const std::string &Text) {
+    return verifyCandidateText(*S.source(), Text, VOpts);
+  };
   for (const Sample &S : Valid) {
     Completion C = Model.generate(*S.source(), Mode, Rng, /*Greedy=*/true);
-    SampleEval E;
-    ++R.Taxonomy.Total;
-
-    std::unique_ptr<Module> OutM;
-    const Function *OutF = nullptr;
-    VerifyResult VR;
-    if (!C.FormatOk) {
-      VR.Status = VerifyStatus::SyntaxError;
-      VR.Kind = DiagKind::ParseError;
-    } else {
-      VR = verifyCandidateText(*S.source(), C.AnswerIR, VOpts);
-      if (VR.equivalent()) {
-        auto Parsed = parseModule(C.AnswerIR);
-        assert(Parsed && "equivalent answer must parse");
-        OutM = Parsed.takeValue();
-        OutF = OutM->getMainFunction();
-      }
-    }
-    E.Status = VR.Status;
-    E.IsCopy = C.FormatOk && C.AnswerIR == S.SrcText;
-
-    switch (VR.Status) {
-    case VerifyStatus::Equivalent:
-      ++R.Taxonomy.Correct;
-      R.Taxonomy.CorrectCopies += E.IsCopy;
-      break;
-    case VerifyStatus::NotEquivalent:
-      ++R.Taxonomy.SemanticError;
-      break;
-    case VerifyStatus::SyntaxError:
-      ++R.Taxonomy.SyntaxError;
-      break;
-    case VerifyStatus::Inconclusive:
-      ++R.Taxonomy.Inconclusive;
-      break;
-    }
-
-    // Fallback to -O0 when the output is not verifiably correct (§V-B).
-    E.UsedFallback = OutF == nullptr;
-    fillMetrics(E, S, OutF);
-    R.PerSample.push_back(E);
+    R.PerSample.push_back(evaluateCandidate(S, C, Verify, R.Taxonomy));
   }
-  aggregate(R);
+  recomputeAggregates(R);
   return R;
 }
 
@@ -150,9 +193,425 @@ EvalResult evaluateReferencePass(const std::vector<Sample> &Valid) {
     fillMetrics(E, S, S.Reference.get());
     R.PerSample.push_back(E);
   }
-  aggregate(R);
+  recomputeAggregates(R);
   return R;
 }
+
+//===--- Sharding -------------------------------------------------------------//
+
+uint64_t deriveShardSeed(uint64_t Seed, unsigned ShardIdx) {
+  // SplitMix64 finalizer over (Seed, ShardIdx): shard streams are
+  // independent of each other and of execution order.
+  uint64_t Z = Seed + 0x9e3779b97f4a7c15ULL * (uint64_t(ShardIdx) + 1);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+std::vector<EvalShard> planEvalShards(size_t N, unsigned Shards,
+                                      uint64_t Seed) {
+  if (Shards == 0)
+    Shards = 1;
+  std::vector<EvalShard> Plan(Shards);
+  for (unsigned I = 0; I < Shards; ++I) {
+    EvalShard &S = Plan[I];
+    S.Index = I;
+    S.Begin = N * I / Shards;
+    S.End = N * (I + 1) / Shards;
+    S.RngSeed = deriveShardSeed(Seed, I);
+  }
+  return Plan;
+}
+
+ShardEvalResult evaluateEvalShard(const RewritePolicyModel &Model,
+                                  const std::vector<Sample> &Valid,
+                                  PromptMode Mode, const VerifyOptions &VOpts,
+                                  const EvalShard &Shard,
+                                  const BatchVerifier *Batch) {
+  TraceSpan Span("eval.shard");
+
+  ShardEvalResult R;
+  R.Shard = Shard;
+  RNG Rng(Shard.RngSeed);
+
+  CandidateVerifier Verify;
+  if (Batch)
+    Verify = [Batch](const Sample &S, const std::string &Text) {
+      return Batch->verifyOne(S.SrcText, *S.source(), Text);
+    };
+  else
+    Verify = [&VOpts](const Sample &S, const std::string &Text) {
+      return verifyCandidateText(*S.source(), Text, VOpts);
+    };
+
+  const size_t End = std::min(Shard.End, Valid.size());
+  for (size_t I = Shard.Begin; I < End; ++I) {
+    const Sample &S = Valid[I];
+    Completion C = Model.generate(*S.source(), Mode, Rng, /*Greedy=*/true);
+    R.PerSample.push_back(evaluateCandidate(S, C, Verify, R.Taxonomy));
+  }
+
+  static Counter &ShardCount = MetricsRegistry::global().counter("eval.shards");
+  static Counter &SampleCount =
+      MetricsRegistry::global().counter("eval.samples");
+  ShardCount.inc();
+  SampleCount.inc(R.Taxonomy.Total);
+
+  if (Span.active()) {
+    Span.arg(TraceArg::ofInt("shard", Shard.Index));
+    Span.arg(TraceArg::ofInt("begin", static_cast<int64_t>(Shard.Begin)));
+    Span.arg(TraceArg::ofInt("end", static_cast<int64_t>(End)));
+    Span.arg(TraceArg::ofInt("samples", R.Taxonomy.Total));
+    Span.arg(TraceArg::ofInt("correct", R.Taxonomy.Correct));
+    Span.arg(TraceArg::ofInt("semantic_error", R.Taxonomy.SemanticError));
+    Span.arg(TraceArg::ofInt("syntax_error", R.Taxonomy.SyntaxError));
+    Span.arg(TraceArg::ofInt("inconclusive", R.Taxonomy.Inconclusive));
+  }
+  return R;
+}
+
+EvalResult mergeShardResults(const std::string &ModelName,
+                             std::vector<ShardEvalResult> Shards) {
+  // Order-independent reduction: canonicalize on shard index first, so the
+  // merged PerSample order equals corpus order no matter how the input was
+  // produced (thread completion order, out-of-order process results, ...).
+  std::sort(Shards.begin(), Shards.end(),
+            [](const ShardEvalResult &A, const ShardEvalResult &B) {
+              return A.Shard.Index < B.Shard.Index;
+            });
+  EvalResult R;
+  R.ModelName = ModelName;
+  for (ShardEvalResult &S : Shards) {
+    R.Taxonomy.Total += S.Taxonomy.Total;
+    R.Taxonomy.Correct += S.Taxonomy.Correct;
+    R.Taxonomy.CorrectCopies += S.Taxonomy.CorrectCopies;
+    R.Taxonomy.SemanticError += S.Taxonomy.SemanticError;
+    R.Taxonomy.SyntaxError += S.Taxonomy.SyntaxError;
+    R.Taxonomy.Inconclusive += S.Taxonomy.Inconclusive;
+    for (SampleEval &E : S.PerSample)
+      R.PerSample.push_back(E);
+  }
+  recomputeAggregates(R);
+  return R;
+}
+
+namespace {
+
+/// Path.tmp then rename over Path (the checkpoint/trace-sink discipline):
+/// a crash leaves either the old file or the complete new one.
+bool writeFileAtomic(const std::string &Path, const std::string &Payload) {
+  const std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream OS(Tmp, std::ios::binary | std::ios::trunc);
+    if (!OS)
+      return false;
+    OS << Payload;
+    OS.flush();
+    if (!OS)
+      return false;
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+EvalResult evaluateModelSharded(const RewritePolicyModel &Model,
+                                const std::vector<Sample> &Valid,
+                                PromptMode Mode, const VerifyOptions &VOpts,
+                                const EvalOptions &EOpts) {
+  TraceSpan Span("eval.run");
+
+  unsigned Shards = EOpts.Shards;
+  if (Shards == 0)
+    Shards = EOpts.Pool ? EOpts.Pool->numThreads() : 1;
+  std::vector<EvalShard> Plan = planEvalShards(Valid.size(), Shards,
+                                               EOpts.Seed);
+  if (!EOpts.ShardManifestPath.empty())
+    writeFileAtomic(EOpts.ShardManifestPath,
+                    shardManifestToJson(Plan, EOpts.Seed, Valid.size()));
+
+  // One shared cache + BatchVerifier context for the whole run: shards are
+  // parallelized at shard granularity (the group-level fan-out stays off —
+  // ThreadPool jobs are not reentrant), and the cache's single-flight keeps
+  // duplicate (source, candidate) pairs across shards from paying twice.
+  std::unique_ptr<VerifyCache> Cache;
+  std::unique_ptr<BatchVerifier> BV;
+  if (EOpts.BatchVerify) {
+    VerifyCache *C = EOpts.SharedCache;
+    if (!C) {
+      Cache = std::make_unique<VerifyCache>(EOpts.VerifyCacheCapacity);
+      C = Cache.get();
+    }
+    if (EOpts.Faults)
+      C->setFaultInjector(EOpts.Faults);
+    BatchVerifier::Options BO;
+    BO.Robust.Base = VOpts;
+    BO.Robust.MaxTiers = 1; // evaluation runs one fixed budget, no ladder
+    BO.Pool = nullptr;
+    BO.Threads = 1;
+    BV = std::make_unique<BatchVerifier>(BO, C, EOpts.Faults);
+  }
+
+  std::vector<ShardEvalResult> Results(Plan.size());
+  auto RunShard = [&](size_t I) {
+    Results[I] =
+        evaluateEvalShard(Model, Valid, Mode, VOpts, Plan[I], BV.get());
+  };
+  if (EOpts.Pool && EOpts.Pool->numThreads() > 1 && Plan.size() > 1)
+    EOpts.Pool->parallelFor(Plan.size(), RunShard);
+  else
+    for (size_t I = 0; I < Plan.size(); ++I)
+      RunShard(I);
+
+  if (!EOpts.ShardResultDir.empty())
+    for (const ShardEvalResult &S : Results)
+      writeFileAtomic(EOpts.ShardResultDir + "/shard_" +
+                          std::to_string(S.Shard.Index) + ".json",
+                      shardResultToJson(S));
+
+  EvalResult R = mergeShardResults(Model.config().Name, std::move(Results));
+  if (Span.active()) {
+    Span.arg(TraceArg::ofInt("shards", static_cast<int64_t>(Plan.size())));
+    Span.arg(TraceArg::ofInt("samples", R.Taxonomy.Total));
+    Span.arg(TraceArg::ofInt("correct", R.Taxonomy.Correct));
+    Span.arg(TraceArg::ofInt("inconclusive", R.Taxonomy.Inconclusive));
+    Span.arg(TraceArg::ofStr("model", R.ModelName));
+    Span.arg(TraceArg::ofBool("batch_verify", EOpts.BatchVerify));
+    // Pool width shapes the schedule, not the result.
+    Span.meta(TraceArg::ofInt(
+        "threads", EOpts.Pool ? EOpts.Pool->numThreads() : 1));
+  }
+  return R;
+}
+
+//===--- Shard serialization --------------------------------------------------//
+
+namespace {
+
+/// IEEE-754 bit-hex for doubles (the checkpoint discipline): JSON numeric
+/// round-trips are not bit-exact in general; these are.
+std::string dhex(double D) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &D, sizeof(Bits));
+  char Buf[20];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(Bits));
+  return Buf;
+}
+
+bool dunhex(const std::string &S, double &D) {
+  if (S.size() != 16)
+    return false;
+  uint64_t Bits = 0;
+  for (char C : S) {
+    Bits <<= 4;
+    if (C >= '0' && C <= '9')
+      Bits |= static_cast<uint64_t>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      Bits |= static_cast<uint64_t>(C - 'a' + 10);
+    else
+      return false;
+  }
+  std::memcpy(&D, &Bits, sizeof(D));
+  return true;
+}
+
+bool jsonU64(const JsonValue &O, const char *Key, uint64_t &Out) {
+  const JsonValue *V = O.get(Key);
+  if (!V || !V->isNumber() || V->number() < 0)
+    return false;
+  Out = static_cast<uint64_t>(V->number());
+  return true;
+}
+
+bool jsonDhex(const JsonValue &O, const char *Key, double &Out) {
+  const JsonValue *V = O.get(Key);
+  return V && V->isString() && dunhex(V->str(), Out);
+}
+
+bool shardFromJsonObject(const JsonValue &O, EvalShard &S) {
+  uint64_t Index = 0, Begin = 0, End = 0;
+  if (!jsonU64(O, "index", Index) || !jsonU64(O, "begin", Begin) ||
+      !jsonU64(O, "end", End))
+    return false;
+  const JsonValue *Seed = O.get("rng_seed");
+  if (!Seed || !Seed->isString())
+    return false;
+  double SeedD;
+  if (!dunhex(Seed->str(), SeedD))
+    return false;
+  S.Index = static_cast<unsigned>(Index);
+  S.Begin = static_cast<size_t>(Begin);
+  S.End = static_cast<size_t>(End);
+  std::memcpy(&S.RngSeed, &SeedD, sizeof(S.RngSeed));
+  return true;
+}
+
+void shardToJson(std::ostringstream &OS, const EvalShard &S) {
+  // rng_seed is a full uint64, which a JSON double cannot carry exactly —
+  // reuse the bit-hex channel.
+  double SeedD;
+  std::memcpy(&SeedD, &S.RngSeed, sizeof(SeedD));
+  OS << "{\"index\":" << S.Index << ",\"begin\":" << S.Begin
+     << ",\"end\":" << S.End << ",\"rng_seed\":" << jsonString(dhex(SeedD))
+     << "}";
+}
+
+} // namespace
+
+std::string shardManifestToJson(const std::vector<EvalShard> &Plan,
+                                uint64_t Seed, size_t Samples) {
+  std::ostringstream OS;
+  double SeedD;
+  std::memcpy(&SeedD, &Seed, sizeof(SeedD));
+  OS << "{\"seed\":" << jsonString(dhex(SeedD)) << ",\"samples\":" << Samples
+     << ",\"shards\":[";
+  for (size_t I = 0; I < Plan.size(); ++I) {
+    if (I)
+      OS << ",";
+    shardToJson(OS, Plan[I]);
+  }
+  OS << "]}\n";
+  return OS.str();
+}
+
+bool shardManifestFromJson(const std::string &Text,
+                           std::vector<EvalShard> &Plan, std::string *Err) {
+  JsonValue V;
+  if (!parseJson(Text, V, Err))
+    return false;
+  const JsonValue *Shards = V.get("shards");
+  if (!Shards || !Shards->isArray()) {
+    if (Err)
+      *Err = "manifest missing 'shards' array";
+    return false;
+  }
+  Plan.clear();
+  for (const JsonValue &E : Shards->array()) {
+    EvalShard S;
+    if (!shardFromJsonObject(E, S)) {
+      if (Err)
+        *Err = "malformed shard entry";
+      return false;
+    }
+    Plan.push_back(S);
+  }
+  return true;
+}
+
+std::string shardResultToJson(const ShardEvalResult &R) {
+  std::ostringstream OS;
+  OS << "{\"shard\":";
+  shardToJson(OS, R.Shard);
+  const VerifyTaxonomy &T = R.Taxonomy;
+  OS << ",\"taxonomy\":{\"total\":" << T.Total << ",\"correct\":" << T.Correct
+     << ",\"correct_copies\":" << T.CorrectCopies
+     << ",\"semantic_error\":" << T.SemanticError
+     << ",\"syntax_error\":" << T.SyntaxError
+     << ",\"inconclusive\":" << T.Inconclusive << "}";
+  OS << ",\"per_sample\":[";
+  for (size_t I = 0; I < R.PerSample.size(); ++I) {
+    const SampleEval &E = R.PerSample[I];
+    if (I)
+      OS << ",";
+    OS << "{\"status\":" << jsonString(verifyStatusName(E.Status))
+       << ",\"is_copy\":" << (E.IsCopy ? "true" : "false")
+       << ",\"used_fallback\":" << (E.UsedFallback ? "true" : "false")
+       << ",\"lat_o0\":" << jsonString(dhex(E.LatO0))
+       << ",\"lat_out\":" << jsonString(dhex(E.LatOut))
+       << ",\"lat_ref\":" << jsonString(dhex(E.LatRef))
+       << ",\"icount_o0\":" << E.ICountO0 << ",\"icount_out\":" << E.ICountOut
+       << ",\"icount_ref\":" << E.ICountRef << ",\"size_o0\":" << E.SizeO0
+       << ",\"size_out\":" << E.SizeOut << ",\"size_ref\":" << E.SizeRef
+       << "}";
+  }
+  OS << "]}\n";
+  return OS.str();
+}
+
+bool shardResultFromJson(const std::string &Text, ShardEvalResult &R,
+                         std::string *Err) {
+  JsonValue V;
+  if (!parseJson(Text, V, Err))
+    return false;
+  auto fail = [&](const char *Why) {
+    if (Err)
+      *Err = Why;
+    return false;
+  };
+  const JsonValue *Shard = V.get("shard");
+  if (!Shard || !shardFromJsonObject(*Shard, R.Shard))
+    return fail("malformed 'shard' object");
+
+  const JsonValue *Tax = V.get("taxonomy");
+  if (!Tax || !Tax->isObject())
+    return fail("missing 'taxonomy' object");
+  uint64_t U = 0;
+  auto taxField = [&](const char *Key, unsigned &Out) {
+    if (!jsonU64(*Tax, Key, U))
+      return false;
+    Out = static_cast<unsigned>(U);
+    return true;
+  };
+  VerifyTaxonomy &T = R.Taxonomy;
+  if (!taxField("total", T.Total) || !taxField("correct", T.Correct) ||
+      !taxField("correct_copies", T.CorrectCopies) ||
+      !taxField("semantic_error", T.SemanticError) ||
+      !taxField("syntax_error", T.SyntaxError) ||
+      !taxField("inconclusive", T.Inconclusive))
+    return fail("malformed 'taxonomy' object");
+
+  const JsonValue *Per = V.get("per_sample");
+  if (!Per || !Per->isArray())
+    return fail("missing 'per_sample' array");
+  R.PerSample.clear();
+  for (const JsonValue &EJ : Per->array()) {
+    SampleEval E;
+    const JsonValue *Status = EJ.get("status");
+    if (!Status || !Status->isString())
+      return fail("sample missing 'status'");
+    bool Known = false;
+    for (VerifyStatus S :
+         {VerifyStatus::Equivalent, VerifyStatus::NotEquivalent,
+          VerifyStatus::SyntaxError, VerifyStatus::Inconclusive})
+      if (Status->str() == verifyStatusName(S)) {
+        E.Status = S;
+        Known = true;
+      }
+    if (!Known)
+      return fail("unknown sample 'status'");
+    const JsonValue *Copy = EJ.get("is_copy");
+    const JsonValue *Fallback = EJ.get("used_fallback");
+    if (!Copy || !Copy->isBool() || !Fallback || !Fallback->isBool())
+      return fail("sample missing boolean fields");
+    E.IsCopy = Copy->boolean();
+    E.UsedFallback = Fallback->boolean();
+    if (!jsonDhex(EJ, "lat_o0", E.LatO0) ||
+        !jsonDhex(EJ, "lat_out", E.LatOut) ||
+        !jsonDhex(EJ, "lat_ref", E.LatRef))
+      return fail("sample missing latency bit-hex fields");
+    auto u32Field = [&](const char *Key, unsigned &Out) {
+      if (!jsonU64(EJ, Key, U))
+        return false;
+      Out = static_cast<unsigned>(U);
+      return true;
+    };
+    if (!u32Field("icount_o0", E.ICountO0) ||
+        !u32Field("icount_out", E.ICountOut) ||
+        !u32Field("icount_ref", E.ICountRef) ||
+        !u32Field("size_o0", E.SizeO0) || !u32Field("size_out", E.SizeOut) ||
+        !u32Field("size_ref", E.SizeRef))
+      return fail("sample missing count fields");
+    R.PerSample.push_back(E);
+  }
+  return true;
+}
+
+//===--- Rendering ------------------------------------------------------------//
 
 std::string renderTaxonomy(const std::string &Title,
                            const VerifyTaxonomy &T) {
@@ -164,6 +623,7 @@ std::string renderTaxonomy(const std::string &Title,
     for (size_t Pad = std::string(Name).size(); Pad < 33; ++Pad)
       OS << ' ';
     char Buf[64];
+    // pct() renders an empty split as 0.0 for every row (never NaN/inf).
     snprintf(Buf, sizeof(Buf), "%5u   %5.1f\n", N, T.pct(N));
     OS << Buf;
   };

@@ -9,6 +9,16 @@
 //  - geomean improvements and pairwise win/tie/loss against the reference
 //    pass, plus the best-of-both fallback composition (Figs. 5-7).
 //
+// The harness scales with the corpus: evaluateModelSharded() partitions the
+// validation set into deterministic contiguous shards, evaluates each shard
+// (optionally on the shared ThreadPool, optionally through a BatchVerifier
+// context so one SourceEncoding serves a sample's whole candidate group),
+// and merges the per-shard results with an order-independent reduction that
+// is bit-identical to the serial oracle evaluateModel() at any shard/thread
+// count. A shard is a serializable work unit — planEvalShards() emits a
+// manifest and every ShardEvalResult round-trips through JSON with
+// bit-exact doubles — so a later PR can split shards across processes.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef VERIOPT_PIPELINE_EVALUATION_H
@@ -17,10 +27,16 @@
 #include "model/Policy.h"
 #include "data/Dataset.h"
 
+#include <functional>
 #include <string>
 #include <vector>
 
 namespace veriopt {
+
+class BatchVerifier;
+class FaultInjector;
+class ThreadPool;
+class VerifyCache;
 
 /// Table I/II row counts.
 struct VerifyTaxonomy {
@@ -31,6 +47,8 @@ struct VerifyTaxonomy {
   unsigned SyntaxError = 0;
   unsigned Inconclusive = 0;
 
+  /// Percentage of \p N over Total; an empty split renders 0.0 (never
+  /// NaN/inf — the degenerate-corpus convention, see EvaluationTest).
   double pct(unsigned N) const {
     return Total ? 100.0 * N / Total : 0.0;
   }
@@ -71,7 +89,10 @@ struct EvalResult {
   std::vector<SampleEval> PerSample;
 };
 
-/// Evaluate a policy on \p Valid with greedy decoding.
+//===--- Serial oracle ------------------------------------------------------===//
+
+/// Evaluate a policy on \p Valid with greedy decoding, serially. This is
+/// the oracle the sharded path must reproduce bit for bit.
 EvalResult evaluateModel(const RewritePolicyModel &Model,
                          const std::vector<Sample> &Valid, PromptMode Mode,
                          const VerifyOptions &VOpts = VerifyOptions());
@@ -80,7 +101,133 @@ EvalResult evaluateModel(const RewritePolicyModel &Model,
 /// Sample::Reference functions).
 EvalResult evaluateReferencePass(const std::vector<Sample> &Valid);
 
-/// Render a taxonomy as a paper-style table block.
+/// Recompute every aggregate field of \p R (MetricAggs, GeoSpeedupVsO0,
+/// VsRef counts, FallbackGainOverRef) from R.PerSample. Pure in PerSample,
+/// so merging shards and re-aggregating is bit-identical to the serial
+/// pass. Degenerate corpora follow fixed conventions instead of producing
+/// NaN: empty relative-change sets mean 0.0, empty ratio sets mean a 1.0
+/// geomean, and an empty corpus has FallbackGainOverRef 0.0.
+void recomputeAggregates(EvalResult &R);
+
+//===--- Per-sample core ----------------------------------------------------===//
+
+/// How a candidate text gets verified against its sample (plain
+/// verifyCandidateText, a cache, or a BatchVerifier context).
+using CandidateVerifier =
+    std::function<VerifyResult(const Sample &S, const std::string &Text)>;
+
+/// Verify and classify one completion for \p S: the shared per-sample core
+/// of the serial and sharded paths (identical logic is what makes the
+/// differential guarantee hold). Counts the outcome into \p Tax. A verdict
+/// of Equivalent whose answer fails to reparse is recorded as Inconclusive
+/// with a distinct diagnostic and keeps the -O0 fallback — never UB.
+SampleEval evaluateCandidate(const Sample &S, const Completion &C,
+                             const CandidateVerifier &Verify,
+                             VerifyTaxonomy &Tax);
+
+//===--- Sharded evaluation -------------------------------------------------===//
+
+/// One shard of the validation set: a deterministic, serializable work
+/// unit. Samples [Begin, End) are evaluated in order with a dedicated RNG
+/// seeded by RngSeed = deriveShardSeed(Seed, Index), so greedy and future
+/// sampled decoding are both independent of the thread schedule.
+struct EvalShard {
+  unsigned Index = 0;
+  size_t Begin = 0, End = 0; ///< [Begin, End) into the validation set
+  uint64_t RngSeed = 0;
+};
+
+/// What one shard produced. PerSample holds samples Begin..End in corpus
+/// order; Taxonomy is this shard's slice of the counts.
+struct ShardEvalResult {
+  EvalShard Shard;
+  VerifyTaxonomy Taxonomy;
+  std::vector<SampleEval> PerSample;
+};
+
+struct EvalOptions {
+  /// Shard count; 0 = one shard per pool thread (or 1 without a pool).
+  unsigned Shards = 1;
+  /// Shards run on this pool when it has more than one thread; null or
+  /// single-threaded pools evaluate shards inline, in index order.
+  ThreadPool *Pool = nullptr;
+  /// Route verification through a shared BatchVerifier + VerifyCache (the
+  /// GRPO group machinery; a sample's candidate set shares one
+  /// SourceEncoding). Off = plain verifyCandidateText. Verdicts are
+  /// bit-identical either way.
+  bool BatchVerify = true;
+  /// Verify-memo capacity in entries when BatchVerify is on (0 = unbounded).
+  size_t VerifyCacheCapacity = 4096;
+  /// Optional externally owned verify cache. When set, the run uses it
+  /// instead of creating a private one, so successive evaluations (the
+  /// checkpoint-cadence and ablation-table workloads, which re-verify
+  /// mostly unchanged (source, candidate) pairs) replay verdicts instead
+  /// of recomputing them — bit-identical either way (the PR4 cache
+  /// contract). Ignored when BatchVerify is off.
+  VerifyCache *SharedCache = nullptr;
+  /// Base seed for per-shard RNG derivation (API symmetry with training;
+  /// greedy decoding ignores the stream).
+  uint64_t Seed = 0xE7A1;
+  /// Optional deterministic fault injection, honored by the BatchVerify
+  /// path's oracle-budget / verdict-flip / cache-miss sites.
+  FaultInjector *Faults = nullptr;
+  /// When non-empty, write the shard plan as JSON (atomic write-then-
+  /// rename) so an external driver can later run shards out of process.
+  std::string ShardManifestPath;
+  /// When non-empty, write each shard's ShardEvalResult to
+  /// <dir>/shard_<index>.json (bit-exact doubles; see shardResultFromJson).
+  std::string ShardResultDir;
+};
+
+/// Derived per-shard seed: a SplitMix64-style mix of (Seed, ShardIdx),
+/// stable across platforms and independent of shard execution order.
+uint64_t deriveShardSeed(uint64_t Seed, unsigned ShardIdx);
+
+/// Deterministic contiguous partition of \p N samples into \p Shards
+/// shards (sizes differ by at most one; empty shards are kept so the
+/// manifest always lists exactly \p Shards entries).
+std::vector<EvalShard> planEvalShards(size_t N, unsigned Shards,
+                                      uint64_t Seed);
+
+/// Evaluate one shard. \p Batch may be null (plain verification at
+/// \p VOpts). This is the unit a multi-process driver would invoke.
+ShardEvalResult evaluateEvalShard(const RewritePolicyModel &Model,
+                                  const std::vector<Sample> &Valid,
+                                  PromptMode Mode, const VerifyOptions &VOpts,
+                                  const EvalShard &Shard,
+                                  const BatchVerifier *Batch = nullptr);
+
+/// Merge per-shard results: concatenate PerSample in shard-index order,
+/// sum the taxonomy, recompute aggregates. Order-independent in the input
+/// vector's ordering and bit-identical to the serial oracle.
+EvalResult mergeShardResults(const std::string &ModelName,
+                             std::vector<ShardEvalResult> Shards);
+
+/// The sharded front door. Bit-identical to evaluateModel() at any
+/// Shards/Pool configuration, with or without BatchVerify.
+EvalResult evaluateModelSharded(const RewritePolicyModel &Model,
+                                const std::vector<Sample> &Valid,
+                                PromptMode Mode, const VerifyOptions &VOpts,
+                                const EvalOptions &EOpts);
+
+//===--- Shard serialization ------------------------------------------------===//
+
+/// Manifest JSON for a shard plan: {"seed":..,"samples":..,"shards":[...]}.
+std::string shardManifestToJson(const std::vector<EvalShard> &Plan,
+                                uint64_t Seed, size_t Samples);
+bool shardManifestFromJson(const std::string &Text,
+                           std::vector<EvalShard> &Plan, std::string *Err);
+
+/// Per-shard result JSON. Doubles are stored as IEEE-754 bit-hex (the
+/// checkpoint discipline) so a parse(serialize(R)) round-trip is
+/// bit-identical — merging deserialized shards must equal merging in-memory
+/// ones.
+std::string shardResultToJson(const ShardEvalResult &R);
+bool shardResultFromJson(const std::string &Text, ShardEvalResult &R,
+                         std::string *Err);
+
+/// Render a taxonomy as a paper-style table block. An empty split renders
+/// all-0.0% rows (never NaN/inf).
 std::string renderTaxonomy(const std::string &Title, const VerifyTaxonomy &T);
 
 } // namespace veriopt

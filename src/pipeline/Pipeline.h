@@ -19,6 +19,7 @@
 #define VERIOPT_PIPELINE_PIPELINE_H
 
 #include "pipeline/Checkpoint.h"
+#include "pipeline/Evaluation.h"
 #include "rl/Trainer.h"
 
 #include <memory>
@@ -87,6 +88,33 @@ struct PipelineOptions {
   /// Optional deterministic fault injection (oracle budget exhaustion,
   /// verdict flips, cache misses, checkpoint-write failures). Null = off.
   FaultInjector *Faults = nullptr;
+
+  //===--- Sharded evaluation -------------------------------------------===//
+
+  /// Shard count for evaluateModelSharded(); 0 = one shard per worker
+  /// thread. The result is bit-identical to the serial oracle at any
+  /// setting (see Evaluation.h).
+  unsigned EvalShards = 1;
+  /// When non-empty, the evaluation writes its shard plan / per-shard
+  /// result JSON here (the multi-process work-unit boundary).
+  std::string EvalShardManifestPath;
+  std::string EvalShardResultDir;
+
+  /// EvalOptions matching this pipeline configuration (shards, batch
+  /// verification, cache capacity, seed, fault injection). \p Pool may be
+  /// null for inline evaluation.
+  EvalOptions makeEvalOptions(ThreadPool *Pool = nullptr) const {
+    EvalOptions EO;
+    EO.Shards = EvalShards;
+    EO.Pool = Pool;
+    EO.BatchVerify = BatchVerify && VerifyCacheCapacity > 0;
+    EO.VerifyCacheCapacity = VerifyCacheCapacity;
+    EO.Seed = Seed;
+    EO.Faults = Faults;
+    EO.ShardManifestPath = EvalShardManifestPath;
+    EO.ShardResultDir = EvalShardResultDir;
+    return EO;
+  }
 
   static VerifyOptions trainVerifyDefaults() {
     VerifyOptions V;

@@ -59,7 +59,8 @@ const std::vector<std::string> &knownTraceEventNames() {
       "grpo.step",        "grpo.generate",  "grpo.score",
       "verify.candidate", "verify.falsify", "verify.encode",
       "verify.sat",       "verify.tier",    "batch.verify",
-      "opt.rule_fire",    "metric",         "metric.hist",
+      "eval.run",         "eval.shard",     "opt.rule_fire",
+      "metric",           "metric.hist",
   };
   return Names;
 }
@@ -101,6 +102,14 @@ const std::map<std::string, std::vector<ArgRule>> &requiredArgs() {
        {{"tier", JsonValue::Kind::Number},
         {"status", JsonValue::Kind::String},
         {"diag", JsonValue::Kind::String}}},
+      {"eval.run",
+       {{"shards", JsonValue::Kind::Number},
+        {"samples", JsonValue::Kind::Number}}},
+      {"eval.shard",
+       {{"shard", JsonValue::Kind::Number},
+        {"begin", JsonValue::Kind::Number},
+        {"end", JsonValue::Kind::Number},
+        {"samples", JsonValue::Kind::Number}}},
       {"opt.rule_fire",
        {{"rule", JsonValue::Kind::String},
         {"count", JsonValue::Kind::Number}}},
@@ -278,6 +287,7 @@ std::string renderRunReport(const TraceLog &Log, unsigned TopN) {
   std::map<int64_t, std::map<std::string, uint64_t>> TierOutcomes;
   std::map<std::string, double> Metric; // from "metric" lines
   std::map<std::string, uint64_t> RuleFires;
+  std::vector<const JsonValue *> EvalRuns, EvalShards;
 
   for (const JsonValue &E : Log.Events) {
     const std::string N = name(E);
@@ -307,6 +317,10 @@ std::string renderRunReport(const TraceLog &Log, unsigned TopN) {
     } else if (N == "verify.tier") {
       ++TierOutcomes[static_cast<int64_t>(argNum(E, "tier"))]
                     [argStr(E, "status")];
+    } else if (N == "eval.run") {
+      EvalRuns.push_back(&E);
+    } else if (N == "eval.shard") {
+      EvalShards.push_back(&E);
     } else if (N == "metric") {
       Metric[argStr(E, "key")] = argNum(E, "value");
     } else if (N == "opt.rule_fire") {
@@ -475,6 +489,33 @@ std::string renderRunReport(const TraceLog &Log, unsigned TopN) {
          << "  encode CSE hits "
          << static_cast<uint64_t>(M("encode.cse_hits")) << "\n";
     }
+  }
+  OS << "\n";
+
+  //--- Sharded evaluation ---------------------------------------------------
+  OS << "-- sharded evaluation --------------------------------------------\n";
+  if (EvalShards.empty()) {
+    OS << "no eval.shard events in this trace\n";
+  } else {
+    for (const JsonValue *Run : EvalRuns)
+      OS << "  run: shards " << static_cast<uint64_t>(argNum(*Run, "shards"))
+         << "  samples " << static_cast<uint64_t>(argNum(*Run, "samples"))
+         << "  correct " << static_cast<uint64_t>(argNum(*Run, "correct"))
+         << "  inconclusive "
+         << static_cast<uint64_t>(argNum(*Run, "inconclusive")) << "  ("
+         << fmt("%.1f", durMs(*Run)) << " ms total)\n";
+    std::stable_sort(EvalShards.begin(), EvalShards.end(),
+                     [](const JsonValue *A, const JsonValue *B) {
+                       return argNum(*A, "shard") < argNum(*B, "shard");
+                     });
+    for (const JsonValue *E : EvalShards)
+      OS << "  shard " << static_cast<uint64_t>(argNum(*E, "shard")) << "  ["
+         << static_cast<uint64_t>(argNum(*E, "begin")) << ", "
+         << static_cast<uint64_t>(argNum(*E, "end")) << ")  samples "
+         << static_cast<uint64_t>(argNum(*E, "samples")) << "  correct "
+         << static_cast<uint64_t>(argNum(*E, "correct")) << "  inconclusive "
+         << static_cast<uint64_t>(argNum(*E, "inconclusive")) << "  "
+         << fmt("%.1f", durMs(*E)) << " ms\n";
   }
   OS << "\n";
 

@@ -89,7 +89,10 @@ BatchVerifier::verifyGroup(const std::string &SrcText, const Function &Src,
         if (Served) {
           ++Hits[U];
         } else {
-          R = verifyCandidateTextOn(sharedEncoding(), Src, TgtText, TierOpts);
+          // Pass the provider, not the encoding: a candidate the guard
+          // chain rejects (parse/size/structure) must not trigger the
+          // shared source build.
+          R = verifyCandidateTextOn(sharedEncoding, Src, TgtText, TierOpts);
           ++Comps[U];
           if (Cache)
             Cache->seed(Key, R);
@@ -164,6 +167,12 @@ BatchVerifier::verifyGroup(const std::string &SrcText, const Function &Src,
   for (size_t I = 0; I < Texts.size(); ++I)
     Out[I] = Finals[UniqueOf[I]];
   return Out;
+}
+
+VerifyResult BatchVerifier::verifyOne(const std::string &SrcText,
+                                      const Function &Src,
+                                      const std::string &Text) const {
+  return verifyGroup(SrcText, Src, {Text}).front();
 }
 
 } // namespace veriopt

@@ -61,6 +61,12 @@ public:
                                         const std::vector<std::string> &Texts,
                                         GroupStats *Stats = nullptr) const;
 
+  /// Single-candidate convenience: a group of one. Used by the evaluation
+  /// harness, where greedy decoding yields exactly one candidate per sample
+  /// but the shared cache / fault-site plumbing should still apply.
+  VerifyResult verifyOne(const std::string &SrcText, const Function &Src,
+                         const std::string &Text) const;
+
   const Options &options() const { return Opts; }
 
 private:

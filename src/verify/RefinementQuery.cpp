@@ -549,10 +549,10 @@ VerifyResult verifyAgainstEncoding(SourceEncoding &SC, const Function &Tgt,
   return Out;
 }
 
-static VerifyResult verifyCandidateTextOnImpl(SourceEncoding *SC,
-                                              const Function &Src,
-                                              const std::string &TgtText,
-                                              const VerifyOptions &Opts) {
+static VerifyResult
+verifyCandidateTextOnImpl(const std::function<SourceEncoding *()> &GetSC,
+                          const Function &Src, const std::string &TgtText,
+                          const VerifyOptions &Opts) {
   VerifyResult Out;
   // Adversarial-emission guard: refuse pathologically large candidates
   // before paying any parse cost.
@@ -599,17 +599,20 @@ static VerifyResult verifyCandidateTextOnImpl(SourceEncoding *SC,
         header(Src) + "ERROR: Transformed IR is ill-formed (" + Err + ")\n";
     return Out;
   }
-  if (SC)
+  // Only now is source-side work unavoidable: materialize the shared
+  // encoding (or build a private one). Guard failures above never pay it.
+  if (SourceEncoding *SC = GetSC ? GetSC() : nullptr)
     return verifyAgainstEncoding(*SC, *Tgt, Opts, /*Shared=*/true);
   auto Fresh = buildSourceEncoding(Src, Opts);
   return verifyAgainstEncoding(*Fresh, *Tgt, Opts, /*Shared=*/false);
 }
 
-VerifyResult verifyCandidateTextOn(SourceEncoding *SC, const Function &Src,
+VerifyResult verifyCandidateTextOn(const std::function<SourceEncoding *()> &GetSC,
+                                   const Function &Src,
                                    const std::string &TgtText,
                                    const VerifyOptions &Opts) {
   TraceSpan Span("verify.candidate");
-  VerifyResult Out = verifyCandidateTextOnImpl(SC, Src, TgtText, Opts);
+  VerifyResult Out = verifyCandidateTextOnImpl(GetSC, Src, TgtText, Opts);
   if (Span.active()) {
     Span.arg(TraceArg::ofStr("status", verifyStatusName(Out.Status)));
     Span.arg(TraceArg::ofStr("diag", diagKindName(Out.Kind)));

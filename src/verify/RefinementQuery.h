@@ -32,6 +32,7 @@
 #include "verify/AliveLite.h"
 #include "verify/Encoder.h"
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -91,13 +92,16 @@ std::unique_ptr<SourceEncoding> buildSourceEncoding(const Function &Src,
 VerifyResult verifyAgainstEncoding(SourceEncoding &SC, const Function &Tgt,
                                    const VerifyOptions &Opts, bool Shared);
 
-/// verifyCandidateText over a prebuilt encoding: identical guard chain,
-/// verify.candidate span, and verify.* metrics. \p SC may be null, in which
-/// case a fresh encoding is built after the guards pass (the sequential
-/// path — guard failures then never pay source-side work).
-VerifyResult verifyCandidateTextOn(SourceEncoding *SC, const Function &Src,
-                                   const std::string &TgtText,
-                                   const VerifyOptions &Opts);
+/// verifyCandidateText over a lazily provided encoding: identical guard
+/// chain, verify.candidate span, and verify.* metrics. \p GetSC is invoked
+/// only after the guard chain passes — candidates rejected at the
+/// parse/screen stage never pay source-side work, shared encoding or not.
+/// A null/empty provider (or one returning null) builds a fresh private
+/// encoding after the guards pass (the sequential path).
+VerifyResult
+verifyCandidateTextOn(const std::function<SourceEncoding *()> &GetSC,
+                      const Function &Src, const std::string &TgtText,
+                      const VerifyOptions &Opts);
 
 } // namespace veriopt
 

@@ -7,6 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#ifndef VERIOPT_TEST_DATA_DIR
+#error "VERIOPT_TEST_DATA_DIR must point at tests/pipeline"
+#endif
+
 namespace veriopt {
 namespace {
 
@@ -75,6 +83,75 @@ TEST(Evaluation, FallbackGainIsNonNegative) {
   RewritePolicyModel Base(presetQwen3B());
   auto E = evaluateModel(Base, ds().Valid, PromptMode::Generic);
   EXPECT_GE(E.FallbackGainOverRef, 0.0);
+}
+
+TEST(Evaluation, LyingVerifierVerdictIsDowngradedToInconclusive) {
+  // Regression: the reparse after an Equivalent verdict used to be guarded
+  // by assert() only — under NDEBUG, takeValue() on the failed ErrorOr was
+  // UB. A verdict the evaluator cannot reparse must be downgraded to
+  // Inconclusive and keep the -O0 fallback.
+  const Sample &S = ds().Valid.front();
+  Completion C;
+  C.FormatOk = true;
+  C.AnswerIR = "this is not IR at all (";
+  CandidateVerifier Lying = [](const Sample &, const std::string &) {
+    VerifyResult VR;
+    VR.Status = VerifyStatus::Equivalent; // claims correctness, lies
+    return VR;
+  };
+  VerifyTaxonomy Tax;
+  SampleEval E = evaluateCandidate(S, C, Lying, Tax);
+  EXPECT_EQ(E.Status, VerifyStatus::Inconclusive);
+  EXPECT_TRUE(E.UsedFallback);
+  EXPECT_DOUBLE_EQ(E.LatOut, E.LatO0);
+  EXPECT_EQ(Tax.Inconclusive, 1u);
+  EXPECT_EQ(Tax.Correct, 0u);
+}
+
+TEST(Evaluation, EmptyCorpusAggregatesFollowConventions) {
+  // Regression: aggregate() used to feed empty vectors to mean()/geomean(),
+  // yielding 0 geomeans (and a -100% "fallback gain"). The documented
+  // convention: 0.0 relative change, neutral 1.0 geo ratios, 0.0 gain.
+  RewritePolicyModel Base(presetQwen3B());
+  std::vector<Sample> Empty;
+  auto E = evaluateModel(Base, Empty, PromptMode::Generic);
+  EXPECT_EQ(E.Taxonomy.Total, 0u);
+  EXPECT_DOUBLE_EQ(E.Latency.MeanRelChange, 0.0);
+  EXPECT_DOUBLE_EQ(E.Latency.GeoRatio, 1.0);
+  EXPECT_DOUBLE_EQ(E.Size.GeoRatio, 1.0);
+  EXPECT_DOUBLE_EQ(E.ICount.GeoRatio, 1.0);
+  EXPECT_DOUBLE_EQ(E.GeoSpeedupVsO0, 1.0);
+  EXPECT_DOUBLE_EQ(E.FallbackGainOverRef, 0.0);
+
+  EvalResult R;
+  recomputeAggregates(R);
+  EXPECT_DOUBLE_EQ(R.GeoSpeedupVsO0, 1.0);
+  EXPECT_DOUBLE_EQ(R.FallbackGainOverRef, 0.0);
+}
+
+TEST(Evaluation, EmptySplitRendersZeroPercentRows) {
+  // An empty validation split must render 0.0% rows, never NaN/inf. The
+  // exact bytes are pinned by a golden file (regenerate with
+  // VERIOPT_REGEN_GOLDEN=1).
+  VerifyTaxonomy T;
+  EXPECT_DOUBLE_EQ(T.pct(0), 0.0);
+  EXPECT_DOUBLE_EQ(T.differentCorrectRate(), 0.0);
+  std::string Table = renderTaxonomy("Empty split", T);
+  EXPECT_EQ(Table.find("nan"), std::string::npos) << Table;
+  EXPECT_EQ(Table.find("inf"), std::string::npos) << Table;
+
+  const std::string GoldenPath =
+      std::string(VERIOPT_TEST_DATA_DIR) + "/golden_empty_taxonomy.txt";
+  if (std::getenv("VERIOPT_REGEN_GOLDEN")) {
+    std::ofstream OS(GoldenPath, std::ios::binary);
+    OS << Table;
+    GTEST_SKIP() << "regenerated " << GoldenPath;
+  }
+  std::ifstream IS(GoldenPath);
+  ASSERT_TRUE(IS.good()) << "missing golden file " << GoldenPath;
+  std::stringstream SS;
+  SS << IS.rdbuf();
+  EXPECT_EQ(Table, SS.str());
 }
 
 TEST(Evaluation, ReferenceRowMatchesSampleReferences) {

@@ -1,0 +1,284 @@
+//===- ShardedEvalTest.cpp - Sharded-vs-serial differential guarantees -----===//
+//
+// The contract under test: evaluateModelSharded() is bit-identical to the
+// serial oracle evaluateModel() at any shard/thread count, with BatchVerify
+// on or off; shards serialize losslessly; and the merge tolerates
+// fault-injected, Inconclusive-heavy shards.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Evaluation.h"
+
+#include "support/FaultInjector.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+namespace veriopt {
+namespace {
+
+const Dataset &ds() {
+  static Dataset DS = [] {
+    DatasetOptions O;
+    O.TrainCount = 0;
+    O.ValidCount = 24;
+    O.Seed = 77;
+    return buildDataset(O);
+  }();
+  return DS;
+}
+
+/// Bitwise double equality: the differential tests require bit-identity,
+/// not epsilon-closeness, and must treat -0.0 != 0.0 and NaN == NaN the
+/// way memcmp does.
+bool bitEq(double A, double B) {
+  return std::memcmp(&A, &B, sizeof(double)) == 0;
+}
+
+void expectAggEq(const MetricAgg &A, const MetricAgg &B, const char *What) {
+  EXPECT_EQ(A.Better, B.Better) << What;
+  EXPECT_EQ(A.Worse, B.Worse) << What;
+  EXPECT_EQ(A.Tie, B.Tie) << What;
+  EXPECT_TRUE(bitEq(A.MeanRelChange, B.MeanRelChange)) << What;
+  EXPECT_TRUE(bitEq(A.GeoRatio, B.GeoRatio)) << What;
+}
+
+void expectSampleEq(const SampleEval &A, const SampleEval &B, size_t I) {
+  EXPECT_EQ(A.Status, B.Status) << "sample " << I;
+  EXPECT_EQ(A.IsCopy, B.IsCopy) << "sample " << I;
+  EXPECT_EQ(A.UsedFallback, B.UsedFallback) << "sample " << I;
+  EXPECT_TRUE(bitEq(A.LatO0, B.LatO0)) << "sample " << I;
+  EXPECT_TRUE(bitEq(A.LatOut, B.LatOut)) << "sample " << I;
+  EXPECT_TRUE(bitEq(A.LatRef, B.LatRef)) << "sample " << I;
+  EXPECT_EQ(A.ICountOut, B.ICountOut) << "sample " << I;
+  EXPECT_EQ(A.SizeOut, B.SizeOut) << "sample " << I;
+}
+
+void expectResultEq(const EvalResult &A, const EvalResult &B) {
+  EXPECT_EQ(A.ModelName, B.ModelName);
+  EXPECT_EQ(A.Taxonomy.Total, B.Taxonomy.Total);
+  EXPECT_EQ(A.Taxonomy.Correct, B.Taxonomy.Correct);
+  EXPECT_EQ(A.Taxonomy.CorrectCopies, B.Taxonomy.CorrectCopies);
+  EXPECT_EQ(A.Taxonomy.SemanticError, B.Taxonomy.SemanticError);
+  EXPECT_EQ(A.Taxonomy.SyntaxError, B.Taxonomy.SyntaxError);
+  EXPECT_EQ(A.Taxonomy.Inconclusive, B.Taxonomy.Inconclusive);
+  expectAggEq(A.Latency, B.Latency, "latency");
+  expectAggEq(A.Size, B.Size, "size");
+  expectAggEq(A.ICount, B.ICount, "icount");
+  EXPECT_TRUE(bitEq(A.GeoSpeedupVsO0, B.GeoSpeedupVsO0));
+  EXPECT_EQ(A.VsRefBetter, B.VsRefBetter);
+  EXPECT_EQ(A.VsRefWorse, B.VsRefWorse);
+  EXPECT_EQ(A.VsRefTie, B.VsRefTie);
+  EXPECT_TRUE(bitEq(A.FallbackGainOverRef, B.FallbackGainOverRef));
+  ASSERT_EQ(A.PerSample.size(), B.PerSample.size());
+  for (size_t I = 0; I < A.PerSample.size(); ++I)
+    expectSampleEq(A.PerSample[I], B.PerSample[I], I);
+}
+
+//===--- Shard planning -----------------------------------------------------===//
+
+TEST(ShardedEval, PlanCoversCorpusWithContiguousDisjointShards) {
+  for (unsigned Shards : {1u, 3u, 7u, 24u, 30u}) {
+    auto Plan = planEvalShards(24, Shards, 0xE7A1);
+    ASSERT_EQ(Plan.size(), Shards);
+    size_t Next = 0;
+    for (unsigned I = 0; I < Shards; ++I) {
+      EXPECT_EQ(Plan[I].Index, I);
+      EXPECT_EQ(Plan[I].Begin, Next);
+      EXPECT_LE(Plan[I].Begin, Plan[I].End);
+      Next = Plan[I].End;
+    }
+    EXPECT_EQ(Next, 24u) << "shards must cover the corpus exactly";
+  }
+}
+
+TEST(ShardedEval, ShardSizesDifferByAtMostOne) {
+  auto Plan = planEvalShards(25, 4, 1);
+  size_t Min = 25, Max = 0;
+  for (const EvalShard &S : Plan) {
+    Min = std::min(Min, S.End - S.Begin);
+    Max = std::max(Max, S.End - S.Begin);
+  }
+  EXPECT_LE(Max - Min, 1u);
+}
+
+TEST(ShardedEval, DerivedSeedsAreStableAndDistinct) {
+  EXPECT_EQ(deriveShardSeed(42, 0), deriveShardSeed(42, 0));
+  EXPECT_NE(deriveShardSeed(42, 0), deriveShardSeed(42, 1));
+  EXPECT_NE(deriveShardSeed(42, 0), deriveShardSeed(43, 0));
+  // Plans embed the derived seed so an out-of-process shard runner needs
+  // only the manifest.
+  auto Plan = planEvalShards(10, 2, 42);
+  EXPECT_EQ(Plan[1].RngSeed, deriveShardSeed(42, 1));
+}
+
+//===--- The differential guarantee -----------------------------------------===//
+
+TEST(ShardedEval, BitIdenticalToSerialAcrossShardAndThreadCounts) {
+  RewritePolicyModel Base(presetQwen3B());
+  EvalResult Oracle = evaluateModel(Base, ds().Valid, PromptMode::Generic);
+
+  ThreadPool Pool(4);
+  for (bool Batch : {false, true}) {
+    for (unsigned Shards : {1u, 3u, 4u, 11u}) {
+      EvalOptions EO;
+      EO.Shards = Shards;
+      EO.Pool = &Pool;
+      EO.BatchVerify = Batch;
+      EvalResult Sharded = evaluateModelSharded(
+          Base, ds().Valid, PromptMode::Generic, VerifyOptions(), EO);
+      SCOPED_TRACE(testing::Message()
+                   << "shards=" << Shards << " batch=" << Batch);
+      expectResultEq(Oracle, Sharded);
+    }
+  }
+}
+
+TEST(ShardedEval, SerialPoolAndNullPoolAgree) {
+  RewritePolicyModel Base(presetQwen3B());
+  EvalOptions NoPool;
+  NoPool.Shards = 3;
+  EvalResult A = evaluateModelSharded(Base, ds().Valid, PromptMode::Generic,
+                                      VerifyOptions(), NoPool);
+  ThreadPool One(1);
+  EvalOptions WithPool = NoPool;
+  WithPool.Pool = &One;
+  EvalResult B = evaluateModelSharded(Base, ds().Valid, PromptMode::Generic,
+                                      VerifyOptions(), WithPool);
+  expectResultEq(A, B);
+}
+
+TEST(ShardedEval, ZeroShardsMeansOnePerPoolThread) {
+  RewritePolicyModel Base(presetQwen3B());
+  ThreadPool Pool(3);
+  EvalOptions EO;
+  EO.Shards = 0;
+  EO.Pool = &Pool;
+  EO.ShardResultDir = testing::TempDir();
+  EvalResult R = evaluateModelSharded(Base, ds().Valid, PromptMode::Generic,
+                                      VerifyOptions(), EO);
+  EXPECT_EQ(R.Taxonomy.Total, ds().Valid.size());
+  // Shard files 0..numThreads-1 must exist.
+  for (unsigned I = 0; I < Pool.numThreads(); ++I) {
+    std::ifstream IS(EO.ShardResultDir + "/shard_" + std::to_string(I) +
+                     ".json");
+    EXPECT_TRUE(IS.good()) << "missing shard result " << I;
+  }
+}
+
+//===--- Fault tolerance of the merge ----------------------------------------===//
+
+TEST(ShardedEval, MergeToleratesInconclusiveHeavyShard) {
+  RewritePolicyModel Base(presetQwen3B());
+  // Arm the oracle-budget fault site hard: many samples collapse to
+  // Inconclusive, concentrated wherever their shard lands. The merge must
+  // keep counts consistent and every aggregate finite.
+  FaultInjector FI(0xFA11);
+  FI.enable(FaultSite::OracleBudget, 0.8);
+
+  ThreadPool Pool(3);
+  EvalOptions EO;
+  EO.Shards = 3;
+  EO.Pool = &Pool;
+  EO.Faults = &FI;
+  EvalResult R = evaluateModelSharded(Base, ds().Valid, PromptMode::Generic,
+                                      VerifyOptions(), EO);
+  EXPECT_EQ(R.Taxonomy.Total, ds().Valid.size());
+  EXPECT_EQ(R.Taxonomy.Correct + R.Taxonomy.SemanticError +
+                R.Taxonomy.SyntaxError + R.Taxonomy.Inconclusive,
+            R.Taxonomy.Total);
+  EXPECT_TRUE(std::isfinite(R.GeoSpeedupVsO0));
+  EXPECT_TRUE(std::isfinite(R.FallbackGainOverRef));
+  EXPECT_TRUE(std::isfinite(R.Latency.GeoRatio));
+  // Every inconclusive sample must have kept the -O0 fallback.
+  for (const SampleEval &E : R.PerSample)
+    if (E.Status != VerifyStatus::Equivalent)
+      EXPECT_TRUE(E.UsedFallback);
+
+  // Fault decisions are pure (seed, site, key) hashes, so the faulted run
+  // is itself deterministic across shard counts.
+  EvalOptions EO1 = EO;
+  EO1.Shards = 1;
+  EvalResult R1 = evaluateModelSharded(Base, ds().Valid, PromptMode::Generic,
+                                       VerifyOptions(), EO1);
+  expectResultEq(R, R1);
+}
+
+//===--- Serialization -------------------------------------------------------===//
+
+TEST(ShardedEval, ManifestRoundTrips) {
+  auto Plan = planEvalShards(101, 7, 0xDEADBEEFCAFEF00DULL);
+  std::string Json = shardManifestToJson(Plan, 0xDEADBEEFCAFEF00DULL, 101);
+  std::vector<EvalShard> Back;
+  std::string Err;
+  ASSERT_TRUE(shardManifestFromJson(Json, Back, &Err)) << Err;
+  ASSERT_EQ(Back.size(), Plan.size());
+  for (size_t I = 0; I < Plan.size(); ++I) {
+    EXPECT_EQ(Back[I].Index, Plan[I].Index);
+    EXPECT_EQ(Back[I].Begin, Plan[I].Begin);
+    EXPECT_EQ(Back[I].End, Plan[I].End);
+    EXPECT_EQ(Back[I].RngSeed, Plan[I].RngSeed) << "bit-exact seed";
+  }
+}
+
+TEST(ShardedEval, ManifestRejectsMalformedInput) {
+  std::vector<EvalShard> Plan;
+  std::string Err;
+  EXPECT_FALSE(shardManifestFromJson("{broken", Plan, &Err));
+  EXPECT_FALSE(shardManifestFromJson("{\"seed\":\"00\"}", Plan, &Err));
+  EXPECT_NE(Err.find("shards"), std::string::npos) << Err;
+  EXPECT_FALSE(shardManifestFromJson(
+      "{\"shards\":[{\"index\":0,\"begin\":0}]}", Plan, &Err));
+}
+
+TEST(ShardedEval, ShardResultRoundTripsBitExactly) {
+  RewritePolicyModel Base(presetQwen3B());
+  auto Plan = planEvalShards(ds().Valid.size(), 3, 0xE7A1);
+  for (const EvalShard &S : Plan) {
+    ShardEvalResult R = evaluateEvalShard(Base, ds().Valid,
+                                          PromptMode::Generic,
+                                          VerifyOptions(), S);
+    std::string Json = shardResultToJson(R);
+    ShardEvalResult Back;
+    std::string Err;
+    ASSERT_TRUE(shardResultFromJson(Json, Back, &Err)) << Err;
+    EXPECT_EQ(Back.Shard.Index, R.Shard.Index);
+    EXPECT_EQ(Back.Shard.RngSeed, R.Shard.RngSeed);
+    EXPECT_EQ(Back.Taxonomy.Total, R.Taxonomy.Total);
+    ASSERT_EQ(Back.PerSample.size(), R.PerSample.size());
+    for (size_t I = 0; I < R.PerSample.size(); ++I)
+      expectSampleEq(Back.PerSample[I], R.PerSample[I], I);
+  }
+}
+
+TEST(ShardedEval, MergingDeserializedShardsEqualsSerialOracle) {
+  // The multi-process story end to end: evaluate shards independently,
+  // round-trip each through JSON (shuffled order), merge — and the result
+  // must still equal the serial oracle bit for bit.
+  RewritePolicyModel Base(presetQwen3B());
+  EvalResult Oracle = evaluateModel(Base, ds().Valid, PromptMode::Generic);
+
+  auto Plan = planEvalShards(ds().Valid.size(), 4, 0xE7A1);
+  std::vector<ShardEvalResult> Shards;
+  // Deliberately out of order: results may arrive in any order from
+  // independent processes.
+  for (size_t I = Plan.size(); I-- > 0;) {
+    ShardEvalResult R = evaluateEvalShard(Base, ds().Valid,
+                                          PromptMode::Generic,
+                                          VerifyOptions(), Plan[I]);
+    ShardEvalResult Back;
+    std::string Err;
+    ASSERT_TRUE(shardResultFromJson(shardResultToJson(R), Back, &Err)) << Err;
+    Shards.push_back(std::move(Back));
+  }
+  EvalResult Merged =
+      mergeShardResults(Base.config().Name, std::move(Shards));
+  expectResultEq(Oracle, Merged);
+}
+
+} // namespace
+} // namespace veriopt

@@ -178,6 +178,15 @@ std::string syntheticRun() {
      << "\n";
   OS << R"({"name":"opt.rule_fire","ph":"C","ts_ns":0,"tid":4,"seq":1,"args":{"rule":"const-fold","count":34}})"
      << "\n";
+
+  // A sharded evaluation: one eval.run wrapping two eval.shard spans
+  // (deliberately emitted out of shard order — the report must sort).
+  OS << R"({"name":"eval.shard","ph":"X","ts_ns":100,"dur_ns":4000000,"tid":7,"seq":1,"args":{"shard":1,"begin":10,"end":20,"samples":10,"correct":6,"semantic_error":1,"syntax_error":0,"inconclusive":3}})"
+     << "\n";
+  OS << R"({"name":"eval.shard","ph":"X","ts_ns":100,"dur_ns":6000000,"tid":6,"seq":0,"args":{"shard":0,"begin":0,"end":10,"samples":10,"correct":8,"semantic_error":1,"syntax_error":1,"inconclusive":0}})"
+     << "\n";
+  OS << R"({"name":"eval.run","ph":"X","ts_ns":0,"dur_ns":7000000,"tid":6,"seq":1,"args":{"shards":2,"samples":20,"correct":14,"inconclusive":3,"model":"qwen-3b","batch_verify":true}})"
+     << "\n";
   return OS.str();
 }
 
@@ -215,6 +224,24 @@ TEST(Report, EmptyLogRendersPlaceholders) {
   EXPECT_NE(R.find("no verify.candidate events"), std::string::npos);
   EXPECT_NE(R.find("no cache metrics"), std::string::npos);
   EXPECT_NE(R.find("no batch.* metrics"), std::string::npos);
+  EXPECT_NE(R.find("no eval.shard events"), std::string::npos);
+}
+
+TEST(Report, EvalShardSpanRequiresRangeArgs) {
+  // eval.shard must carry the shard identity + range the report renders.
+  std::string Err = validateErr(
+      R"({"name":"eval.shard","ph":"X","ts_ns":0,"dur_ns":1,"tid":0,"seq":0,"args":{"shard":0}})");
+  EXPECT_NE(Err.find("begin"), std::string::npos) << Err;
+}
+
+TEST(Report, ShardSectionSortsByShardIndex) {
+  TraceLog Log = parseOk(syntheticRun());
+  std::string R = renderRunReport(Log, 3);
+  size_t S0 = R.find("shard 0");
+  size_t S1 = R.find("shard 1");
+  ASSERT_NE(S0, std::string::npos);
+  ASSERT_NE(S1, std::string::npos);
+  EXPECT_LT(S0, S1) << "shards must render in index order, not emit order";
 }
 
 } // namespace
