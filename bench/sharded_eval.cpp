@@ -46,43 +46,6 @@ double wallMs(const std::function<void()> &Fn) {
   return std::chrono::duration<double, std::milli>(T1 - T0).count();
 }
 
-bool bitEq(double A, double B) {
-  return std::memcmp(&A, &B, sizeof(double)) == 0;
-}
-
-bool sameAgg(const MetricAgg &A, const MetricAgg &B) {
-  return A.Better == B.Better && A.Worse == B.Worse && A.Tie == B.Tie &&
-         bitEq(A.MeanRelChange, B.MeanRelChange) &&
-         bitEq(A.GeoRatio, B.GeoRatio);
-}
-
-/// Full bit-for-bit comparison: taxonomy, every aggregate, every sample.
-unsigned countDivergence(const EvalResult &A, const EvalResult &B) {
-  unsigned D = 0;
-  D += A.Taxonomy.Total != B.Taxonomy.Total;
-  D += A.Taxonomy.Correct != B.Taxonomy.Correct;
-  D += A.Taxonomy.CorrectCopies != B.Taxonomy.CorrectCopies;
-  D += A.Taxonomy.SemanticError != B.Taxonomy.SemanticError;
-  D += A.Taxonomy.SyntaxError != B.Taxonomy.SyntaxError;
-  D += A.Taxonomy.Inconclusive != B.Taxonomy.Inconclusive;
-  D += !sameAgg(A.Latency, B.Latency);
-  D += !sameAgg(A.Size, B.Size);
-  D += !sameAgg(A.ICount, B.ICount);
-  D += !bitEq(A.GeoSpeedupVsO0, B.GeoSpeedupVsO0);
-  D += !bitEq(A.FallbackGainOverRef, B.FallbackGainOverRef);
-  D += A.VsRefBetter != B.VsRefBetter || A.VsRefWorse != B.VsRefWorse ||
-       A.VsRefTie != B.VsRefTie;
-  if (A.PerSample.size() != B.PerSample.size())
-    return D + 1;
-  for (size_t I = 0; I < A.PerSample.size(); ++I) {
-    const SampleEval &X = A.PerSample[I], &Y = B.PerSample[I];
-    D += X.Status != Y.Status || X.IsCopy != Y.IsCopy ||
-         X.UsedFallback != Y.UsedFallback || !bitEq(X.LatOut, Y.LatOut) ||
-         X.ICountOut != Y.ICountOut || X.SizeOut != Y.SizeOut;
-  }
-  return D;
-}
-
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -135,7 +98,7 @@ int main(int Argc, char **Argv) {
         EvalResult R = evaluateModelSharded(Base, DS.Valid,
                                             PromptMode::Generic,
                                             VerifyOptions(), EO);
-        Divergent += countDivergence(Oracle, R);
+        Divergent += countResultDivergence(Oracle, R);
       }
     });
   }
@@ -167,7 +130,7 @@ int main(int Argc, char **Argv) {
     EO.BatchVerify = C.Batch;
     EvalResult R = evaluateModelSharded(Base, DS.Valid, PromptMode::Generic,
                                         VerifyOptions(), EO);
-    unsigned D = countDivergence(Oracle, R);
+    unsigned D = countResultDivergence(Oracle, R);
     Divergent += D;
     std::printf("%-32s %s\n", C.Label,
                 D ? "DIVERGED" : "bit-identical");
@@ -192,7 +155,7 @@ int main(int Argc, char **Argv) {
       Shards.push_back(std::move(Back));
     }
     if (Shards.size() == 4) {
-      unsigned D = countDivergence(
+      unsigned D = countResultDivergence(
           Oracle, mergeShardResults(Base.config().Name, std::move(Shards)));
       Divergent += D;
       std::printf("JSON round-trip + merge          %s\n",

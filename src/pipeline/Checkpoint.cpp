@@ -2,6 +2,8 @@
 
 #include "pipeline/Checkpoint.h"
 
+#include "support/AtomicFile.h"
+
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -155,23 +157,10 @@ bool saveCheckpoint(const std::string &Path, const PipelineCheckpoint &CP,
      << '\n';
   OS << "end\n";
 
-  // Atomic write-then-rename: a crash leaves either the old checkpoint or
-  // the new one, never a torn file.
-  const std::string Tmp = Path + ".tmp";
-  {
-    std::ofstream F(Tmp, std::ios::binary | std::ios::trunc);
-    if (!F)
-      return false;
-    F << OS.str();
-    F.flush();
-    if (!F)
-      return false;
-  }
-  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
-    std::remove(Tmp.c_str());
-    return false;
-  }
-  return true;
+  // Atomic + durable write-then-rename (support/AtomicFile.h): a crash —
+  // even a power loss — leaves either the old checkpoint or the complete,
+  // fsync'ed new one, never a torn or renamed-but-empty file.
+  return writeFileAtomic(Path, OS.str());
 }
 
 bool loadCheckpoint(const std::string &Path, PipelineCheckpoint &CP) {

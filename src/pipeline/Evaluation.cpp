@@ -4,6 +4,7 @@
 
 #include "cost/CostModel.h"
 #include "ir/Parser.h"
+#include "support/AtomicFile.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
 #include "trace/Json.h"
@@ -297,27 +298,46 @@ EvalResult mergeShardResults(const std::string &ModelName,
 
 namespace {
 
-/// Path.tmp then rename over Path (the checkpoint/trace-sink discipline):
-/// a crash leaves either the old file or the complete new one.
-bool writeFileAtomic(const std::string &Path, const std::string &Payload) {
-  const std::string Tmp = Path + ".tmp";
-  {
-    std::ofstream OS(Tmp, std::ios::binary | std::ios::trunc);
-    if (!OS)
-      return false;
-    OS << Payload;
-    OS.flush();
-    if (!OS)
-      return false;
-  }
-  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
-    std::remove(Tmp.c_str());
-    return false;
-  }
-  return true;
+/// Bitwise double equality: differential checks require bit-identity, not
+/// epsilon-closeness (-0.0 != 0.0, NaN == NaN, like memcmp).
+bool bitEq(double A, double B) {
+  return std::memcmp(&A, &B, sizeof(double)) == 0;
+}
+
+bool sameAgg(const MetricAgg &A, const MetricAgg &B) {
+  return A.Better == B.Better && A.Worse == B.Worse && A.Tie == B.Tie &&
+         bitEq(A.MeanRelChange, B.MeanRelChange) &&
+         bitEq(A.GeoRatio, B.GeoRatio);
 }
 
 } // namespace
+
+unsigned countResultDivergence(const EvalResult &A, const EvalResult &B) {
+  unsigned D = 0;
+  D += A.Taxonomy.Total != B.Taxonomy.Total;
+  D += A.Taxonomy.Correct != B.Taxonomy.Correct;
+  D += A.Taxonomy.CorrectCopies != B.Taxonomy.CorrectCopies;
+  D += A.Taxonomy.SemanticError != B.Taxonomy.SemanticError;
+  D += A.Taxonomy.SyntaxError != B.Taxonomy.SyntaxError;
+  D += A.Taxonomy.Inconclusive != B.Taxonomy.Inconclusive;
+  D += !sameAgg(A.Latency, B.Latency);
+  D += !sameAgg(A.Size, B.Size);
+  D += !sameAgg(A.ICount, B.ICount);
+  D += !bitEq(A.GeoSpeedupVsO0, B.GeoSpeedupVsO0);
+  D += !bitEq(A.FallbackGainOverRef, B.FallbackGainOverRef);
+  D += A.VsRefBetter != B.VsRefBetter || A.VsRefWorse != B.VsRefWorse ||
+       A.VsRefTie != B.VsRefTie;
+  if (A.PerSample.size() != B.PerSample.size())
+    return D + 1;
+  for (size_t I = 0; I < A.PerSample.size(); ++I) {
+    const SampleEval &X = A.PerSample[I], &Y = B.PerSample[I];
+    D += X.Status != Y.Status || X.IsCopy != Y.IsCopy ||
+         X.UsedFallback != Y.UsedFallback || !bitEq(X.LatOut, Y.LatOut) ||
+         !bitEq(X.LatO0, Y.LatO0) || !bitEq(X.LatRef, Y.LatRef) ||
+         X.ICountOut != Y.ICountOut || X.SizeOut != Y.SizeOut;
+  }
+  return D;
+}
 
 EvalResult evaluateModelSharded(const RewritePolicyModel &Model,
                                 const std::vector<Sample> &Valid,
@@ -422,7 +442,10 @@ bool dunhex(const std::string &S, double &D) {
 
 bool jsonU64(const JsonValue &O, const char *Key, uint64_t &Out) {
   const JsonValue *V = O.get(Key);
-  if (!V || !V->isNumber() || V->number() < 0)
+  // Reject negatives AND non-integers: a count field of 1.5 (bit rot,
+  // hand-edited file) must be a typed parse error, not a silent truncation.
+  if (!V || !V->isNumber() || V->number() < 0 ||
+      V->number() != std::floor(V->number()))
     return false;
   Out = static_cast<uint64_t>(V->number());
   return true;
@@ -608,6 +631,20 @@ bool shardResultFromJson(const std::string &Text, ShardEvalResult &R,
       return fail("sample missing count fields");
     R.PerSample.push_back(E);
   }
+
+  // Internal consistency: a truncated-but-still-valid-JSON file (fewer
+  // per_sample entries than the taxonomy claims) or bit-rotted counts must
+  // be a typed error — the driver treats it as a failed attempt, never
+  // merges it.
+  if (T.Total != R.PerSample.size())
+    return fail("taxonomy total does not match per_sample length");
+  if (T.Correct + T.SemanticError + T.SyntaxError + T.Inconclusive !=
+      T.Total)
+    return fail("taxonomy counts do not sum to total");
+  if (T.CorrectCopies > T.Correct)
+    return fail("correct_copies exceeds correct");
+  if (R.Shard.End < R.Shard.Begin)
+    return fail("shard range is inverted");
   return true;
 }
 

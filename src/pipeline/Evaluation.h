@@ -210,6 +210,13 @@ EvalResult evaluateModelSharded(const RewritePolicyModel &Model,
                                 PromptMode Mode, const VerifyOptions &VOpts,
                                 const EvalOptions &EOpts);
 
+/// Count bit-exact differences between two results: taxonomy counts, every
+/// aggregate (doubles compared by bit pattern, so -0.0 != 0.0 and NaN ==
+/// NaN), and every per-sample field. 0 means bit-identical. The
+/// differential gates (bench/sharded_eval, bench/eval_driver,
+/// veriopt-drive --tiny) all key off this.
+unsigned countResultDivergence(const EvalResult &A, const EvalResult &B);
+
 //===--- Shard serialization ------------------------------------------------===//
 
 /// Manifest JSON for a shard plan: {"seed":..,"samples":..,"shards":[...]}.

@@ -1,0 +1,97 @@
+//===- AtomicFile.cpp - Durable atomic file replacement -----------------------//
+
+#include "support/AtomicFile.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace veriopt {
+
+namespace {
+
+void setErr(std::string *Err, const char *Step) {
+  if (Err)
+    *Err = std::string(Step) + ": " + std::strerror(errno);
+}
+
+/// Write all of \p Payload to \p Fd, retrying short writes and EINTR.
+bool writeAll(int Fd, const std::string &Payload) {
+  const char *P = Payload.data();
+  size_t Left = Payload.size();
+  while (Left > 0) {
+    ssize_t N = ::write(Fd, P, Left);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    P += N;
+    Left -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+int fsyncRetry(int Fd) {
+  int R;
+  do
+    R = ::fsync(Fd);
+  while (R != 0 && errno == EINTR);
+  return R;
+}
+
+std::string parentDir(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  if (Slash == std::string::npos)
+    return ".";
+  if (Slash == 0)
+    return "/";
+  return Path.substr(0, Slash);
+}
+
+} // namespace
+
+bool writeFileAtomic(const std::string &Path, const std::string &Payload,
+                     std::string *Err) {
+  const std::string Tmp = Path + ".tmp";
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (Fd < 0) {
+    setErr(Err, "open temporary");
+    return false;
+  }
+  // Data must be durable BEFORE the rename publishes the name: otherwise a
+  // crash can leave a renamed-but-empty (or torn) file that a resuming
+  // driver would read as the shard's result.
+  if (!writeAll(Fd, Payload) || fsyncRetry(Fd) != 0) {
+    setErr(Err, "write/fsync temporary");
+    ::close(Fd);
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  if (::close(Fd) != 0) {
+    setErr(Err, "close temporary");
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    setErr(Err, "rename");
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  // Make the rename itself durable. Failure to fsync the directory is not
+  // fatal to the caller (the file contents are already safe and visible);
+  // report success but do attempt it.
+  int DirFd = ::open(parentDir(Path).c_str(),
+                     O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (DirFd >= 0) {
+    fsyncRetry(DirFd);
+    ::close(DirFd);
+  }
+  return true;
+}
+
+} // namespace veriopt

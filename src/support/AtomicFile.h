@@ -1,0 +1,35 @@
+//===- AtomicFile.h - Durable atomic file replacement ------------*- C++ -*-=//
+//
+// The one write-then-rename helper every artifact writer (checkpoints,
+// trace sinks, shard manifests/results, quarantine lists) goes through.
+// Two guarantees, both required by the crash-tolerant evaluation driver:
+//
+//  1. Atomicity: readers of Path see either the old contents or the
+//     complete new payload, never a torn prefix — write to "<path>.tmp",
+//     then rename(2) over the destination.
+//
+//  2. Durability: the payload is fsync'ed before the rename and the parent
+//     directory is fsync'ed after it. Without the first, a crash shortly
+//     after rename can surface a renamed-but-empty file (the metadata
+//     outruns the data to disk) — which a resuming driver would parse,
+//     reject, and needlessly re-run, or worse, trust if it happens to be
+//     valid JSON. Without the second, the rename itself can vanish.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_SUPPORT_ATOMICFILE_H
+#define VERIOPT_SUPPORT_ATOMICFILE_H
+
+#include <string>
+
+namespace veriopt {
+
+/// Atomically and durably replace \p Path with \p Payload. On failure the
+/// previous file (if any) is intact, the temporary is removed, and when
+/// \p Err is non-null it names the failing step.
+bool writeFileAtomic(const std::string &Path, const std::string &Payload,
+                     std::string *Err = nullptr);
+
+} // namespace veriopt
+
+#endif // VERIOPT_SUPPORT_ATOMICFILE_H

@@ -16,6 +16,12 @@ const char *faultSiteName(FaultSite S) {
     return "cache-miss";
   case FaultSite::CheckpointWrite:
     return "checkpoint-write";
+  case FaultSite::WorkerCrash:
+    return "worker-crash";
+  case FaultSite::WorkerHang:
+    return "worker-hang";
+  case FaultSite::WorkerCorrupt:
+    return "worker-corrupt-result";
   case FaultSite::NumSites:
     break;
   }

@@ -27,6 +27,9 @@ enum class FaultSite : unsigned {
   VerdictFlip,     ///< flip the final Equivalent/NotEquivalent verdict
   CacheMiss,       ///< force a verify-cache lookup to recompute
   CheckpointWrite, ///< fail a checkpoint write
+  WorkerCrash,     ///< abort() an evaluation worker process mid-shard
+  WorkerHang,      ///< hang a worker until the supervisor's deadline fires
+  WorkerCorrupt,   ///< make a worker emit a torn/garbage result file
   NumSites
 };
 

@@ -59,8 +59,9 @@ const std::vector<std::string> &knownTraceEventNames() {
       "grpo.step",        "grpo.generate",  "grpo.score",
       "verify.candidate", "verify.falsify", "verify.encode",
       "verify.sat",       "verify.tier",    "batch.verify",
-      "eval.run",         "eval.shard",     "opt.rule_fire",
-      "metric",           "metric.hist",
+      "eval.run",         "eval.shard",     "eval.driver",
+      "eval.worker",      "opt.rule_fire",  "metric",
+      "metric.hist",
   };
   return Names;
 }
@@ -110,6 +111,16 @@ const std::map<std::string, std::vector<ArgRule>> &requiredArgs() {
         {"begin", JsonValue::Kind::Number},
         {"end", JsonValue::Kind::Number},
         {"samples", JsonValue::Kind::Number}}},
+      {"eval.driver",
+       {{"shards", JsonValue::Kind::Number},
+        {"spawned", JsonValue::Kind::Number},
+        {"retried", JsonValue::Kind::Number},
+        {"salvaged", JsonValue::Kind::Number},
+        {"quarantined", JsonValue::Kind::Number}}},
+      {"eval.worker",
+       {{"shard", JsonValue::Kind::Number},
+        {"attempt", JsonValue::Kind::Number},
+        {"outcome", JsonValue::Kind::String}}},
       {"opt.rule_fire",
        {{"rule", JsonValue::Kind::String},
         {"count", JsonValue::Kind::Number}}},
@@ -288,6 +299,7 @@ std::string renderRunReport(const TraceLog &Log, unsigned TopN) {
   std::map<std::string, double> Metric; // from "metric" lines
   std::map<std::string, uint64_t> RuleFires;
   std::vector<const JsonValue *> EvalRuns, EvalShards;
+  std::vector<const JsonValue *> DriverRuns, DriverWorkers;
 
   for (const JsonValue &E : Log.Events) {
     const std::string N = name(E);
@@ -321,6 +333,10 @@ std::string renderRunReport(const TraceLog &Log, unsigned TopN) {
       EvalRuns.push_back(&E);
     } else if (N == "eval.shard") {
       EvalShards.push_back(&E);
+    } else if (N == "eval.driver") {
+      DriverRuns.push_back(&E);
+    } else if (N == "eval.worker") {
+      DriverWorkers.push_back(&E);
     } else if (N == "metric") {
       Metric[argStr(E, "key")] = argNum(E, "value");
     } else if (N == "opt.rule_fire") {
@@ -516,6 +532,31 @@ std::string renderRunReport(const TraceLog &Log, unsigned TopN) {
          << static_cast<uint64_t>(argNum(*E, "correct")) << "  inconclusive "
          << static_cast<uint64_t>(argNum(*E, "inconclusive")) << "  "
          << fmt("%.1f", durMs(*E)) << " ms\n";
+  }
+  OS << "\n";
+
+  //--- Evaluation driver (multi-process) ------------------------------------
+  OS << "-- evaluation driver (multi-process) -----------------------------\n";
+  if (DriverRuns.empty()) {
+    OS << "no eval.driver events in this trace\n";
+  } else {
+    for (const JsonValue *Run : DriverRuns)
+      OS << "  run: shards " << static_cast<uint64_t>(argNum(*Run, "shards"))
+         << "  spawned " << static_cast<uint64_t>(argNum(*Run, "spawned"))
+         << "  retried " << static_cast<uint64_t>(argNum(*Run, "retried"))
+         << "  salvaged " << static_cast<uint64_t>(argNum(*Run, "salvaged"))
+         << "  quarantined "
+         << static_cast<uint64_t>(argNum(*Run, "quarantined")) << "  ("
+         << fmt("%.1f", durMs(*Run)) << " ms total)\n";
+    // Worker launches bucketed by typed outcome: the fleet's failure mix
+    // at a glance.
+    std::map<std::string, uint64_t> Outcomes;
+    for (const JsonValue *W : DriverWorkers)
+      ++Outcomes[argStr(*W, "outcome")];
+    for (const auto &[Outcome, Count] : Outcomes)
+      OS << "  workers " << Outcome
+         << std::string(Outcome.size() < 24 ? 24 - Outcome.size() : 1, ' ')
+         << Count << "\n";
   }
   OS << "\n";
 

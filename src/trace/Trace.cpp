@@ -2,6 +2,7 @@
 
 #include "trace/Trace.h"
 
+#include "support/AtomicFile.h"
 #include "trace/Json.h"
 #include "trace/Metrics.h"
 
@@ -233,30 +234,10 @@ static void appendMetricsLines(std::string &Out,
   }
 }
 
-/// Checkpoint-style atomic file emission: write the whole payload to
-/// Path.tmp, then rename over Path. A kill mid-write leaves the previous
-/// file (or nothing) — never a torn JSONL.
-static bool writeFileAtomic(const std::string &Path,
-                            const std::string &Payload) {
-  const std::string Tmp = Path + ".tmp";
-  {
-    std::ofstream OS(Tmp, std::ios::binary | std::ios::trunc);
-    if (!OS)
-      return false;
-    OS << Payload;
-    OS.flush();
-    if (!OS) {
-      OS.close();
-      std::remove(Tmp.c_str());
-      return false;
-    }
-  }
-  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
-    std::remove(Tmp.c_str());
-    return false;
-  }
-  return true;
-}
+// File emission goes through the shared atomic+durable helper
+// (support/AtomicFile.h, compiled into this bottom layer): a kill — or a
+// power loss — mid-write leaves the previous file (or nothing), never a
+// torn or renamed-but-empty JSONL.
 
 bool TraceRecorder::writeJsonl(const std::string &Path,
                                const MetricsRegistry *Metrics) const {

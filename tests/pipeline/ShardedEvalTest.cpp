@@ -280,5 +280,155 @@ TEST(ShardedEval, MergingDeserializedShardsEqualsSerialOracle) {
   expectResultEq(Oracle, Merged);
 }
 
+//===--- Corruption hardening -------------------------------------------------//
+//
+// Result files come from worker processes that may be killed mid-write or
+// write garbage; every corruption class must be a *typed* parse error so
+// the driver treats the file as a failed attempt, never merges it.
+
+namespace {
+
+/// A small hand-built result whose serialization the corruption tests
+/// mutate. Internally consistent: 2 samples, 1 correct (a copy), 1
+/// semantic error.
+ShardEvalResult tinyResult() {
+  ShardEvalResult R;
+  R.Shard = {/*Index=*/0, /*Begin=*/0, /*End=*/2,
+             deriveShardSeed(0xE7A1, 0)};
+  R.Taxonomy.Total = 2;
+  R.Taxonomy.Correct = 1;
+  R.Taxonomy.CorrectCopies = 1;
+  R.Taxonomy.SemanticError = 1;
+  SampleEval A;
+  A.Status = VerifyStatus::Equivalent;
+  A.IsCopy = true;
+  A.LatO0 = 10.5;
+  A.LatOut = 10.5;
+  A.LatRef = 9.25;
+  SampleEval B;
+  B.Status = VerifyStatus::NotEquivalent;
+  B.UsedFallback = true;
+  B.LatO0 = 4.0;
+  B.LatOut = 4.0;
+  B.LatRef = 3.0;
+  R.PerSample = {A, B};
+  return R;
+}
+
+/// Expect parse failure and that the typed error mentions \p ErrNeedle.
+void expectRejects(const std::string &Json, const char *ErrNeedle,
+                   const char *What) {
+  ShardEvalResult Out;
+  std::string Err;
+  EXPECT_FALSE(shardResultFromJson(Json, Out, &Err)) << What;
+  EXPECT_NE(Err.find(ErrNeedle), std::string::npos)
+      << What << ": error was '" << Err << "'";
+}
+
+std::string replaced(std::string S, const std::string &From,
+                     const std::string &To) {
+  size_t P = S.find(From);
+  EXPECT_NE(P, std::string::npos) << "fixture drift: '" << From << "'";
+  if (P != std::string::npos)
+    S.replace(P, From.size(), To);
+  return S;
+}
+
+} // namespace
+
+TEST(ShardResultCorruption, FixtureParses) {
+  ShardEvalResult Out;
+  std::string Err;
+  ASSERT_TRUE(shardResultFromJson(shardResultToJson(tinyResult()), Out,
+                                  &Err))
+      << Err;
+}
+
+TEST(ShardResultCorruption, TruncationAtEveryPrefixIsTyped) {
+  // A worker killed mid-write leaves an arbitrary prefix. Every prefix
+  // must fail cleanly (the JSON parser or a consistency check), never
+  // crash or silently succeed.
+  std::string Json = shardResultToJson(tinyResult());
+  for (size_t Cut = 0; Cut + 1 < Json.size(); ++Cut) {
+    ShardEvalResult Out;
+    std::string Err;
+    EXPECT_FALSE(shardResultFromJson(Json.substr(0, Cut), Out, &Err))
+        << "prefix of length " << Cut << " parsed";
+  }
+}
+
+TEST(ShardResultCorruption, TrailingJunkRejected) {
+  std::string Json = shardResultToJson(tinyResult());
+  ShardEvalResult Out;
+  std::string Err;
+  EXPECT_FALSE(shardResultFromJson(Json + "{}", Out, &Err));
+  EXPECT_FALSE(shardResultFromJson(Json + "garbage", Out, &Err));
+}
+
+TEST(ShardResultCorruption, MalformedBitHexRejected) {
+  std::string Json = shardResultToJson(tinyResult());
+  // 10.5 == 0x4025000000000000.
+  expectRejects(replaced(Json, "\"4025000000000000\"", "\"4025\""),
+                "latency bit-hex", "short bit-hex");
+  expectRejects(replaced(Json, "\"4025000000000000\"",
+                         "\"402500000000000g\""),
+                "latency bit-hex", "non-hex character");
+  expectRejects(replaced(Json, "\"4025000000000000\"",
+                         "\"40250000000000000\""),
+                "latency bit-hex", "overlong bit-hex");
+  expectRejects(replaced(Json, "\"4025000000000000\"", "16.25"),
+                "latency bit-hex", "numeric instead of bit-hex");
+}
+
+TEST(ShardResultCorruption, MissingFieldsRejected) {
+  std::string Json = shardResultToJson(tinyResult());
+  expectRejects(replaced(Json, "\"taxonomy\"", "\"texonomy\""),
+                "taxonomy", "missing taxonomy");
+  expectRejects(replaced(Json, "\"per_sample\"", "\"par_sample\""),
+                "per_sample", "missing per_sample");
+  expectRejects(replaced(Json, "\"status\"", "\"sfatus\""), "status",
+                "missing sample status");
+  expectRejects(replaced(Json, "\"shard\"", "\"shart\""), "shard",
+                "missing shard");
+}
+
+TEST(ShardResultCorruption, NonIntegerAndNegativeCountsRejected) {
+  std::string Json = shardResultToJson(tinyResult());
+  // Bit rot / hand edits: counts must be nonnegative integers, not
+  // silently truncated doubles.
+  expectRejects(replaced(Json, "\"total\":2", "\"total\":2.5"), "taxonomy",
+                "fractional count");
+  expectRejects(replaced(Json, "\"total\":2", "\"total\":-2"), "taxonomy",
+                "negative count");
+  expectRejects(replaced(Json, "\"icount_o0\":0", "\"icount_o0\":1.5"),
+                "count fields", "fractional sample count");
+}
+
+TEST(ShardResultCorruption, InconsistentTaxonomyRejected) {
+  std::string Json = shardResultToJson(tinyResult());
+  // Valid JSON whose numbers lie: per_sample shorter than total claims...
+  expectRejects(replaced(Json, "\"total\":2", "\"total\":3"),
+                "does not match per_sample", "total vs per_sample");
+  // ...counts that do not sum...
+  expectRejects(replaced(Json, "\"semantic_error\":1",
+                         "\"semantic_error\":0"),
+                "sum", "counts do not sum");
+  // ...more copies than correct samples...
+  expectRejects(replaced(replaced(Json, "\"correct\":1", "\"correct\":0"),
+                         "\"semantic_error\":1", "\"semantic_error\":2"),
+                "correct_copies", "copies exceed correct");
+  // ...and an inverted shard range.
+  expectRejects(replaced(Json, "\"begin\":0,\"end\":2",
+                         "\"begin\":2,\"end\":0"),
+                "inverted", "inverted range");
+}
+
+TEST(ShardResultCorruption, UnknownStatusRejected) {
+  std::string Json = shardResultToJson(tinyResult());
+  expectRejects(replaced(Json, "\"status\":\"equivalent\"",
+                         "\"status\":\"excellent\""),
+                "status", "unknown status string");
+}
+
 } // namespace
 } // namespace veriopt

@@ -1,0 +1,197 @@
+//===- veriopt_worker.cpp - One-shard evaluation worker ---------------------===//
+//
+// The unit the crash-tolerant driver supervises: load one shard from a
+// manifest, rebuild the deterministic validation corpus, evaluate the
+// shard, and atomically+durably write shard_<index>.json into --out. The
+// driver decides everything else (retry, backoff, quarantine) from this
+// process's typed exit status and the validity of the result file.
+//
+//   veriopt-worker --manifest plan.json --shard 2 --out results/
+//                  [--valid-count N] [--dataset-seed S] [--attempt K]
+//
+// Typed exit codes (the supervisor's failure taxonomy):
+//   0  result written and valid
+//   2  usage error
+//   3  manifest unreadable or malformed
+//   4  shard index not present in the manifest
+//   5  result file could not be written
+//
+// Chaos-test fault injection (all routed through the seeded FaultInjector
+// worker sites so injections are counted and deterministic):
+//   --inject-crash-shard I     abort() while evaluating shard I
+//   --inject-hang-shard I      hang shard I until the driver's deadline
+//   --inject-corrupt-result I  write a torn/garbage result file, exit 0
+//   --inject-flaky-shard I     crash shard I on attempt 1 only (retry must
+//                              salvage it)
+//   --fault-seed S             FaultInjector seed (default 0xFA11)
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Evaluation.h"
+#include "support/AtomicFile.h"
+#include "support/FaultInjector.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace veriopt;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --manifest <plan.json> --shard <index> --out <dir>\n"
+      "          [--valid-count N] [--dataset-seed S] [--attempt K]\n"
+      "          [--inject-crash-shard I] [--inject-hang-shard I]\n"
+      "          [--inject-corrupt-result I] [--inject-flaky-shard I]\n"
+      "          [--fault-seed S]\n",
+      Argv0);
+  return 2;
+}
+
+bool contains(const std::vector<unsigned> &V, unsigned X) {
+  for (unsigned E : V)
+    if (E == X)
+      return true;
+  return false;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string ManifestPath, OutDir;
+  int ShardIdx = -1;
+  unsigned ValidCount = 24, Attempt = 1;
+  uint64_t DatasetSeed = 2026, FaultSeed = 0xFA11;
+  std::vector<unsigned> CrashShards, HangShards, CorruptShards, FlakyShards;
+
+  auto intArg = [&](int &I, const char *Name, long &Out) {
+    if (std::strcmp(argv[I], Name) != 0 || I + 1 >= argc)
+      return false;
+    Out = std::atol(argv[++I]);
+    return true;
+  };
+  for (int I = 1; I < argc; ++I) {
+    long V = 0;
+    if (std::strcmp(argv[I], "--manifest") == 0 && I + 1 < argc)
+      ManifestPath = argv[++I];
+    else if (std::strcmp(argv[I], "--out") == 0 && I + 1 < argc)
+      OutDir = argv[++I];
+    else if (intArg(I, "--shard", V))
+      ShardIdx = static_cast<int>(V);
+    else if (intArg(I, "--valid-count", V))
+      ValidCount = static_cast<unsigned>(V);
+    else if (intArg(I, "--dataset-seed", V))
+      DatasetSeed = static_cast<uint64_t>(V);
+    else if (intArg(I, "--attempt", V))
+      Attempt = static_cast<unsigned>(V);
+    else if (intArg(I, "--fault-seed", V))
+      FaultSeed = static_cast<uint64_t>(V);
+    else if (intArg(I, "--inject-crash-shard", V))
+      CrashShards.push_back(static_cast<unsigned>(V));
+    else if (intArg(I, "--inject-hang-shard", V))
+      HangShards.push_back(static_cast<unsigned>(V));
+    else if (intArg(I, "--inject-corrupt-result", V))
+      CorruptShards.push_back(static_cast<unsigned>(V));
+    else if (intArg(I, "--inject-flaky-shard", V))
+      FlakyShards.push_back(static_cast<unsigned>(V));
+    else
+      return usage(argv[0]);
+  }
+  if (ManifestPath.empty() || OutDir.empty() || ShardIdx < 0)
+    return usage(argv[0]);
+
+  std::vector<EvalShard> Plan;
+  {
+    std::ifstream IS(ManifestPath, std::ios::binary);
+    if (!IS) {
+      std::fprintf(stderr, "veriopt-worker: cannot open manifest %s\n",
+                   ManifestPath.c_str());
+      return 3;
+    }
+    std::ostringstream SS;
+    SS << IS.rdbuf();
+    std::string Err;
+    if (!shardManifestFromJson(SS.str(), Plan, &Err)) {
+      std::fprintf(stderr, "veriopt-worker: malformed manifest: %s\n",
+                   Err.c_str());
+      return 3;
+    }
+  }
+  const EvalShard *Shard = nullptr;
+  for (const EvalShard &S : Plan)
+    if (S.Index == static_cast<unsigned>(ShardIdx))
+      Shard = &S;
+  if (!Shard) {
+    std::fprintf(stderr, "veriopt-worker: shard %d not in manifest (%zu "
+                 "shards)\n",
+                 ShardIdx, Plan.size());
+    return 4;
+  }
+
+  // Chaos faults, routed through the seeded injector sites so they are
+  // deterministic, counted, and share the production fault taxonomy. The
+  // flags arm a site at rate 1.0 for the named shard; the decision is
+  // still shouldInject(site, shard) so counters see it.
+  FaultInjector FI(FaultSeed);
+  const unsigned Idx = Shard->Index;
+  const bool Flaky = contains(FlakyShards, Idx) && Attempt == 1;
+  if (contains(CrashShards, Idx) || Flaky)
+    FI.enable(FaultSite::WorkerCrash, 1.0);
+  if (contains(HangShards, Idx))
+    FI.enable(FaultSite::WorkerHang, 1.0);
+  if (contains(CorruptShards, Idx))
+    FI.enable(FaultSite::WorkerCorrupt, 1.0);
+
+  if (FI.shouldInject(FaultSite::WorkerHang, Idx)) {
+    std::fprintf(stderr, "veriopt-worker: injected hang on shard %u\n", Idx);
+    for (;;)
+      ::pause(); // until the supervisor's SIGKILL escalation
+  }
+  if (FI.shouldInject(FaultSite::WorkerCrash, Idx)) {
+    std::fprintf(stderr, "veriopt-worker: injected crash on shard %u "
+                 "(attempt %u)\n",
+                 Idx, Attempt);
+    std::abort();
+  }
+
+  DatasetOptions DO;
+  DO.TrainCount = 0;
+  DO.ValidCount = ValidCount;
+  DO.Seed = DatasetSeed;
+  Dataset DS = buildDataset(DO);
+  RewritePolicyModel Model(presetQwen3B());
+
+  ShardEvalResult R = evaluateEvalShard(Model, DS.Valid, PromptMode::Generic,
+                                        VerifyOptions(), *Shard);
+
+  const std::string Path =
+      OutDir + "/shard_" + std::to_string(Idx) + ".json";
+  if (FI.shouldInject(FaultSite::WorkerCorrupt, Idx)) {
+    // Simulate the torn-write crash the atomic discipline normally
+    // prevents: a truncated JSON prefix, written in place, then exit 0 as
+    // if everything were fine. The driver must not trust it.
+    std::fprintf(stderr,
+                 "veriopt-worker: injected corrupt result on shard %u\n",
+                 Idx);
+    std::ofstream OS(Path, std::ios::binary | std::ios::trunc);
+    OS << shardResultToJson(R).substr(0, 40);
+    return 0;
+  }
+
+  std::string WErr;
+  if (!writeFileAtomic(Path, shardResultToJson(R), &WErr)) {
+    std::fprintf(stderr, "veriopt-worker: cannot write %s: %s\n",
+                 Path.c_str(), WErr.c_str());
+    return 5;
+  }
+  return 0;
+}
