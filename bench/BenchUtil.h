@@ -13,7 +13,7 @@
 
 #include "pipeline/Evaluation.h"
 #include "pipeline/Pipeline.h"
-#include "trace/Json.h"
+#include "report/BenchJson.h"
 #include "trace/Metrics.h"
 
 #include <cstdio>
@@ -78,17 +78,16 @@ inline void taxonomyRow(const char *Name, const VerifyTaxonomy &T) {
 /// the working directory. Every bench emits the same schema — the
 /// process-wide MetricsRegistry snapshot under "metrics", with
 /// bench-specific headline numbers published as `bench.*` gauges — so
-/// multi-run comparison tooling never needs per-binary parsers:
-///
-///   {"bench":"<name>",
-///    "metrics":{"counters":{...},"gauges":{...},"histograms":{...}}}
+/// multi-run comparison tooling never needs per-binary parsers. The schema
+/// (and its versioning) is owned by src/report/BenchJson.h, which is also
+/// the validator behind `report --bench-diff`; emitting through it keeps
+/// writer and checker from drifting.
 inline bool writeBenchJson(const std::string &Name) {
   const std::string Path = "BENCH_" + Name + ".json";
   std::ofstream OS(Path, std::ios::binary | std::ios::trunc);
   if (!OS)
     return false;
-  OS << "{\"bench\":" << jsonString(Name)
-     << ",\"metrics\":" << MetricsRegistry::global().toJson() << "}\n";
+  OS << benchReportToJson(Name, MetricsRegistry::global().snapshot());
   OS.flush();
   if (OS)
     std::printf("\nwrote %s\n", Path.c_str());

@@ -11,6 +11,7 @@
 #include "verify/VerifyCache.h"
 
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 using namespace veriopt;
@@ -74,16 +75,21 @@ void row(const char *Name, const RunResult &R, double BaselineMs) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  // Tiny mode: the CI determinism + bench-regression gate. Small fixed
+  // corpus, fixed thread counts — every deterministic instrument in the
+  // BENCH json must reproduce bit-for-bit across machines.
+  const bool Tiny = Argc > 1 && std::strcmp(Argv[1], "--tiny") == 0;
+
   header("Rollout-scoring wall clock: serial vs. threads vs. verify cache",
          "the PR-1 tentpole; not a paper figure");
 
   DatasetOptions D;
-  D.TrainCount = 16 * scale();
+  D.TrainCount = Tiny ? 4 : 16 * scale();
   D.ValidCount = 0;
   D.Seed = 2026;
   Dataset DS = buildDataset(D);
-  unsigned Steps = 30 * scale();
+  unsigned Steps = Tiny ? 6 : 30 * scale();
   std::printf("corpus %zu prompts, %u steps, group 8 x 4 prompts/step\n\n",
               DS.Train.size(), Steps);
 

@@ -1,0 +1,387 @@
+//===- BenchDiff.cpp - Bench-JSON regression comparison -----------------------//
+
+#include "report/BenchDiff.h"
+
+#include "trace/Json.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace veriopt {
+
+bool globMatch(const std::string &Pattern, const std::string &Name) {
+  // Iterative glob with '*' backtracking; no other metacharacters.
+  size_t P = 0, N = 0, Star = std::string::npos, Mark = 0;
+  while (N < Name.size()) {
+    if (P < Pattern.size() && (Pattern[P] == Name[N])) {
+      ++P;
+      ++N;
+    } else if (P < Pattern.size() && Pattern[P] == '*') {
+      Star = P++;
+      Mark = N;
+    } else if (Star != std::string::npos) {
+      P = Star + 1;
+      N = ++Mark;
+    } else {
+      return false;
+    }
+  }
+  while (P < Pattern.size() && Pattern[P] == '*')
+    ++P;
+  return P == Pattern.size();
+}
+
+namespace {
+
+bool fail(std::string *Err, const std::string &Why) {
+  if (Err)
+    *Err = Why;
+  return false;
+}
+
+const ToleranceRule *findRule(const ToleranceSpec &Tol,
+                              const std::string &Key) {
+  for (const ToleranceRule &R : Tol.Rules)
+    if (globMatch(R.Match, Key))
+      return &R;
+  return nullptr;
+}
+
+std::string fmtDouble(double V) { return jsonNumber(V); }
+
+std::string fmtGauge(double V) {
+  if (std::isnan(V))
+    return "nan";
+  return fmtDouble(V);
+}
+
+/// Equality with NaN==NaN: a NaN baseline matches a NaN current value.
+bool gaugeEqual(double A, double B) {
+  if (std::isnan(A) || std::isnan(B))
+    return std::isnan(A) && std::isnan(B);
+  return A == B;
+}
+
+bool withinBand(double Base, double Cur, const ToleranceRule &R) {
+  if (std::isnan(Base) || std::isnan(Cur))
+    return false; // NaN never lands inside a numeric band
+  double Band = std::max(R.Abs, R.Rel * std::fabs(Base));
+  return std::fabs(Cur - Base) <= Band;
+}
+
+std::string bandText(double Base, const ToleranceRule &R) {
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf), "band +-%s",
+                fmtDouble(std::max(R.Abs, R.Rel * std::fabs(Base))).c_str());
+  return Buf;
+}
+
+std::string histText(const BenchReport::Hist &H) {
+  std::string Out = "count=" + std::to_string(H.Count) +
+                    " sum=" + fmtDouble(H.Sum) + " counts=[";
+  for (size_t I = 0; I < H.Counts.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += std::to_string(H.Counts[I]);
+  }
+  Out += "]";
+  return Out;
+}
+
+bool histExactEqual(const BenchReport::Hist &A, const BenchReport::Hist &B) {
+  return A.Bounds == B.Bounds && A.Counts == B.Counts && A.Count == B.Count &&
+         A.Sum == B.Sum;
+}
+
+template <typename MapT>
+std::set<std::string> unionKeys(const MapT &A, const MapT &B) {
+  std::set<std::string> Keys;
+  for (const auto &[K, V] : A)
+    Keys.insert(K);
+  for (const auto &[K, V] : B)
+    Keys.insert(K);
+  return Keys;
+}
+
+void record(BenchDiff &Out, BenchFinding F) {
+  switch (F.V) {
+  case BenchFinding::Verdict::Ok:
+    ++Out.Ok;
+    break;
+  case BenchFinding::Verdict::WithinBand:
+    ++Out.WithinBand;
+    break;
+  case BenchFinding::Verdict::Ignored:
+    ++Out.Ignored;
+    break;
+  case BenchFinding::Verdict::Regression:
+    ++Out.Regressions;
+    break;
+  }
+  Out.Findings.push_back(std::move(F));
+}
+
+/// Shared missing-key handling: Ignore rules silence it, anything else is
+/// a regression (schema drift must fail CI).
+bool handleMissing(BenchDiff &Out, BenchFinding::Kind K,
+                   const std::string &Key, bool InBase, bool InCur,
+                   const std::string &PresentText, const ToleranceRule *R) {
+  if (InBase == InCur)
+    return false;
+  BenchFinding F;
+  F.K = K;
+  F.Key = Key;
+  F.BaseText = InBase ? PresentText : "-";
+  F.CurText = InCur ? PresentText : "-";
+  if (R && R->Pol == ToleranceRule::Policy::Ignore) {
+    F.V = BenchFinding::Verdict::Ignored;
+  } else {
+    F.V = BenchFinding::Verdict::Regression;
+    F.Why = InBase ? "present in baseline, missing in current"
+                   : "missing in baseline, present in current";
+  }
+  record(Out, std::move(F));
+  return true;
+}
+
+} // namespace
+
+bool parseToleranceSpec(const std::string &Text, ToleranceSpec &Out,
+                        std::string *Err) {
+  Out = ToleranceSpec();
+  JsonValue Doc;
+  std::string JErr;
+  if (!parseJson(Text, Doc, &JErr))
+    return fail(Err, "malformed JSON: " + JErr);
+  if (!Doc.isObject())
+    return fail(Err, "top level is not a JSON object");
+  const JsonValue *Schema = Doc.get("schema");
+  if (!Schema || !Schema->isNumber() || Schema->number() != 1)
+    return fail(Err, "missing 'schema': 1");
+  const JsonValue *Rules = Doc.get("rules");
+  if (!Rules || !Rules->isArray())
+    return fail(Err, "missing 'rules' array");
+  size_t Idx = 0;
+  for (const JsonValue &RV : Rules->array()) {
+    std::string Where = "rule #" + std::to_string(Idx++);
+    if (!RV.isObject())
+      return fail(Err, Where + " is not an object");
+    ToleranceRule R;
+    const JsonValue *Match = RV.get("match");
+    if (!Match || !Match->isString() || Match->str().empty())
+      return fail(Err, Where + " missing nonempty string 'match'");
+    R.Match = Match->str();
+    const JsonValue *Policy = RV.get("policy");
+    if (!Policy || !Policy->isString())
+      return fail(Err, Where + " missing string 'policy'");
+    if (Policy->str() == "exact")
+      R.Pol = ToleranceRule::Policy::Exact;
+    else if (Policy->str() == "band")
+      R.Pol = ToleranceRule::Policy::Band;
+    else if (Policy->str() == "ignore")
+      R.Pol = ToleranceRule::Policy::Ignore;
+    else
+      return fail(Err, Where + " has unknown policy '" + Policy->str() +
+                           "' (want exact|band|ignore)");
+    if (const JsonValue *Rel = RV.get("rel")) {
+      if (!Rel->isNumber() || Rel->number() < 0)
+        return fail(Err, Where + " 'rel' must be a non-negative number");
+      R.Rel = Rel->number();
+    }
+    if (const JsonValue *Abs = RV.get("abs")) {
+      if (!Abs->isNumber() || Abs->number() < 0)
+        return fail(Err, Where + " 'abs' must be a non-negative number");
+      R.Abs = Abs->number();
+    }
+    if (R.Pol == ToleranceRule::Policy::Band && R.Rel == 0 && R.Abs == 0)
+      return fail(Err, Where + " is 'band' but sets neither 'rel' nor 'abs'");
+    Out.Rules.push_back(std::move(R));
+  }
+  return true;
+}
+
+bool loadToleranceSpec(const std::string &Path, ToleranceSpec &Out,
+                       std::string *Err) {
+  std::ifstream IS(Path, std::ios::binary);
+  if (!IS)
+    return fail(Err, "cannot open " + Path);
+  std::ostringstream SS;
+  SS << IS.rdbuf();
+  std::string PErr;
+  if (!parseToleranceSpec(SS.str(), Out, &PErr))
+    return fail(Err, Path + ": " + PErr);
+  return true;
+}
+
+bool compareBenchReports(const BenchReport &Base, const BenchReport &Cur,
+                         const ToleranceSpec &Tol, BenchDiff &Out,
+                         std::string *Err) {
+  Out = BenchDiff();
+  if (Base.Bench != Cur.Bench)
+    return fail(Err, "bench name mismatch: baseline is '" + Base.Bench +
+                         "', current is '" + Cur.Bench + "'");
+  Out.Bench = Base.Bench;
+
+  for (const std::string &Key : unionKeys(Base.Counters, Cur.Counters)) {
+    const ToleranceRule *R = findRule(Tol, Key);
+    auto BI = Base.Counters.find(Key), CI = Cur.Counters.find(Key);
+    bool InBase = BI != Base.Counters.end(), InCur = CI != Cur.Counters.end();
+    std::string Present =
+        std::to_string(InBase ? BI->second : CI->second);
+    if (handleMissing(Out, BenchFinding::Kind::Counter, Key, InBase, InCur,
+                      Present, R))
+      continue;
+    BenchFinding F;
+    F.K = BenchFinding::Kind::Counter;
+    F.Key = Key;
+    F.BaseText = std::to_string(BI->second);
+    F.CurText = std::to_string(CI->second);
+    if (R && R->Pol == ToleranceRule::Policy::Ignore) {
+      F.V = BenchFinding::Verdict::Ignored;
+    } else if (BI->second == CI->second) {
+      F.V = BenchFinding::Verdict::Ok;
+    } else if (R && R->Pol == ToleranceRule::Policy::Band &&
+               withinBand(static_cast<double>(BI->second),
+                          static_cast<double>(CI->second), *R)) {
+      F.V = BenchFinding::Verdict::WithinBand;
+      F.Why = bandText(static_cast<double>(BI->second), *R);
+    } else {
+      F.V = BenchFinding::Verdict::Regression;
+      F.Why = R && R->Pol == ToleranceRule::Policy::Band
+                  ? "outside " + bandText(static_cast<double>(BI->second), *R)
+                  : "exact mismatch";
+    }
+    record(Out, std::move(F));
+  }
+
+  for (const std::string &Key : unionKeys(Base.Gauges, Cur.Gauges)) {
+    const ToleranceRule *R = findRule(Tol, Key);
+    auto BI = Base.Gauges.find(Key), CI = Cur.Gauges.find(Key);
+    bool InBase = BI != Base.Gauges.end(), InCur = CI != Cur.Gauges.end();
+    std::string Present = fmtGauge(InBase ? BI->second : CI->second);
+    if (handleMissing(Out, BenchFinding::Kind::Gauge, Key, InBase, InCur,
+                      Present, R))
+      continue;
+    BenchFinding F;
+    F.K = BenchFinding::Kind::Gauge;
+    F.Key = Key;
+    F.BaseText = fmtGauge(BI->second);
+    F.CurText = fmtGauge(CI->second);
+    if (R && R->Pol == ToleranceRule::Policy::Ignore) {
+      F.V = BenchFinding::Verdict::Ignored;
+    } else if (gaugeEqual(BI->second, CI->second)) {
+      F.V = BenchFinding::Verdict::Ok;
+    } else if (R && R->Pol == ToleranceRule::Policy::Band &&
+               withinBand(BI->second, CI->second, *R)) {
+      F.V = BenchFinding::Verdict::WithinBand;
+      F.Why = bandText(BI->second, *R);
+    } else {
+      F.V = BenchFinding::Verdict::Regression;
+      F.Why = R && R->Pol == ToleranceRule::Policy::Band
+                  ? "outside " + bandText(BI->second, *R)
+                  : "exact mismatch";
+    }
+    record(Out, std::move(F));
+  }
+
+  for (const std::string &Key : unionKeys(Base.Histograms, Cur.Histograms)) {
+    const ToleranceRule *R = findRule(Tol, Key);
+    auto BI = Base.Histograms.find(Key), CI = Cur.Histograms.find(Key);
+    bool InBase = BI != Base.Histograms.end(),
+         InCur = CI != Cur.Histograms.end();
+    std::string Present = histText(InBase ? BI->second : CI->second);
+    if (handleMissing(Out, BenchFinding::Kind::Histogram, Key, InBase, InCur,
+                      Present, R))
+      continue;
+    BenchFinding F;
+    F.K = BenchFinding::Kind::Histogram;
+    F.Key = Key;
+    F.BaseText = histText(BI->second);
+    F.CurText = histText(CI->second);
+    if (R && R->Pol == ToleranceRule::Policy::Ignore) {
+      F.V = BenchFinding::Verdict::Ignored;
+    } else if (R && R->Pol == ToleranceRule::Policy::Band) {
+      // Band on histograms: the bucket layout must match, the total count
+      // is banded, and the per-bucket spread and sum (timing-shaped) are
+      // free to move.
+      if (BI->second.Bounds != CI->second.Bounds) {
+        F.V = BenchFinding::Verdict::Regression;
+        F.Why = "bucket bounds differ";
+      } else if (withinBand(static_cast<double>(BI->second.Count),
+                            static_cast<double>(CI->second.Count), *R)) {
+        F.V = BI->second.Count == CI->second.Count
+                  ? BenchFinding::Verdict::Ok
+                  : BenchFinding::Verdict::WithinBand;
+        if (F.V == BenchFinding::Verdict::WithinBand)
+          F.Why = "count " + bandText(static_cast<double>(BI->second.Count), *R);
+      } else {
+        F.V = BenchFinding::Verdict::Regression;
+        F.Why = "count outside " +
+                bandText(static_cast<double>(BI->second.Count), *R);
+      }
+    } else if (histExactEqual(BI->second, CI->second)) {
+      F.V = BenchFinding::Verdict::Ok;
+    } else {
+      F.V = BenchFinding::Verdict::Regression;
+      F.Why = "exact mismatch";
+    }
+    record(Out, std::move(F));
+  }
+  return true;
+}
+
+namespace {
+
+const char *kindName(BenchFinding::Kind K) {
+  switch (K) {
+  case BenchFinding::Kind::Counter:
+    return "counter";
+  case BenchFinding::Kind::Gauge:
+    return "gauge";
+  case BenchFinding::Kind::Histogram:
+    return "histogram";
+  }
+  return "?";
+}
+
+const char *verdictName(BenchFinding::Verdict V) {
+  switch (V) {
+  case BenchFinding::Verdict::Ok:
+    return "ok";
+  case BenchFinding::Verdict::WithinBand:
+    return "within-band";
+  case BenchFinding::Verdict::Ignored:
+    return "ignored";
+  case BenchFinding::Verdict::Regression:
+    return "REGRESSION";
+  }
+  return "?";
+}
+
+} // namespace
+
+std::string renderBenchDiff(const BenchDiff &D, bool Verbose) {
+  std::ostringstream OS;
+  OS << "=== Bench comparison: " << D.Bench << " ===\n";
+  OS << "instruments: " << D.Findings.size() << "  ok: " << D.Ok
+     << "  within-band: " << D.WithinBand << "  ignored: " << D.Ignored
+     << "  regressions: " << D.Regressions << "\n";
+  for (const BenchFinding &F : D.Findings) {
+    bool Print = Verbose || F.V == BenchFinding::Verdict::Regression;
+    if (!Print)
+      continue;
+    OS << "  [" << verdictName(F.V) << "] " << kindName(F.K) << " " << F.Key
+       << ": base=" << F.BaseText << " cur=" << F.CurText;
+    if (!F.Why.empty())
+      OS << "  (" << F.Why << ")";
+    OS << "\n";
+  }
+  OS << (D.hasRegression() ? "RESULT: REGRESSION\n" : "RESULT: PASS\n");
+  return OS.str();
+}
+
+} // namespace veriopt

@@ -1,0 +1,102 @@
+//===- BenchDiff.h - Bench-JSON regression comparison ------------*- C++ -*-=//
+//
+// The CI regression gate (`report --bench-diff BASELINE.json CURRENT.json
+// --tolerance-file T.json`): compares two schema-valid BENCH_<name>.json
+// files instrument by instrument, applying per-gauge tolerance bands from a
+// rule file, and classifies every key as ok / within-band / ignored /
+// REGRESSION. The driver exits nonzero (exit code 3) iff any key
+// regresses, so CI can gate on committed baselines (bench/baselines/).
+//
+// Tolerance file (first matching rule wins; '*' in `match` is a wildcard):
+//
+//   {"schema": 1,
+//    "rules": [
+//      {"match": "bench.*_ms",   "policy": "ignore"},          // timings
+//      {"match": "bench.speedup*", "policy": "ignore"},
+//      {"match": "verify.cache.*", "policy": "band",
+//       "rel": 0.10, "abs": 8},   // pass iff |cur-base| <= max(abs, rel*|base|)
+//      {"match": "*",            "policy": "exact"}]}          // default
+//
+// With no rule file (or no matching rule) every key is compared exactly.
+// A key present on only one side is a regression unless its rule says
+// "ignore" — schema drift must fail CI, not rot silently. For histograms,
+// "exact" compares bounds/counts/count/sum bit-for-bit; "band" requires
+// identical bounds and bands the total count, ignoring the per-bucket
+// spread and sum (those encode wall-clock timing). NaN gauges compare
+// equal to NaN (a NaN baseline does not poison every run).
+//
+// Deterministic throughout: findings are ordered by (section, key), so the
+// rendered report is golden-testable. Workflow doc: docs/COMPARISON.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_REPORT_BENCHDIFF_H
+#define VERIOPT_REPORT_BENCHDIFF_H
+
+#include "report/BenchJson.h"
+
+#include <string>
+#include <vector>
+
+namespace veriopt {
+
+/// One tolerance rule. Policies: Exact (bit-for-bit), Band (numeric
+/// tolerance), Ignore (never a finding).
+struct ToleranceRule {
+  enum class Policy { Exact, Band, Ignore };
+  std::string Match; ///< glob over instrument names ('*' wildcard)
+  Policy Pol = Policy::Exact;
+  double Rel = 0; ///< band half-width as a fraction of |baseline|
+  double Abs = 0; ///< band half-width, absolute
+};
+
+struct ToleranceSpec {
+  std::vector<ToleranceRule> Rules; ///< first match wins; default Exact
+};
+
+/// Parse a tolerance file. Typed error messages on malformed rules.
+bool parseToleranceSpec(const std::string &Text, ToleranceSpec &Out,
+                        std::string *Err);
+bool loadToleranceSpec(const std::string &Path, ToleranceSpec &Out,
+                       std::string *Err);
+
+/// Simple glob: '*' matches any (possibly empty) substring.
+bool globMatch(const std::string &Pattern, const std::string &Name);
+
+/// The comparison verdict for one instrument.
+struct BenchFinding {
+  enum class Kind { Counter, Gauge, Histogram };
+  enum class Verdict {
+    Ok,         ///< equal (or both NaN)
+    WithinBand, ///< differs, inside the rule's tolerance band
+    Ignored,    ///< rule policy Ignore
+    Regression, ///< differs beyond tolerance, or present on only one side
+  };
+  Kind K = Kind::Gauge;
+  Verdict V = Verdict::Ok;
+  std::string Key;
+  std::string BaseText, CurText; ///< rendered values ("-" when absent)
+  std::string Why;               ///< regression/band explanation
+};
+
+struct BenchDiff {
+  std::string Bench; ///< shared bench name
+  std::vector<BenchFinding> Findings; ///< ordered by (kind, key)
+  size_t Regressions = 0, WithinBand = 0, Ignored = 0, Ok = 0;
+  bool hasRegression() const { return Regressions != 0; }
+};
+
+/// Compare \p Cur against \p Base under \p Tol. Fails (returns false with
+/// \p Err) only on a bench-name mismatch — comparing different benches is
+/// an operator error, not a regression.
+bool compareBenchReports(const BenchReport &Base, const BenchReport &Cur,
+                         const ToleranceSpec &Tol, BenchDiff &Out,
+                         std::string *Err);
+
+/// Render the comparison. \p Verbose includes ok/within-band rows;
+/// otherwise only regressions and the summary counts are printed.
+std::string renderBenchDiff(const BenchDiff &D, bool Verbose = false);
+
+} // namespace veriopt
+
+#endif // VERIOPT_REPORT_BENCHDIFF_H

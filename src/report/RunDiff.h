@@ -1,0 +1,57 @@
+//===- RunDiff.h - A/B comparison of two traced runs -------------*- C++ -*-=//
+//
+// Diffs two aggregated runs (`report --diff A.jsonl B.jsonl`), honoring the
+// trace plane split (docs/OBSERVABILITY.md): the *deterministic plane* —
+// the multiset of (name, ph, args) — is checked for exact identity, which
+// two same-seed runs must satisfy at any thread count; everything
+// wall-clock-derived (per-span times) is reported as a *timing* delta that
+// is expected to move between runs and machines.
+//
+// Sections: deterministic-plane identity, per-stage reward-curve deltas,
+// verdict-mix and DiagKind shifts, retry-ladder deltas, cache-efficacy
+// deltas, and per-span wall-time regressions. All orderings are
+// deterministic functions of the two inputs, so diff reports are
+// golden-testable (tests/report/DiffTest.cpp). The workflow doc is
+// docs/COMPARISON.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_REPORT_RUNDIFF_H
+#define VERIOPT_REPORT_RUNDIFF_H
+
+#include "report/RunSummary.h"
+
+#include <string>
+
+namespace veriopt {
+
+/// The comparison of two runs, precomputed from their summaries.
+struct RunDiff {
+  RunSummary A, B;
+
+  /// Deterministic-plane delta: canonical (name, ph, args) keys whose
+  /// multiplicity differs, with the A/B counts. Empty iff the planes are
+  /// identical — the contract for two same-seed runs.
+  struct KeyDelta {
+    std::string Key;
+    uint64_t CountA = 0, CountB = 0;
+  };
+  std::vector<KeyDelta> DeterministicDeltas; ///< sorted by key
+  uint64_t DeterministicOnlyA = 0;           ///< summed surplus multiplicity
+  uint64_t DeterministicOnlyB = 0;
+
+  bool deterministicPlaneIdentical() const {
+    return DeterministicDeltas.empty();
+  }
+};
+
+/// Compute the diff of two (schema-valid) aggregated runs.
+RunDiff diffRuns(RunSummary A, RunSummary B);
+
+/// Render the diff report. \p TopN bounds the long tables (span rows,
+/// deterministic-delta examples).
+std::string renderRunDiff(const RunDiff &D, unsigned TopN = 10);
+
+} // namespace veriopt
+
+#endif // VERIOPT_REPORT_RUNDIFF_H

@@ -1,0 +1,47 @@
+//===- TraceData.h - Trace loading and schema validation ---------*- C++ -*-=//
+//
+// The load/validate half of the report library: parses a run's JSONL trace
+// (TraceRecorder::writeJsonl output) and validates it against the documented
+// schema (docs/OBSERVABILITY.md — field types, the known-event-name
+// registry, and per-event required args). Aggregation lives in
+// RunSummary.h, rendering in RunReport.h / RunDiff.h.
+//
+// Lives in a library (not the tool) so tests can exercise every failure
+// mode and CI can validate without shelling out.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_REPORT_TRACEDATA_H
+#define VERIOPT_REPORT_TRACEDATA_H
+
+#include "trace/Json.h"
+
+#include <string>
+#include <vector>
+
+namespace veriopt {
+
+/// A parsed trace: one JsonValue per JSONL line, in file order.
+struct TraceLog {
+  std::vector<JsonValue> Events;
+};
+
+/// Parse JSONL text into \p Out. Fails on the first malformed line (a
+/// truncated tail line is a named parse error, never a crash).
+bool parseTraceJsonl(const std::string &Text, TraceLog &Out,
+                     std::string *Err);
+
+/// Read + parse a JSONL file.
+bool loadTraceJsonl(const std::string &Path, TraceLog &Out, std::string *Err);
+
+/// Validate every event against the documented schema. On failure \p Err
+/// names the first offending line (1-based) and the violated rule.
+bool validateTraceLog(const TraceLog &Log, std::string *Err);
+
+/// The documented event-name registry (validation rejects unknown names so
+/// schema drift fails CI instead of rotting silently).
+const std::vector<std::string> &knownTraceEventNames();
+
+} // namespace veriopt
+
+#endif // VERIOPT_REPORT_TRACEDATA_H

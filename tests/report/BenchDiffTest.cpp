@@ -1,0 +1,293 @@
+//===- BenchDiffTest.cpp - BENCH json schema + regression comparator -------===//
+
+#include "report/BenchDiff.h"
+#include "report/BenchJson.h"
+
+#include "trace/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace veriopt {
+namespace {
+
+BenchReport parseOk(const std::string &Text) {
+  BenchReport R;
+  std::string Err;
+  EXPECT_TRUE(parseBenchJson(Text, R, &Err)) << Err;
+  return R;
+}
+
+std::string parseErr(const std::string &Text) {
+  BenchReport R;
+  std::string Err;
+  EXPECT_FALSE(parseBenchJson(Text, R, &Err)) << "expected a schema failure";
+  return Err;
+}
+
+/// A small valid document builders below mutate.
+std::string doc(const std::string &Gauges,
+                const std::string &Counters = R"("verify.queries":12)",
+                const std::string &Hists = "") {
+  return R"({"bench":"demo","schema":1,"metrics":{"counters":{)" + Counters +
+         R"(},"gauges":{)" + Gauges + R"(},"histograms":{)" + Hists + "}}}";
+}
+
+ToleranceSpec tol(const std::string &Rules) {
+  ToleranceSpec T;
+  std::string Err;
+  EXPECT_TRUE(
+      parseToleranceSpec(R"({"schema":1,"rules":[)" + Rules + "]}", T, &Err))
+      << Err;
+  return T;
+}
+
+BenchDiff diffOk(const BenchReport &Base, const BenchReport &Cur,
+                 const ToleranceSpec &T = ToleranceSpec{}) {
+  BenchDiff D;
+  std::string Err;
+  EXPECT_TRUE(compareBenchReports(Base, Cur, T, D, &Err)) << Err;
+  return D;
+}
+
+//===--- Schema validation -------------------------------------------------===//
+
+TEST(BenchJson, WriterOutputValidates) {
+  MetricsRegistry Reg;
+  Reg.counter("verify.queries").inc(7);
+  Reg.gauge("bench.speedup").set(3.25);
+  Reg.histogram("verify.latency_ms", {1, 4, 16}).observe(2.5);
+  BenchReport R = parseOk(benchReportToJson("demo", Reg.snapshot()));
+  EXPECT_EQ(R.Bench, "demo");
+  EXPECT_EQ(R.Schema, BenchJsonSchemaVersion);
+  EXPECT_EQ(R.Counters.at("verify.queries"), 7u);
+  EXPECT_DOUBLE_EQ(R.Gauges.at("bench.speedup"), 3.25);
+  const BenchReport::Hist &H = R.Histograms.at("verify.latency_ms");
+  EXPECT_EQ(H.Count, 1u);
+  ASSERT_EQ(H.Counts.size(), 4u);
+  EXPECT_EQ(H.Counts[1], 1u);
+}
+
+TEST(BenchJson, RejectsMissingSchemaVersion) {
+  std::string Err = parseErr(
+      R"({"bench":"x","metrics":{"counters":{},"gauges":{},"histograms":{}}})");
+  EXPECT_NE(Err.find("schema"), std::string::npos) << Err;
+}
+
+TEST(BenchJson, RejectsFutureSchemaVersion) {
+  std::string Err = parseErr(
+      R"({"bench":"x","schema":2,"metrics":{"counters":{},"gauges":{},"histograms":{}}})");
+  EXPECT_NE(Err.find("unsupported schema version 2"), std::string::npos)
+      << Err;
+}
+
+TEST(BenchJson, RejectsNegativeCounter) {
+  std::string Err = parseErr(doc("", R"("bad":-1)"));
+  EXPECT_NE(Err.find("counter 'bad'"), std::string::npos) << Err;
+}
+
+TEST(BenchJson, RejectsNonNumericGauge) {
+  std::string Err = parseErr(doc(R"("g":"not-hex")"));
+  EXPECT_NE(Err.find("gauge 'g'"), std::string::npos) << Err;
+}
+
+TEST(BenchJson, BitHexGaugeDecodesExactly) {
+  // 0x3ff0000000000000 == 1.0; 0x7ff8000000000000 is a quiet NaN.
+  BenchReport R = parseOk(
+      doc(R"("one":"3ff0000000000000","nan":"7ff8000000000000")"));
+  EXPECT_DOUBLE_EQ(R.Gauges.at("one"), 1.0);
+  EXPECT_TRUE(std::isnan(R.Gauges.at("nan")));
+}
+
+TEST(BenchJson, RejectsHistogramCountMismatch) {
+  std::string Err = parseErr(doc(
+      "", R"("c":1)",
+      R"("h":{"bounds":[1,2],"counts":[1,0,0],"count":5,"sum":1})"));
+  EXPECT_NE(Err.find("bucket-count sum"), std::string::npos) << Err;
+}
+
+TEST(BenchJson, RejectsNonIncreasingBounds) {
+  std::string Err = parseErr(doc(
+      "", R"("c":1)",
+      R"("h":{"bounds":[2,1],"counts":[0,0,0],"count":0,"sum":0})"));
+  EXPECT_NE(Err.find("strictly increasing"), std::string::npos) << Err;
+}
+
+TEST(BenchJson, EmptyRunValidates) {
+  BenchReport R = parseOk(doc("", "", ""));
+  EXPECT_TRUE(R.Counters.empty());
+  EXPECT_TRUE(R.Gauges.empty());
+  EXPECT_TRUE(R.Histograms.empty());
+}
+
+//===--- Tolerance parsing + glob ------------------------------------------===//
+
+TEST(Tolerance, GlobSemantics) {
+  EXPECT_TRUE(globMatch("*", "anything"));
+  EXPECT_TRUE(globMatch("bench.*_ms", "bench.serial_ms"));
+  EXPECT_FALSE(globMatch("bench.*_ms", "bench.speedup"));
+  EXPECT_TRUE(globMatch("verify.cache.*", "verify.cache.hit"));
+  EXPECT_FALSE(globMatch("verify.cache.*x", "verify.cache.hit"));
+  EXPECT_TRUE(globMatch("a*b*c", "aXXbYYc"));
+  EXPECT_FALSE(globMatch("abc", "abcd"));
+}
+
+TEST(Tolerance, BandRuleNeedsAWidth) {
+  ToleranceSpec T;
+  std::string Err;
+  EXPECT_FALSE(parseToleranceSpec(
+      R"({"schema":1,"rules":[{"match":"*","policy":"band"}]})", T, &Err));
+  EXPECT_NE(Err.find("neither 'rel' nor 'abs'"), std::string::npos) << Err;
+}
+
+TEST(Tolerance, UnknownPolicyIsAnError) {
+  ToleranceSpec T;
+  std::string Err;
+  EXPECT_FALSE(parseToleranceSpec(
+      R"({"schema":1,"rules":[{"match":"*","policy":"fuzzy"}]})", T, &Err));
+  EXPECT_NE(Err.find("unknown policy"), std::string::npos) << Err;
+}
+
+//===--- Comparison verdicts -----------------------------------------------===//
+
+TEST(BenchDiffCompare, IdenticalRunsHaveZeroDelta) {
+  BenchReport R = parseOk(doc(
+      R"("bench.speedup":3.5)", R"("verify.queries":12)",
+      R"("h":{"bounds":[1],"counts":[2,1],"count":3,"sum":4.5})"));
+  BenchDiff D = diffOk(R, R);
+  EXPECT_FALSE(D.hasRegression());
+  EXPECT_EQ(D.Ok, 3u);
+  EXPECT_NE(renderBenchDiff(D).find("RESULT: PASS"), std::string::npos);
+}
+
+TEST(BenchDiffCompare, ExactMismatchIsARegression) {
+  BenchDiff D = diffOk(parseOk(doc(R"("g":1)")), parseOk(doc(R"("g":2)")));
+  EXPECT_TRUE(D.hasRegression());
+  std::string R = renderBenchDiff(D);
+  EXPECT_NE(R.find("[REGRESSION] gauge g: base=1 cur=2"), std::string::npos)
+      << R;
+  EXPECT_NE(R.find("RESULT: REGRESSION"), std::string::npos);
+}
+
+TEST(BenchDiffCompare, GaugeMissingInCurrentRegresses) {
+  BenchDiff D = diffOk(parseOk(doc(R"("g":1)")), parseOk(doc("")));
+  EXPECT_TRUE(D.hasRegression());
+  EXPECT_NE(renderBenchDiff(D).find("present in baseline, missing in current"),
+            std::string::npos);
+}
+
+TEST(BenchDiffCompare, GaugeMissingInBaselineRegresses) {
+  BenchDiff D = diffOk(parseOk(doc("")), parseOk(doc(R"("g":1)")));
+  EXPECT_TRUE(D.hasRegression());
+  EXPECT_NE(renderBenchDiff(D).find("missing in baseline, present in current"),
+            std::string::npos);
+}
+
+TEST(BenchDiffCompare, IgnoreRuleSilencesMissingKey) {
+  BenchDiff D = diffOk(parseOk(doc(R"("bench.serial_ms":9.25)")),
+                       parseOk(doc("")),
+                       tol(R"({"match":"bench.*_ms","policy":"ignore"})"));
+  EXPECT_FALSE(D.hasRegression());
+  EXPECT_EQ(D.Ignored, 1u);
+}
+
+TEST(BenchDiffCompare, BandPassesInsideAndFailsOutside) {
+  ToleranceSpec T =
+      tol(R"({"match":"g","policy":"band","rel":0.10,"abs":0})");
+  // 100 -> 109: inside the 10% band.
+  EXPECT_FALSE(diffOk(parseOk(doc(R"("g":100)")), parseOk(doc(R"("g":109)")),
+                      T)
+                   .hasRegression());
+  // 100 -> 111: outside.
+  EXPECT_TRUE(diffOk(parseOk(doc(R"("g":100)")), parseOk(doc(R"("g":111)")),
+                     T)
+                  .hasRegression());
+}
+
+TEST(BenchDiffCompare, ToleranceExactlyMetPasses) {
+  // |cur - base| == max(abs, rel*|base|) exactly: the band is inclusive.
+  ToleranceSpec T = tol(R"({"match":"g","policy":"band","abs":10})");
+  BenchDiff D = diffOk(parseOk(doc(R"("g":100)")), parseOk(doc(R"("g":110)")),
+                       T);
+  EXPECT_FALSE(D.hasRegression());
+  EXPECT_EQ(D.WithinBand, 1u);
+}
+
+TEST(BenchDiffCompare, FirstMatchingRuleWins) {
+  // The specific exact rule shadows the catch-all ignore that follows it.
+  ToleranceSpec T = tol(R"({"match":"g","policy":"exact"},
+                          {"match":"*","policy":"ignore"})");
+  EXPECT_TRUE(
+      diffOk(parseOk(doc(R"("g":1,"other":5)", "")),
+             parseOk(doc(R"("g":2,"other":99)", "")), T)
+          .hasRegression());
+  BenchDiff D = diffOk(parseOk(doc(R"("g":1,"other":5)", "")),
+                       parseOk(doc(R"("g":1,"other":99)", "")), T);
+  EXPECT_FALSE(D.hasRegression());
+  EXPECT_EQ(D.Ignored, 1u);
+}
+
+TEST(BenchDiffCompare, NanEqualsNanExactly) {
+  // A NaN baseline gauge (bit-hex) matches a NaN current value — NaN must
+  // not poison the comparison in either direction.
+  std::string NanDoc = doc(R"("g":"7ff8000000000000")");
+  EXPECT_FALSE(diffOk(parseOk(NanDoc), parseOk(NanDoc)).hasRegression());
+  EXPECT_TRUE(
+      diffOk(parseOk(NanDoc), parseOk(doc(R"("g":1)"))).hasRegression());
+}
+
+TEST(BenchDiffCompare, NanNeverLandsInsideABand) {
+  ToleranceSpec T = tol(R"({"match":"g","policy":"band","abs":1000})");
+  EXPECT_TRUE(diffOk(parseOk(doc(R"("g":"7ff8000000000000")")),
+                     parseOk(doc(R"("g":1)")), T)
+                  .hasRegression());
+}
+
+TEST(BenchDiffCompare, HistogramBandIgnoresSpreadButNotLayout) {
+  ToleranceSpec T = tol(R"({"match":"h","policy":"band","abs":1})");
+  auto Hist = [](const char *Body) {
+    return parseOk(doc("", R"("c":1)", std::string(R"("h":)") + Body));
+  };
+  // Same layout, same count, different spread + sum: timing noise, passes.
+  BenchReport A = Hist(R"({"bounds":[1,2],"counts":[3,1,0],"count":4,"sum":2.5})");
+  BenchReport B = Hist(R"({"bounds":[1,2],"counts":[1,3,0],"count":4,"sum":9.0})");
+  EXPECT_FALSE(diffOk(A, B, T).hasRegression());
+  // Different bucket bounds: schema drift, regresses even under band.
+  BenchReport C = Hist(R"({"bounds":[1,8],"counts":[1,3,0],"count":4,"sum":9.0})");
+  BenchDiff D = diffOk(A, C, T);
+  EXPECT_TRUE(D.hasRegression());
+  EXPECT_NE(renderBenchDiff(D).find("bucket bounds differ"),
+            std::string::npos);
+}
+
+TEST(BenchDiffCompare, EmptyRunsCompareClean) {
+  BenchDiff D = diffOk(parseOk(doc("", "", "")), parseOk(doc("", "", "")));
+  EXPECT_FALSE(D.hasRegression());
+  EXPECT_TRUE(D.Findings.empty());
+}
+
+TEST(BenchDiffCompare, BenchNameMismatchIsAnError) {
+  BenchReport A = parseOk(doc(""));
+  BenchReport B = A;
+  B.Bench = "other";
+  BenchDiff D;
+  std::string Err;
+  EXPECT_FALSE(compareBenchReports(A, B, ToleranceSpec{}, D, &Err));
+  EXPECT_NE(Err.find("bench name mismatch"), std::string::npos) << Err;
+}
+
+TEST(BenchDiffCompare, FindingsAreOrderedWithinKind) {
+  BenchDiff D = diffOk(
+      parseOk(doc(R"("b":1,"a":1)", R"("z":1,"y":1)")),
+      parseOk(doc(R"("b":2,"a":2)", R"("z":2,"y":2)")));
+  ASSERT_EQ(D.Findings.size(), 4u);
+  // Counters first (sorted), then gauges (sorted).
+  EXPECT_EQ(D.Findings[0].Key, "y");
+  EXPECT_EQ(D.Findings[1].Key, "z");
+  EXPECT_EQ(D.Findings[2].Key, "a");
+  EXPECT_EQ(D.Findings[3].Key, "b");
+}
+
+} // namespace
+} // namespace veriopt

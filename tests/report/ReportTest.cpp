@@ -1,6 +1,7 @@
 //===- ReportTest.cpp - Trace schema validation + report rendering ---------===//
 
-#include "trace/Report.h"
+#include "report/RunReport.h"
+#include "report/TraceData.h"
 
 #include <gtest/gtest.h>
 
@@ -9,7 +10,7 @@
 #include <sstream>
 
 #ifndef VERIOPT_TEST_DATA_DIR
-#error "VERIOPT_TEST_DATA_DIR must point at tests/trace"
+#error "VERIOPT_TEST_DATA_DIR must point at tests/report"
 #endif
 
 namespace veriopt {
@@ -209,7 +210,7 @@ TEST(Report, GoldenRendering) {
   SS << IS.rdbuf();
   EXPECT_EQ(Rendered, SS.str())
       << "report rendering drifted from the golden file; if intentional, "
-         "regenerate tests/trace/golden_report.txt";
+         "regenerate tests/report/golden_report.txt";
 }
 
 TEST(Report, RenderIsDeterministic) {

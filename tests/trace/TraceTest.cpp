@@ -11,7 +11,7 @@
 #include "rl/Trainer.h"
 #include "trace/Json.h"
 #include "trace/Metrics.h"
-#include "trace/Report.h"
+#include "report/TraceData.h"
 
 #include <gtest/gtest.h>
 
