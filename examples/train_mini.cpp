@@ -14,11 +14,18 @@
 //   --eval-shards <n>      shard the final evaluation (0 = one per thread);
 //                          results are bit-identical at any setting
 //   --eval-threads <n>     worker threads for the sharded evaluation
+//   --stream-trace <n>     stream the trace incrementally (flush every n
+//                          events, bounded memory) instead of buffering;
+//                          requires --trace, excludes --chrome-trace
+//   --verdict-store <path> durable verdict journal shared across runs and
+//                          processes (docs/PERSISTENCE.md); results are
+//                          bit-identical warm or cold
 //
 //===----------------------------------------------------------------------===//
 
 #include "pipeline/Evaluation.h"
 #include "pipeline/Pipeline.h"
+#include "store/VerdictStore.h"
 #include "support/ThreadPool.h"
 #include "trace/Metrics.h"
 #include "trace/Trace.h"
@@ -34,7 +41,8 @@ using namespace veriopt;
 int main(int argc, char **argv) {
   bool Tiny = false;
   unsigned EvalShards = 1, EvalThreads = 1;
-  std::string TracePath, ChromePath;
+  size_t StreamEvery = 0;
+  std::string TracePath, ChromePath, StorePath;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--tiny") == 0) {
       Tiny = true;
@@ -46,18 +54,58 @@ int main(int argc, char **argv) {
       EvalShards = static_cast<unsigned>(std::atoi(argv[++I]));
     } else if (std::strcmp(argv[I], "--eval-threads") == 0 && I + 1 < argc) {
       EvalThreads = std::max(1, std::atoi(argv[++I]));
+    } else if (std::strcmp(argv[I], "--stream-trace") == 0 && I + 1 < argc) {
+      StreamEvery = static_cast<size_t>(std::max(1, std::atoi(argv[++I])));
+    } else if (std::strcmp(argv[I], "--verdict-store") == 0 && I + 1 < argc) {
+      StorePath = argv[++I];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--tiny] [--trace out.jsonl] "
                    "[--chrome-trace out.json] [--eval-shards n] "
-                   "[--eval-threads n]\n",
+                   "[--eval-threads n] [--stream-trace n] "
+                   "[--verdict-store path]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (StreamEvery && TracePath.empty()) {
+    std::fprintf(stderr, "error: --stream-trace requires --trace\n");
+    return 2;
+  }
+  if (StreamEvery && !ChromePath.empty()) {
+    // The streaming sink drains buffers as it goes; there is nothing left
+    // for the Chrome exporter to snapshot at the end.
+    std::fprintf(stderr,
+                 "error: --stream-trace and --chrome-trace are exclusive\n");
+    return 2;
+  }
 
   if (!TracePath.empty() || !ChromePath.empty())
     TraceRecorder::instance().enable();
+  if (StreamEvery) {
+    TraceRecorder::instance().flushEvery(StreamEvery);
+    if (!TraceRecorder::instance().streamTo(TracePath,
+                                            &MetricsRegistry::global())) {
+      std::fprintf(stderr, "error: could not start streaming to %s\n",
+                   TracePath.c_str());
+      return 1;
+    }
+  }
+
+  std::unique_ptr<VerdictStore> Store;
+  if (!StorePath.empty()) {
+    std::string Err;
+    Store = VerdictStore::open(StorePath, &Err);
+    if (!Store) {
+      std::fprintf(stderr, "error: could not open verdict store %s: %s\n",
+                   StorePath.c_str(), Err.c_str());
+      return 1;
+    }
+    std::printf("verdict store: %s (%llu records loaded, %llu quarantined)\n",
+                StorePath.c_str(),
+                static_cast<unsigned long long>(Store->stats().LiveAtOpen),
+                static_cast<unsigned long long>(Store->stats().Quarantined));
+  }
 
   // A small corpus so this example stays quick; the bench binaries use the
   // full configuration.
@@ -78,6 +126,7 @@ int main(int argc, char **argv) {
 
   PipelineOptions P;
   P.Data = D;
+  P.VerdictTier = Store.get();
   P.Stage1Steps = Tiny ? 4 : 20;
   P.Stage2Steps = Tiny ? 6 : 40;
   P.Stage3Steps = Tiny ? 8 : 80;
@@ -123,9 +172,23 @@ int main(int argc, char **argv) {
               Lat.Taxonomy.pct(Lat.VsRefTie),
               100.0 * Lat.FallbackGainOverRef);
 
+  if (Store) {
+    VerdictStore::Stats SS = Store->stats();
+    if (!Store->flush())
+      std::fprintf(stderr, "warning: verdict store flush failed\n");
+    std::printf("verdict store: %llu hits, %llu misses, %llu new records "
+                "(%zu resident)\n",
+                static_cast<unsigned long long>(SS.Hits),
+                static_cast<unsigned long long>(SS.Misses),
+                static_cast<unsigned long long>(SS.Writes), Store->size());
+  }
+
   if (!TracePath.empty()) {
-    if (TraceRecorder::instance().writeJsonl(TracePath,
-                                             &MetricsRegistry::global()))
+    bool Ok = StreamEvery
+                  ? TraceRecorder::instance().finishStream()
+                  : TraceRecorder::instance().writeJsonl(
+                        TracePath, &MetricsRegistry::global());
+    if (Ok)
       std::printf("wrote trace: %s  (render: tools/report %s)\n",
                   TracePath.c_str(), TracePath.c_str());
     else {

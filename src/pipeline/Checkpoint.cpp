@@ -3,6 +3,7 @@
 #include "pipeline/Checkpoint.h"
 
 #include "support/AtomicFile.h"
+#include "support/FileLock.h"
 
 #include <cstdio>
 #include <cstring>
@@ -159,7 +160,13 @@ bool saveCheckpoint(const std::string &Path, const PipelineCheckpoint &CP,
 
   // Atomic + durable write-then-rename (support/AtomicFile.h): a crash —
   // even a power loss — leaves either the old checkpoint or the complete,
-  // fsync'ed new one, never a torn or renamed-but-empty file.
+  // fsync'ed new one, never a torn or renamed-but-empty file. The sidecar
+  // flock serializes concurrent writers (two supervised runs pointed at
+  // one checkpoint path) so their ".tmp" staging files cannot collide; the
+  // sidecar survives the rename, unlike a lock on the checkpoint itself.
+  FileLock Lock;
+  if (!Lock.lock(Path + ".lock", FileLock::Mode::Exclusive))
+    return false;
   return writeFileAtomic(Path, OS.str());
 }
 

@@ -368,6 +368,8 @@ EvalResult evaluateModelSharded(const RewritePolicyModel &Model,
     }
     if (EOpts.Faults)
       C->setFaultInjector(EOpts.Faults);
+    if (EOpts.VerdictTier)
+      C->setBackingStore(EOpts.VerdictTier);
     BatchVerifier::Options BO;
     BO.Robust.Base = VOpts;
     BO.Robust.MaxTiers = 1; // evaluation runs one fixed budget, no ladder

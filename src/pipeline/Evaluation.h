@@ -36,6 +36,7 @@ namespace veriopt {
 class BatchVerifier;
 class FaultInjector;
 class ThreadPool;
+class VerdictBackingTier;
 class VerifyCache;
 
 /// Table I/II row counts.
@@ -165,6 +166,14 @@ struct EvalOptions {
   /// of recomputing them — bit-identical either way (the PR4 cache
   /// contract). Ignored when BatchVerify is off.
   VerifyCache *SharedCache = nullptr;
+  /// Optional durable verdict tier (the persistent VerdictStore) attached
+  /// under the run's verify cache: memo misses read through to it and
+  /// fresh verdicts write behind, so a warm store replays verification
+  /// across processes and runs. Bit-identical either way (verification is
+  /// deterministic and the store admits only deterministic verdicts — see
+  /// docs/PERSISTENCE.md). Requires BatchVerify (the store sits under the
+  /// cache); ignored otherwise. Caller owns; must outlive the evaluation.
+  VerdictBackingTier *VerdictTier = nullptr;
   /// Base seed for per-shard RNG derivation (API symmetry with training;
   /// greedy decoding ignores the stream).
   uint64_t Seed = 0xE7A1;

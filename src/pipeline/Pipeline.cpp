@@ -158,6 +158,11 @@ PipelineArtifacts runTrainingPipeline(const Dataset &DS,
     Cache = std::make_unique<VerifyCache>(Opts.VerifyCacheCapacity);
     if (Opts.Faults)
       Cache->setFaultInjector(Opts.Faults);
+    // Durable tier under the memo: warm-store training replays verdicts
+    // instead of recomputing them, bit-identically (the cache bypasses the
+    // tier while a fault injector is attached — see docs/PERSISTENCE.md).
+    if (Opts.VerdictTier)
+      Cache->setBackingStore(Opts.VerdictTier);
   }
 
   // All training verification goes through the escalating retry ladder.

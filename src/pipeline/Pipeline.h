@@ -89,6 +89,15 @@ struct PipelineOptions {
   /// verdict flips, cache misses, checkpoint-write failures). Null = off.
   FaultInjector *Faults = nullptr;
 
+  /// Optional durable verdict tier (the persistent VerdictStore, opened by
+  /// the caller from e.g. train_mini's --verdict-store flag) attached under
+  /// the run's shared VerifyCache and propagated to evaluation. Warm-store
+  /// runs are bit-identical to cold ones — only the verification work is
+  /// skipped. Requires VerifyCacheCapacity > 0 (the store sits under the
+  /// cache). While Faults is set the cache bypasses the tier entirely, so
+  /// chaos runs neither read nor warm the store.
+  VerdictBackingTier *VerdictTier = nullptr;
+
   //===--- Sharded evaluation -------------------------------------------===//
 
   /// Shard count for evaluateModelSharded(); 0 = one shard per worker
@@ -111,6 +120,7 @@ struct PipelineOptions {
     EO.VerifyCacheCapacity = VerifyCacheCapacity;
     EO.Seed = Seed;
     EO.Faults = Faults;
+    EO.VerdictTier = VerdictTier;
     EO.ShardManifestPath = EvalShardManifestPath;
     EO.ShardResultDir = EvalShardResultDir;
     return EO;

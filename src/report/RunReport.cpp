@@ -212,6 +212,31 @@ std::string renderRunReport(const RunSummary &S, unsigned TopN) {
   }
   OS << "\n";
 
+  //--- Verdict store efficacy ----------------------------------------------
+  OS << "-- verdict store efficacy ----------------------------------------\n";
+  {
+    auto M = [&](const char *K) {
+      auto It = S.Metrics.find(K);
+      return It == S.Metrics.end() ? 0.0 : It->second;
+    };
+    double Hits = M("store.hits"), Misses = M("store.misses");
+    double Writes = M("store.writes");
+    if (Hits + Misses + Writes == 0) {
+      OS << "no store metrics in this trace (persistent store off)\n";
+    } else {
+      double Lookups = Hits + Misses;
+      OS << "  lookups " << static_cast<uint64_t>(Lookups) << "  hits "
+         << static_cast<uint64_t>(Hits) << "  misses "
+         << static_cast<uint64_t>(Misses) << "  hit-rate "
+         << fmt("%.1f%%", Lookups ? 100.0 * Hits / Lookups : 0.0) << "\n";
+      OS << "  new records " << static_cast<uint64_t>(Writes)
+         << "  compactions " << static_cast<uint64_t>(M("store.compactions"))
+         << "  quarantined lines "
+         << static_cast<uint64_t>(M("store.quarantined")) << "\n";
+    }
+  }
+  OS << "\n";
+
   //--- Sharded evaluation ---------------------------------------------------
   OS << "-- sharded evaluation --------------------------------------------\n";
   if (S.EvalShards.empty()) {

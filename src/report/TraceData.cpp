@@ -59,8 +59,8 @@ const std::vector<std::string> &knownTraceEventNames() {
       "verify.candidate", "verify.falsify", "verify.encode",
       "verify.sat",       "verify.tier",    "batch.verify",
       "eval.run",         "eval.shard",     "eval.driver",
-      "eval.worker",      "opt.rule_fire",  "metric",
-      "metric.hist",
+      "eval.worker",      "store.load",     "store.compact",
+      "opt.rule_fire",    "metric",         "metric.hist",
   };
   return Names;
 }
@@ -120,6 +120,13 @@ const std::map<std::string, std::vector<ArgRule>> &requiredArgs() {
        {{"shard", JsonValue::Kind::Number},
         {"attempt", JsonValue::Kind::Number},
         {"outcome", JsonValue::Kind::String}}},
+      {"store.load",
+       {{"records", JsonValue::Kind::Number},
+        {"live", JsonValue::Kind::Number},
+        {"quarantined", JsonValue::Kind::Number}}},
+      {"store.compact",
+       {{"before", JsonValue::Kind::Number},
+        {"after", JsonValue::Kind::Number}}},
       {"opt.rule_fire",
        {{"rule", JsonValue::Kind::String},
         {"count", JsonValue::Kind::Number}}},

@@ -54,6 +54,48 @@ std::string parentDir(const std::string &Path) {
 
 } // namespace
 
+bool appendFileDurable(const std::string &Path, const std::string &Payload,
+                       std::string *Err) {
+  int Fd;
+  do
+    Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                0644);
+  while (Fd < 0 && errno == EINTR);
+  if (Fd < 0) {
+    setErr(Err, "open for append");
+    return false;
+  }
+  // O_APPEND makes each write(2) land at the current end regardless of
+  // concurrent appenders; cross-process writers still serialize whole
+  // multi-write batches through FileLock so records interleave only at
+  // batch granularity.
+  if (!writeAll(Fd, Payload) || fsyncRetry(Fd) != 0) {
+    setErr(Err, "append/fsync");
+    ::close(Fd);
+    return false;
+  }
+  if (::close(Fd) != 0) {
+    setErr(Err, "close after append");
+    return false;
+  }
+  return true;
+}
+
+bool publishFileDurable(const std::string &TmpPath, const std::string &Path,
+                        std::string *Err) {
+  if (std::rename(TmpPath.c_str(), Path.c_str()) != 0) {
+    setErr(Err, "rename");
+    return false;
+  }
+  int DirFd = ::open(parentDir(Path).c_str(),
+                     O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (DirFd >= 0) {
+    fsyncRetry(DirFd);
+    ::close(DirFd);
+  }
+  return true;
+}
+
 bool writeFileAtomic(const std::string &Path, const std::string &Payload,
                      std::string *Err) {
   const std::string Tmp = Path + ".tmp";

@@ -30,6 +30,24 @@ namespace veriopt {
 bool writeFileAtomic(const std::string &Path, const std::string &Payload,
                      std::string *Err = nullptr);
 
+/// Durably append \p Payload to \p Path (creating it if needed): O_APPEND
+/// write + fsync before returning. Appends are *not* atomic against readers
+/// — callers needing atomicity must frame records so a torn tail is
+/// detectable (the VerdictStore journal CRC-frames every line; the
+/// streaming trace sink appends to a ".stream" temporary and publishes via
+/// publishFileDurable). A short/failed append can leave a partial tail;
+/// both consumers tolerate every prefix by construction.
+bool appendFileDurable(const std::string &Path, const std::string &Payload,
+                       std::string *Err = nullptr);
+
+/// Durably publish an already-written, already-fsync'ed temporary at its
+/// final name: rename(2) + parent-directory fsync — the back half of
+/// writeFileAtomic, split out so incremental writers (the streaming trace
+/// sink) can build the payload with many durable appends and still finish
+/// with the same atomic-replace guarantee.
+bool publishFileDurable(const std::string &TmpPath, const std::string &Path,
+                        std::string *Err = nullptr);
+
 } // namespace veriopt
 
 #endif // VERIOPT_SUPPORT_ATOMICFILE_H

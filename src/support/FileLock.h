@@ -1,0 +1,83 @@
+//===- FileLock.h - RAII flock(2) advisory file lock -------------*- C++ -*-=//
+//
+// The one cross-process mutual-exclusion primitive in the runtime, shared by
+// the persistent VerdictStore journal and checkpoint writes. An advisory
+// flock(2) on a dedicated lock file — *not* on the protected file itself, so
+// the lock identity survives the atomic write-then-rename discipline
+// (renaming the payload would silently detach a lock held on it).
+//
+// Acquisition is EINTR-safe: flock(2) can be interrupted by signals (the
+// evaluation driver SIGKILLs hung workers, and tests send signals freely),
+// so both the blocking and non-blocking paths retry the syscall until it
+// either succeeds or fails for a real reason.
+//
+// Semantics are whole-file advisory locks: every cooperating writer must go
+// through FileLock; the kernel releases the lock automatically when the
+// holder's descriptor closes — including on crash, which is exactly the
+// property a crash-tolerant store wants (no stale-lock recovery protocol).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIOPT_SUPPORT_FILELOCK_H
+#define VERIOPT_SUPPORT_FILELOCK_H
+
+#include <string>
+
+namespace veriopt {
+
+/// RAII advisory lock on a lock file. Default-constructed unheld; lock() /
+/// tryLock() acquire, the destructor (or unlock()) releases. Movable so a
+/// lock can be returned from a helper; not copyable.
+class FileLock {
+public:
+  enum class Mode {
+    Shared,   ///< concurrent readers (flock LOCK_SH)
+    Exclusive ///< single writer (flock LOCK_EX)
+  };
+
+  FileLock() = default;
+  ~FileLock() { unlock(); }
+
+  FileLock(FileLock &&O) noexcept : Fd(O.Fd), LockPath(std::move(O.LockPath)) {
+    O.Fd = -1;
+  }
+  FileLock &operator=(FileLock &&O) noexcept {
+    if (this != &O) {
+      unlock();
+      Fd = O.Fd;
+      LockPath = std::move(O.LockPath);
+      O.Fd = -1;
+    }
+    return *this;
+  }
+  FileLock(const FileLock &) = delete;
+  FileLock &operator=(const FileLock &) = delete;
+
+  /// Block until the lock on \p Path is held (creating the lock file if
+  /// needed). Returns false — with \p Err naming the failing step — only on
+  /// real I/O errors; EINTR is retried.
+  bool lock(const std::string &Path, Mode M, std::string *Err = nullptr);
+
+  /// Non-blocking acquire. Returns true with \p Contended=false when the
+  /// lock was taken, true with \p Contended=true when another holder has it
+  /// (no error), and false on real I/O errors.
+  bool tryLock(const std::string &Path, Mode M, bool &Contended,
+               std::string *Err = nullptr);
+
+  /// Release (no-op when unheld). Closing the descriptor drops the flock.
+  void unlock();
+
+  bool held() const { return Fd >= 0; }
+  const std::string &path() const { return LockPath; }
+
+private:
+  bool acquire(const std::string &Path, Mode M, bool NonBlocking,
+               bool &Contended, std::string *Err);
+
+  int Fd = -1;
+  std::string LockPath;
+};
+
+} // namespace veriopt
+
+#endif // VERIOPT_SUPPORT_FILELOCK_H

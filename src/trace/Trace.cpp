@@ -55,10 +55,22 @@ void TraceRecorder::record(TraceEvent E) {
   if (!enabled())
     return;
   ThreadBuf &B = localBuf();
-  std::lock_guard<std::mutex> L(B.M); // uncontended except during drain
-  E.Tid = B.Tid;
-  E.Seq = B.NextSeq++;
-  B.Events.push_back(std::move(E));
+  {
+    std::lock_guard<std::mutex> L(B.M); // uncontended except during drain
+    E.Tid = B.Tid;
+    E.Seq = B.NextSeq++;
+    B.Events.push_back(std::move(E));
+  }
+  // Streaming sink back-pressure: drain once the process-wide pending count
+  // crosses the threshold. Checked outside the buffer lock (flushStream
+  // re-acquires every buffer's lock); the count is approximate under
+  // concurrency, which only moves a flush boundary — never loses an event.
+  if (StreamActive.load(std::memory_order_relaxed)) {
+    size_t N = StreamFlushN.load(std::memory_order_relaxed);
+    if (N &&
+        StreamPendingEvents.fetch_add(1, std::memory_order_relaxed) + 1 >= N)
+      flushStream();
+  }
 }
 
 void TraceRecorder::instant(std::string Name, std::vector<TraceArg> Args) {
@@ -111,6 +123,26 @@ void TraceRecorder::clear() {
     std::lock_guard<std::mutex> L(B->M);
     B->Events.clear();
   }
+}
+
+std::vector<TraceEvent> TraceRecorder::drain() {
+  std::vector<std::shared_ptr<ThreadBuf>> Bufs;
+  {
+    std::lock_guard<std::mutex> L(RegistryM);
+    Bufs = Buffers;
+  }
+  std::vector<TraceEvent> Out;
+  for (const auto &B : Bufs) {
+    std::lock_guard<std::mutex> L(B->M);
+    Out.insert(Out.end(), std::make_move_iterator(B->Events.begin()),
+               std::make_move_iterator(B->Events.end()));
+    B->Events.clear();
+  }
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     return A.Tid != B.Tid ? A.Tid < B.Tid : A.Seq < B.Seq;
+                   });
+  return Out;
 }
 
 size_t TraceRecorder::eventCount() const {
@@ -249,6 +281,64 @@ bool TraceRecorder::writeJsonl(const std::string &Path,
   if (Metrics)
     appendMetricsLines(Payload, *Metrics);
   return writeFileAtomic(Path, Payload);
+}
+
+//===--- Streaming sink -------------------------------------------------------//
+
+bool TraceRecorder::streamTo(const std::string &Path,
+                             const MetricsRegistry *Metrics) {
+  std::lock_guard<std::mutex> L(StreamM);
+  // Truncate-create the in-progress file up front so finishStream() always
+  // has something to publish, even for an event-free run.
+  std::ofstream F(Path + ".stream", std::ios::binary | std::ios::trunc);
+  if (!F.good())
+    return false;
+  F.close();
+  StreamPath = Path;
+  StreamMetrics = Metrics;
+  StreamPendingEvents.store(0, std::memory_order_relaxed);
+  StreamActive.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+bool TraceRecorder::flushStream() {
+  std::lock_guard<std::mutex> L(StreamM);
+  if (!StreamActive.load(std::memory_order_relaxed))
+    return true;
+  StreamPendingEvents.store(0, std::memory_order_relaxed);
+  std::string Payload;
+  for (const TraceEvent &E : drain()) {
+    Payload += eventToJsonl(E);
+    Payload.push_back('\n');
+  }
+  if (Payload.empty())
+    return true;
+  // Durable append (support/AtomicFile.h): a crash mid-run loses at most
+  // the unflushed tail, and the ".stream" name keeps a partial file from
+  // being mistaken for a complete trace.
+  return appendFileDurable(StreamPath + ".stream", Payload);
+}
+
+bool TraceRecorder::finishStream() {
+  if (!flushStream())
+    return false;
+  std::lock_guard<std::mutex> L(StreamM);
+  if (!StreamActive.load(std::memory_order_relaxed))
+    return true;
+  if (StreamMetrics) {
+    std::string Tail;
+    appendMetricsLines(Tail, *StreamMetrics);
+    if (!Tail.empty() && !appendFileDurable(StreamPath + ".stream", Tail))
+      return false;
+  }
+  // The append path already fsync'ed the data; publishing is the back half
+  // of the atomic-replace discipline (rename + parent fsync).
+  if (!publishFileDurable(StreamPath + ".stream", StreamPath))
+    return false;
+  StreamActive.store(false, std::memory_order_relaxed);
+  StreamPath.clear();
+  StreamMetrics = nullptr;
+  return true;
 }
 
 bool TraceRecorder::writeChromeTrace(const std::string &Path) const {

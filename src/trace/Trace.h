@@ -149,6 +149,47 @@ public:
   /// converted to microseconds as the format requires.
   bool writeChromeTrace(const std::string &Path) const;
 
+  //===--- Streaming JSONL sink (bounded memory) ------------------------===//
+  //
+  // The buffered writeJsonl() holds every event until the end of the run;
+  // long runs want O(flush-batch) memory instead. streamTo() arms an
+  // incremental sink: every flushEvery(N) events (and on flushStream()/
+  // finishStream()) the per-thread buffers are drained — sorted by
+  // (Tid, Seq), exactly the buffered sink's order — and durably appended
+  // to "<path>.stream". finishStream() appends the metric lines and
+  // atomically publishes the finished file at its final name, so readers
+  // of <path> still never see a torn prefix, and a crash mid-run leaves
+  // the durable ".stream" partial for forensics without masquerading as a
+  // complete trace. For a single-threaded emitter the published file is
+  // byte-identical to writeJsonl(); with concurrent emitters the event
+  // *multiset* is identical while interleaving may differ (drains cut the
+  // stream at flush boundaries) — same-seed runs still diff clean on the
+  // deterministic plane (TraceTest asserts both).
+
+  /// Arm the streaming sink (truncating any previous "<path>.stream").
+  /// \p Metrics is captured for finishStream()'s metric lines.
+  bool streamTo(const std::string &Path,
+                const MetricsRegistry *Metrics = nullptr);
+
+  /// Auto-flush threshold: drain after every \p N recorded events
+  /// (0 = only explicit flushes). Default 4096.
+  void flushEvery(size_t N) {
+    StreamFlushN.store(N, std::memory_order_relaxed);
+  }
+
+  /// Drain all buffered events to the in-progress ".stream" file now.
+  /// No-op (true) when streaming is off.
+  bool flushStream();
+
+  /// Final drain + metric lines + durable rename to the armed path, then
+  /// disarm. Returns false (partial ".stream" left for forensics) on I/O
+  /// errors.
+  bool finishStream();
+
+  bool streaming() const {
+    return StreamActive.load(std::memory_order_relaxed);
+  }
+
 private:
   TraceRecorder() = default;
 
@@ -160,12 +201,25 @@ private:
   };
   ThreadBuf &localBuf();
 
+  /// Move all buffered events out, sorted by (Tid, Seq); buffers stay
+  /// registered but empty. The shared core of flushStream().
+  std::vector<TraceEvent> drain();
+
   std::atomic<bool> Enabled{false};
   std::atomic<uint64_t> EpochNs{0};
 
   mutable std::mutex RegistryM;
   std::vector<std::shared_ptr<ThreadBuf>> Buffers; ///< outlive their threads
   uint32_t NextTid = 0;
+
+  // Streaming sink state. StreamM serializes flush/finish against each
+  // other; the hot record() path only touches the two atomics.
+  std::mutex StreamM;
+  std::atomic<bool> StreamActive{false};
+  std::atomic<size_t> StreamFlushN{4096};
+  std::atomic<size_t> StreamPendingEvents{0};
+  std::string StreamPath;                        ///< guarded by StreamM
+  const MetricsRegistry *StreamMetrics = nullptr; ///< guarded by StreamM
 };
 
 /// RAII span. Construct at region entry; args added before destruction land

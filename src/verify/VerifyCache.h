@@ -36,6 +36,21 @@
 
 namespace veriopt {
 
+/// A durable tier under the in-memory memo (the persistent VerdictStore in
+/// src/store/ is the one implementation). The cache consults it on a memo
+/// miss (read-through) and reports freshly computed verdicts back to it
+/// (write-behind). Implementations must be thread-safe; they are never
+/// called while the cache's own mutex would create a lock cycle (the tier
+/// must not call back into the cache).
+class VerdictBackingTier {
+public:
+  virtual ~VerdictBackingTier() = default;
+  /// Fetch the persisted verdict for \p Key. Returns false when absent.
+  virtual bool lookup(const std::string &Key, VerifyResult &Out) = 0;
+  /// Persist \p R for \p Key (the tier applies its own eligibility rules).
+  virtual void put(const std::string &Key, const VerifyResult &R) = 0;
+};
+
 class VerifyCache {
 public:
   /// \p Capacity entries before LRU eviction. 0 means "unbounded".
@@ -58,8 +73,11 @@ public:
   /// Silent lookup for the batch pre-verification pass: no hit/miss
   /// accounting, no LRU touch, no single-flight join. Honors the CacheMiss
   /// fault site (an injected-missing entry stays invisible here too, so the
-  /// batch recomputes exactly what the scoring pass would).
-  bool peek(const std::string &Key, VerifyResult &Out) const;
+  /// batch recomputes exactly what the scoring pass would). Consults the
+  /// backing store on a memo miss (memoizing a store hit), so a warm
+  /// persistent store pre-warms batch verification too — not just the
+  /// verify() front door.
+  bool peek(const std::string &Key, VerifyResult &Out);
 
   /// Insert a computed result without counting a miss, so the batch pass
   /// can pre-warm group verdicts for the scoring pass. No-op when the key
@@ -84,9 +102,24 @@ public:
   /// fires for a key, both the lookup and the store are skipped — the entry
   /// behaves as if evicted. Used by the fault-tolerance tests to prove the
   /// trainer's results do not depend on cache residency.
+  ///
+  /// Trust-model consequence (docs/PERSISTENCE.md): while an injector is
+  /// attached, the backing store is bypassed entirely — no probes, no
+  /// write-behind — so chaos runs neither warm the durable store nor read
+  /// warmth the injected-miss scenario is supposed to deny.
   void setFaultInjector(FaultInjector *FI) {
     std::lock_guard<std::mutex> L(M);
     Faults = FI;
+  }
+
+  /// Attach a durable tier under the memo (null detaches). Read-through on
+  /// owner misses and silent peeks, write-behind on computed and seeded
+  /// verdicts; single-flight is preserved (the owning thread probes the
+  /// store, joiners still wait on its result). The tier must outlive the
+  /// cache or be detached first.
+  void setBackingStore(VerdictBackingTier *S) {
+    std::lock_guard<std::mutex> L(M);
+    Store = S;
   }
 
 private:
@@ -108,6 +141,7 @@ private:
   std::map<std::string, std::shared_ptr<InFlight>> Pending;
   Counters Stats;
   FaultInjector *Faults = nullptr;
+  VerdictBackingTier *Store = nullptr;
 };
 
 } // namespace veriopt

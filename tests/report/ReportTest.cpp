@@ -175,6 +175,16 @@ std::string syntheticRun() {
   Metric(10, "smt.clauses_retained", 5400);
   Metric(11, "encode.cse_hits", 240);
 
+  // A persistent verdict store session: the journal load span plus the
+  // counters the "verdict store efficacy" section reads.
+  OS << R"({"name":"store.load","ph":"X","ts_ns":0,"dur_ns":2000000,"tid":8,"seq":0,"args":{"records":12,"live":10,"quarantined":2}})"
+     << "\n";
+  Metric(12, "store.hits", 18);
+  Metric(13, "store.misses", 6);
+  Metric(14, "store.writes", 6);
+  Metric(15, "store.compactions", 1);
+  Metric(16, "store.quarantined", 2);
+
   OS << R"({"name":"opt.rule_fire","ph":"C","ts_ns":0,"tid":4,"seq":0,"args":{"rule":"dce","count":21}})"
      << "\n";
   OS << R"({"name":"opt.rule_fire","ph":"C","ts_ns":0,"tid":4,"seq":1,"args":{"rule":"const-fold","count":34}})"
@@ -225,6 +235,7 @@ TEST(Report, EmptyLogRendersPlaceholders) {
   EXPECT_NE(R.find("no verify.candidate events"), std::string::npos);
   EXPECT_NE(R.find("no cache metrics"), std::string::npos);
   EXPECT_NE(R.find("no batch.* metrics"), std::string::npos);
+  EXPECT_NE(R.find("no store metrics"), std::string::npos);
   EXPECT_NE(R.find("no eval.shard events"), std::string::npos);
 }
 

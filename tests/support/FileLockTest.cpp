@@ -1,0 +1,131 @@
+//===- FileLockTest.cpp - Cross-process advisory lock tests ------------------//
+//
+// In-process semantics (shared/shared coexistence, exclusive mutual
+// exclusion, RAII release, move transfer) plus the test that actually
+// matters for a cross-process primitive: a second *process* (veriopt-worker
+// --lock-probe) observes contention while this process holds the lock and
+// acquisition after it releases.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FileLock.h"
+
+#include "support/Subprocess.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <string>
+
+#include <unistd.h>
+
+namespace veriopt {
+namespace {
+
+struct ScratchLock {
+  std::string Path;
+  explicit ScratchLock(const std::string &Name)
+      : Path("/tmp/veriopt_filelock_test_" + std::to_string(::getpid()) +
+             "_" + Name) {
+    std::remove(Path.c_str());
+  }
+  ~ScratchLock() { std::remove(Path.c_str()); }
+};
+
+TEST(FileLock, AcquireReleaseBasics) {
+  ScratchLock F("basics");
+  FileLock L;
+  EXPECT_FALSE(L.held());
+  std::string Err;
+  ASSERT_TRUE(L.lock(F.Path, FileLock::Mode::Exclusive, &Err)) << Err;
+  EXPECT_TRUE(L.held());
+  EXPECT_EQ(L.path(), F.Path);
+  L.unlock();
+  EXPECT_FALSE(L.held());
+  // Re-acquisition after release works.
+  ASSERT_TRUE(L.lock(F.Path, FileLock::Mode::Shared, &Err)) << Err;
+  EXPECT_TRUE(L.held());
+}
+
+TEST(FileLock, SharedLocksCoexistExclusiveDoesNot) {
+  ScratchLock F("modes");
+  FileLock A, B;
+  ASSERT_TRUE(A.lock(F.Path, FileLock::Mode::Shared));
+  bool Contended = true;
+  ASSERT_TRUE(B.tryLock(F.Path, FileLock::Mode::Shared, Contended));
+  EXPECT_FALSE(Contended); // two readers share
+
+  FileLock C;
+  ASSERT_TRUE(C.tryLock(F.Path, FileLock::Mode::Exclusive, Contended));
+  EXPECT_TRUE(Contended); // a writer cannot join readers
+  EXPECT_FALSE(C.held());
+
+  A.unlock();
+  B.unlock();
+  ASSERT_TRUE(C.tryLock(F.Path, FileLock::Mode::Exclusive, Contended));
+  EXPECT_FALSE(Contended);
+  EXPECT_TRUE(C.held());
+}
+
+TEST(FileLock, DestructorReleases) {
+  ScratchLock F("raii");
+  {
+    FileLock L;
+    ASSERT_TRUE(L.lock(F.Path, FileLock::Mode::Exclusive));
+  }
+  FileLock M;
+  bool Contended = true;
+  ASSERT_TRUE(M.tryLock(F.Path, FileLock::Mode::Exclusive, Contended));
+  EXPECT_FALSE(Contended);
+}
+
+TEST(FileLock, MoveTransfersOwnership) {
+  ScratchLock F("move");
+  FileLock A;
+  ASSERT_TRUE(A.lock(F.Path, FileLock::Mode::Exclusive));
+  FileLock B = std::move(A);
+  EXPECT_FALSE(A.held());
+  EXPECT_TRUE(B.held());
+  // Still exclusively held by B.
+  FileLock C;
+  bool Contended = false;
+  ASSERT_TRUE(C.tryLock(F.Path, FileLock::Mode::Exclusive, Contended));
+  EXPECT_TRUE(Contended);
+}
+
+TEST(FileLock, ErrorNamesUnopenablePath) {
+  FileLock L;
+  std::string Err;
+  EXPECT_FALSE(L.lock("/nonexistent-dir/x.lock", FileLock::Mode::Exclusive,
+                      &Err));
+  EXPECT_FALSE(L.held());
+  EXPECT_FALSE(Err.empty());
+}
+
+/// The cross-process arm: veriopt-worker --lock-probe tries a non-blocking
+/// exclusive flock and exits 0 (acquired) or 7 (contended). flock is
+/// per-open-file-description, so only another process can prove the lock
+/// excludes the rest of the fleet.
+TEST(FileLock, SecondProcessObservesContention) {
+  ScratchLock F("xproc");
+  auto Probe = [&] {
+    Subprocess P;
+    SubprocessOptions O;
+    O.Argv = {VERIOPT_WORKER_BIN, "--lock-probe", F.Path};
+    O.DeadlineMs = 30000;
+    EXPECT_TRUE(P.spawn(O));
+    SubprocessResult R = P.wait();
+    EXPECT_EQ(R.Outcome, SubprocessOutcome::Exited) << R.describe();
+    return R.ExitCode;
+  };
+
+  FileLock L;
+  ASSERT_TRUE(L.lock(F.Path, FileLock::Mode::Exclusive));
+  EXPECT_EQ(Probe(), 7); // held here -> the other process is locked out
+
+  L.unlock();
+  EXPECT_EQ(Probe(), 0); // released -> the other process acquires
+}
+
+} // namespace
+} // namespace veriopt

@@ -9,6 +9,7 @@
 #include "trace/Trace.h"
 
 #include "rl/Trainer.h"
+#include "support/ThreadPool.h"
 #include "trace/Json.h"
 #include "trace/Metrics.h"
 #include "report/TraceData.h"
@@ -297,6 +298,124 @@ TEST(Trace, SnapshotOrderedByTidThenSeq) {
                     Evs[I - 1].Seq < Evs[I].Seq);
     EXPECT_TRUE(Ordered) << "snapshot not sorted at index " << I;
   }
+}
+
+//===--- Streaming sink ------------------------------------------------------===//
+
+std::string slurp(const std::string &Path) {
+  std::ifstream IS(Path, std::ios::binary);
+  std::stringstream SS;
+  SS << IS.rdbuf();
+  return SS.str();
+}
+
+TEST(Trace, StreamedFileByteIdenticalToBufferedSink) {
+  // The same recorded events, written once through the buffered sink and
+  // once through the streaming sink, must produce byte-identical files —
+  // metric lines included.
+  TraceRecorder &R = TraceRecorder::instance();
+  R.clear();
+  R.enable();
+  for (int I = 0; I < 7; ++I)
+    R.instant("verify.tier", {TraceArg::ofInt("tier", I),
+                              TraceArg::ofStr("status", "equivalent"),
+                              TraceArg::ofStr("diag", "none")});
+  {
+    TraceSpan S("verify.encode");
+    S.arg(TraceArg::ofInt("n", 3));
+  }
+  R.disable();
+
+  MetricsRegistry M;
+  M.counter("store.hits").inc(5);
+
+  const std::string Buffered = ::testing::TempDir() + "trace_buf.jsonl";
+  ASSERT_TRUE(R.writeJsonl(Buffered, &M)); // does not consume the buffers
+
+  const std::string Streamed = ::testing::TempDir() + "trace_stream.jsonl";
+  ASSERT_TRUE(R.streamTo(Streamed, &M));
+  ASSERT_TRUE(R.flushStream()); // drains the very same events
+  ASSERT_TRUE(R.finishStream());
+
+  EXPECT_EQ(slurp(Buffered), slurp(Streamed));
+  EXPECT_FALSE(std::ifstream(Streamed + ".stream").good())
+      << "publish must rename the in-progress file away";
+  std::remove(Buffered.c_str());
+  std::remove(Streamed.c_str());
+}
+
+TEST(Trace, StreamingAutoFlushBoundsMemory) {
+  TraceRecorder &R = TraceRecorder::instance();
+  R.clear();
+  const std::string Path = ::testing::TempDir() + "trace_autoflush.jsonl";
+  ASSERT_TRUE(R.streamTo(Path));
+  R.flushEvery(3);
+  R.enable();
+  for (int I = 0; I < 8; ++I)
+    R.instant("verify.tier", {TraceArg::ofInt("tier", I)});
+  R.disable();
+
+  // Every completed batch of 3 was drained to disk as it filled: the
+  // resident buffers hold only the tail, and the in-progress file already
+  // carries the flushed prefix.
+  EXPECT_LT(R.eventCount(), 8u);
+  std::string Partial = slurp(Path + ".stream");
+  size_t PartialLines = std::count(Partial.begin(), Partial.end(), '\n');
+  EXPECT_GE(PartialLines, 6u);
+
+  ASSERT_TRUE(R.finishStream());
+  R.flushEvery(4096); // restore the default for later tests
+  EXPECT_EQ(R.eventCount(), 0u);
+  std::string Final = slurp(Path);
+  EXPECT_EQ(std::count(Final.begin(), Final.end(), '\n'), 8);
+  std::remove(Path.c_str());
+}
+
+TEST(Trace, StreamingKeepsEventMultisetUnderConcurrency) {
+  // Concurrent emitters + mid-run drains: interleaving may differ from the
+  // buffered sink, but the deterministic multiset must survive intact, and
+  // the published file must be schema-valid.
+  TraceRecorder &R = TraceRecorder::instance();
+  R.clear();
+  const std::string Path = ::testing::TempDir() + "trace_mt_stream.jsonl";
+  ASSERT_TRUE(R.streamTo(Path));
+  R.flushEvery(5);
+  R.enable();
+  {
+    ThreadPool Pool(4);
+    Pool.parallelFor(64, [&](size_t I) {
+      R.instant("verify.tier",
+                {TraceArg::ofInt("tier", static_cast<int64_t>(I)),
+                 TraceArg::ofStr("status", "equivalent"),
+                 TraceArg::ofStr("diag", "none")});
+    });
+  }
+  R.disable();
+  ASSERT_TRUE(R.finishStream());
+  R.flushEvery(4096);
+
+  TraceLog Log;
+  std::string Err;
+  ASSERT_TRUE(loadTraceJsonl(Path, Log, &Err)) << Err;
+  ASSERT_TRUE(validateTraceLog(Log, &Err)) << Err;
+  ASSERT_EQ(Log.Events.size(), 64u);
+  std::multiset<int64_t> Tiers;
+  for (const JsonValue &E : Log.Events)
+    Tiers.insert(static_cast<int64_t>(E.get("args")->get("tier")->number()));
+  std::multiset<int64_t> Want;
+  for (int64_t I = 0; I < 64; ++I)
+    Want.insert(I);
+  EXPECT_EQ(Tiers, Want);
+  std::remove(Path.c_str());
+}
+
+TEST(Trace, StreamToUnwritablePathFailsCleanly) {
+  TraceRecorder &R = TraceRecorder::instance();
+  R.clear();
+  EXPECT_FALSE(R.streamTo("/no_such_dir_xyz/trace.jsonl"));
+  EXPECT_FALSE(R.streaming());
+  // finishStream with no active stream is a harmless no-op.
+  EXPECT_TRUE(R.finishStream());
 }
 
 } // namespace

@@ -9,14 +9,20 @@
 //                 [--shards K] [--workers N] [--max-attempts A]
 //                 [--timeout-ms T] [--backoff-ms B] [--backoff-cap-ms C]
 //                 [--worker PATH] [--no-resume] [--trace out.jsonl]
+//                 [--verdict-store PATH]
 //                 [--inject-crash-shard I] [--inject-hang-shard I]
 //                 [--inject-corrupt-result I] [--inject-flaky-shard I]
+//
+// --verdict-store hands every worker the same durable verdict journal
+// (docs/PERSISTENCE.md): the fleet shares one warm store across shards,
+// processes, and runs. Results are bit-identical with or without it.
 //
 // Exit codes: 0 all shards healthy; 1 hard error; 4 degraded (some shards
 // quarantined — healthy subset still merged and reported).
 //
-// `--tiny` is the CI chaos gate. It runs three phases over a scratch
-// directory and exits nonzero unless every gate holds:
+// `--tiny` is the CI chaos gate. It runs three phases (four with
+// --verdict-store) over a scratch directory and exits nonzero unless every
+// gate holds:
 //   1. all-healthy run  => bit-identical to evaluateModelSharded() and the
 //      serial evaluateModel() oracle;
 //   2. chaos run (flaky shard 0, crash shard 1, hang shard 2, corrupt
@@ -26,11 +32,17 @@
 //      the healthy shard set;
 //   3. resume run over the same directory without injection => reuses the
 //      salvaged shard's result file, re-runs only the quarantined shards,
-//      and the full merge is bit-identical to the oracle.
+//      and the full merge is bit-identical to the oracle;
+//   4. (with --verdict-store) warm-store differential: an in-process
+//      sharded evaluation against the store the worker fleet just warmed
+//      must replay verdicts (store hits > 0) and stay bit-identical to the
+//      oracle. Running --tiny twice against one store also exercises the
+//      cross-run warm path — the CI warm-store job's gate.
 //
 //===----------------------------------------------------------------------===//
 
 #include "pipeline/EvalDriver.h"
+#include "store/VerdictStore.h"
 #include "support/AtomicFile.h"
 #include "trace/Metrics.h"
 #include "trace/Trace.h"
@@ -38,6 +50,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -54,7 +67,8 @@ int usage(const char *Argv0) {
       "          [--dataset-seed S] [--shards K] [--workers N]\n"
       "          [--max-attempts A] [--timeout-ms T] [--backoff-ms B]\n"
       "          [--backoff-cap-ms C] [--worker PATH] [--no-resume]\n"
-      "          [--trace out.jsonl] [--inject-crash-shard I]\n"
+      "          [--trace out.jsonl] [--verdict-store PATH]\n"
+      "          [--inject-crash-shard I]\n"
       "          [--inject-hang-shard I] [--inject-corrupt-result I]\n"
       "          [--inject-flaky-shard I]\n",
       Argv0);
@@ -70,7 +84,7 @@ std::string siblingWorker(const char *Argv0) {
 }
 
 struct DriveConfig {
-  std::string Dir, WorkerPath, TracePath;
+  std::string Dir, WorkerPath, TracePath, StorePath;
   unsigned ValidCount = 24, Shards = 4, Workers = 2, MaxAttempts = 3;
   uint64_t DatasetSeed = 2026, TimeoutMs = 120000, BackoffMs = 50,
            BackoffCapMs = 2000, PlanSeed = 0xE7A1;
@@ -94,6 +108,9 @@ bool runOnce(const DriveConfig &C, size_t CorpusSize, EvalDriverReport &Out,
   DO.WorkerArgv = {C.WorkerPath,
                    "--valid-count", std::to_string(C.ValidCount),
                    "--dataset-seed", std::to_string(C.DatasetSeed)};
+  if (!C.StorePath.empty())
+    DO.WorkerArgv.insert(DO.WorkerArgv.end(),
+                         {"--verdict-store", C.StorePath});
   DO.WorkerArgv.insert(DO.WorkerArgv.end(), C.InjectArgs.begin(),
                        C.InjectArgs.end());
   DO.MaxWorkers = C.Workers;
@@ -223,6 +240,33 @@ int chaosGate(DriveConfig C) {
          "resume: full merge bit-identical to serial oracle");
   }
 
+  // Phase 4 (with --verdict-store): the worker fleet above warmed the
+  // shared journal; an in-process evaluation against it must replay those
+  // verdicts and still match the oracle bit for bit.
+  if (!C.StorePath.empty()) {
+    std::string SErr;
+    std::unique_ptr<VerdictStore> Store = VerdictStore::open(C.StorePath,
+                                                             &SErr);
+    if (!Store) {
+      std::fprintf(stderr, "store error: %s\n", SErr.c_str());
+      return 1;
+    }
+    VerdictStore::Stats AtOpen = Store->stats();
+    std::printf("verdict store: %llu records loaded, %llu quarantined\n",
+                static_cast<unsigned long long>(AtOpen.LiveAtOpen),
+                static_cast<unsigned long long>(AtOpen.Quarantined));
+    gate(AtOpen.LiveAtOpen > 0, "warm store: fleet journaled verdicts");
+    EvalOptions EO;
+    EO.Shards = C.Shards;
+    EO.VerdictTier = Store.get();
+    EvalResult Warm = evaluateModelSharded(Model, DS.Valid,
+                                           PromptMode::Generic,
+                                           VerifyOptions(), EO);
+    gate(Store->stats().Hits > 0, "warm store: verdicts replayed (hits > 0)");
+    gate(countResultDivergence(Oracle, Warm) == 0,
+         "warm store: bit-identical to serial oracle");
+  }
+
   std::printf("chaos gate: %s\n", Failures ? "FAILED" : "all gates passed");
   return Failures ? 1 : 0;
 }
@@ -252,6 +296,8 @@ int main(int argc, char **argv) {
       C.WorkerPath = V;
     else if (valArg(I, "--trace", &V))
       C.TracePath = V;
+    else if (valArg(I, "--verdict-store", &V))
+      C.StorePath = V;
     else if (valArg(I, "--valid-count", &V))
       C.ValidCount = static_cast<unsigned>(std::atoi(V));
     else if (valArg(I, "--dataset-seed", &V))

@@ -8,6 +8,13 @@
 //
 //   veriopt-worker --manifest plan.json --shard 2 --out results/
 //                  [--valid-count N] [--dataset-seed S] [--attempt K]
+//                  [--verdict-store PATH]
+//
+// With --verdict-store the worker verifies through a private VerifyCache
+// backed by the shared durable VerdictStore (docs/PERSISTENCE.md): warm
+// verdicts are replayed instead of recomputed and fresh ones are journaled
+// for the rest of the fleet. Results are bit-identical with or without the
+// store (the PR6 batch-verify contract + deterministic verification).
 //
 // Typed exit codes (the supervisor's failure taxonomy):
 //   0  result written and valid
@@ -15,6 +22,10 @@
 //   3  manifest unreadable or malformed
 //   4  shard index not present in the manifest
 //   5  result file could not be written
+//
+// Hidden test hook: --lock-probe PATH tries a non-blocking exclusive
+// flock on PATH and exits 0 (acquired) or 7 (contended) — the two-process
+// arm of FileLockTest.
 //
 // Chaos-test fault injection (all routed through the seeded FaultInjector
 // worker sites so injections are counted and deterministic):
@@ -28,13 +39,18 @@
 //===----------------------------------------------------------------------===//
 
 #include "pipeline/Evaluation.h"
+#include "store/VerdictStore.h"
 #include "support/AtomicFile.h"
 #include "support/FaultInjector.h"
+#include "support/FileLock.h"
+#include "verify/BatchVerifier.h"
+#include "verify/VerifyCache.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -50,6 +66,7 @@ int usage(const char *Argv0) {
       stderr,
       "usage: %s --manifest <plan.json> --shard <index> --out <dir>\n"
       "          [--valid-count N] [--dataset-seed S] [--attempt K]\n"
+      "          [--verdict-store PATH]\n"
       "          [--inject-crash-shard I] [--inject-hang-shard I]\n"
       "          [--inject-corrupt-result I] [--inject-flaky-shard I]\n"
       "          [--fault-seed S]\n",
@@ -67,7 +84,7 @@ bool contains(const std::vector<unsigned> &V, unsigned X) {
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string ManifestPath, OutDir;
+  std::string ManifestPath, OutDir, StorePath, LockProbePath;
   int ShardIdx = -1;
   unsigned ValidCount = 24, Attempt = 1;
   uint64_t DatasetSeed = 2026, FaultSeed = 0xFA11;
@@ -85,6 +102,10 @@ int main(int argc, char **argv) {
       ManifestPath = argv[++I];
     else if (std::strcmp(argv[I], "--out") == 0 && I + 1 < argc)
       OutDir = argv[++I];
+    else if (std::strcmp(argv[I], "--verdict-store") == 0 && I + 1 < argc)
+      StorePath = argv[++I];
+    else if (std::strcmp(argv[I], "--lock-probe") == 0 && I + 1 < argc)
+      LockProbePath = argv[++I];
     else if (intArg(I, "--shard", V))
       ShardIdx = static_cast<int>(V);
     else if (intArg(I, "--valid-count", V))
@@ -105,6 +126,19 @@ int main(int argc, char **argv) {
       FlakyShards.push_back(static_cast<unsigned>(V));
     else
       return usage(argv[0]);
+  }
+  if (!LockProbePath.empty()) {
+    // Test hook: report whether an exclusive flock on the path is free.
+    FileLock Probe;
+    bool Contended = false;
+    std::string LErr;
+    if (!Probe.tryLock(LockProbePath, FileLock::Mode::Exclusive, Contended,
+                       &LErr)) {
+      std::fprintf(stderr, "veriopt-worker: lock probe failed: %s\n",
+                   LErr.c_str());
+      return 5;
+    }
+    return Contended ? 7 : 0;
   }
   if (ManifestPath.empty() || OutDir.empty() || ShardIdx < 0)
     return usage(argv[0]);
@@ -170,8 +204,44 @@ int main(int argc, char **argv) {
   Dataset DS = buildDataset(DO);
   RewritePolicyModel Model(presetQwen3B());
 
+  // With a verdict store, verify through a private cache backed by the
+  // shared journal — same construction as evaluateModelSharded's batch
+  // path, so the verdicts (and therefore the result file) stay
+  // bit-identical to the plain path below.
+  std::unique_ptr<VerdictStore> Store;
+  std::unique_ptr<VerifyCache> Cache;
+  std::unique_ptr<BatchVerifier> BV;
+  if (!StorePath.empty()) {
+    std::string SErr;
+    Store = VerdictStore::open(StorePath, &SErr);
+    if (!Store) {
+      std::fprintf(stderr, "veriopt-worker: cannot open verdict store %s: "
+                   "%s\n",
+                   StorePath.c_str(), SErr.c_str());
+      return 5;
+    }
+    Cache = std::make_unique<VerifyCache>(4096);
+    Cache->setBackingStore(Store.get());
+    BatchVerifier::Options BO;
+    BO.Robust.Base = VerifyOptions();
+    BO.Robust.MaxTiers = 1; // evaluation runs one fixed budget, no ladder
+    BV = std::make_unique<BatchVerifier>(BO, Cache.get(), nullptr);
+  }
+
   ShardEvalResult R = evaluateEvalShard(Model, DS.Valid, PromptMode::Generic,
-                                        VerifyOptions(), *Shard);
+                                        VerifyOptions(), *Shard, BV.get());
+
+  if (Store) {
+    if (!Store->flush())
+      std::fprintf(stderr, "veriopt-worker: verdict store flush failed "
+                   "(results unaffected)\n");
+    VerdictStore::Stats SS = Store->stats();
+    std::fprintf(stderr, "veriopt-worker: shard %u store: %llu hits, %llu "
+                 "misses, %llu new records\n",
+                 Idx, static_cast<unsigned long long>(SS.Hits),
+                 static_cast<unsigned long long>(SS.Misses),
+                 static_cast<unsigned long long>(SS.Writes));
+  }
 
   const std::string Path =
       OutDir + "/shard_" + std::to_string(Idx) + ".json";
