@@ -76,8 +76,12 @@ int main(int Argc, char **Argv) {
                         std::vector<std::string> Extra) {
     std::string D = Dir + "/" + Sub;
     ::mkdir(D.c_str(), 0755);
-    writeFileAtomic(D + "/manifest.json",
-                    shardManifestToJson(Plan, PlanSeed, DS.Valid.size()));
+    if (!writeFileAtomic(D + "/manifest.json",
+                         shardManifestToJson(Plan, PlanSeed,
+                                             DS.Valid.size()))) {
+      std::printf("cannot write %s/manifest.json\n", D.c_str());
+      std::exit(1);
+    }
     EvalDriverOptions O;
     O.ManifestPath = D + "/manifest.json";
     O.ResultDir = D;

@@ -20,12 +20,28 @@
 //   --verdict-store <path> durable verdict journal shared across runs and
 //                          processes (docs/PERSISTENCE.md); results are
 //                          bit-identical warm or cold
+//   --checkpoint <path>    periodic pipeline checkpoints + resume (see
+//                          docs/FAULT_TOLERANCE.md)
+//   --checkpoint-every <n> checkpoint every n GRPO steps (0 = stage
+//                          boundaries only)
+//   --chaos-io <rate%>     inject I/O faults (ENOSPC/EIO/EDQUOT, short
+//                          writes, failed fsync/rename/flock) into every
+//                          durable write at the given percentage. The run
+//                          must still complete with a training trajectory
+//                          bit-identical to the fault-free same-seed run;
+//                          only durability (store flushes, checkpoints)
+//                          degrades, visibly, as io.* metrics. The trace
+//                          sinks themselves are exempted so the gate
+//                          artifact this flag exists to compare survives.
+//   --chaos-io-seed <s>    seed for the fault pattern (default 0xFA11)
 //
 //===----------------------------------------------------------------------===//
 
 #include "pipeline/Evaluation.h"
 #include "pipeline/Pipeline.h"
 #include "store/VerdictStore.h"
+#include "support/FaultInjector.h"
+#include "support/IoEnv.h"
 #include "support/ThreadPool.h"
 #include "trace/Metrics.h"
 #include "trace/Trace.h"
@@ -42,7 +58,10 @@ int main(int argc, char **argv) {
   bool Tiny = false;
   unsigned EvalShards = 1, EvalThreads = 1;
   size_t StreamEvery = 0;
-  std::string TracePath, ChromePath, StorePath;
+  unsigned CheckpointEvery = 0;
+  long ChaosIoPct = 0;
+  uint64_t ChaosIoSeed = 0xFA11;
+  std::string TracePath, ChromePath, StorePath, CheckpointPath;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--tiny") == 0) {
       Tiny = true;
@@ -58,12 +77,27 @@ int main(int argc, char **argv) {
       StreamEvery = static_cast<size_t>(std::max(1, std::atoi(argv[++I])));
     } else if (std::strcmp(argv[I], "--verdict-store") == 0 && I + 1 < argc) {
       StorePath = argv[++I];
+    } else if (std::strcmp(argv[I], "--checkpoint") == 0 && I + 1 < argc) {
+      CheckpointPath = argv[++I];
+    } else if (std::strcmp(argv[I], "--checkpoint-every") == 0 &&
+               I + 1 < argc) {
+      CheckpointEvery = static_cast<unsigned>(std::max(0, std::atoi(argv[++I])));
+    } else if (std::strcmp(argv[I], "--chaos-io") == 0 && I + 1 < argc) {
+      ChaosIoPct = std::strtol(argv[++I], nullptr, 10);
+      if (ChaosIoPct < 0 || ChaosIoPct > 100) {
+        std::fprintf(stderr, "error: --chaos-io wants a percentage 0..100\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[I], "--chaos-io-seed") == 0 && I + 1 < argc) {
+      ChaosIoSeed = std::strtoull(argv[++I], nullptr, 0);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--tiny] [--trace out.jsonl] "
                    "[--chrome-trace out.json] [--eval-shards n] "
                    "[--eval-threads n] [--stream-trace n] "
-                   "[--verdict-store path]\n",
+                   "[--verdict-store path] [--checkpoint path] "
+                   "[--checkpoint-every n] [--chaos-io rate%%] "
+                   "[--chaos-io-seed s]\n",
                    argv[0]);
       return 2;
     }
@@ -78,6 +112,29 @@ int main(int argc, char **argv) {
     std::fprintf(stderr,
                  "error: --stream-trace and --chrome-trace are exclusive\n");
     return 2;
+  }
+
+  // Chaos-io installs process-wide, before any durable subsystem opens a
+  // file, so the whole run sees the same hostile disk. The trace sinks are
+  // exempted: the CI chaos gate diffs this run's trace against a fault-free
+  // same-seed run, which requires the comparison artifact itself to land.
+  std::unique_ptr<FaultInjector> IoFI;
+  std::unique_ptr<FaultyIoEnv> IoFaults;
+  std::unique_ptr<ScopedIoEnv> IoInstall;
+  if (ChaosIoPct > 0) {
+    IoFI = std::make_unique<FaultInjector>(ChaosIoSeed);
+    const double Rate = static_cast<double>(ChaosIoPct) / 100.0;
+    for (FaultSite S : {FaultSite::IoOpen, FaultSite::IoWrite,
+                        FaultSite::IoShortWrite, FaultSite::IoFsync,
+                        FaultSite::IoRename, FaultSite::IoFlock})
+      IoFI->enable(S, Rate);
+    IoFaults = std::make_unique<FaultyIoEnv>(*IoFI);
+    IoFaults->exemptSuffix(".jsonl");
+    IoFaults->exemptSuffix(".stream");
+    IoInstall = std::make_unique<ScopedIoEnv>(IoFaults.get());
+    std::fprintf(stderr, "chaos-io: armed at %ld%% (seed 0x%llx)\n",
+                 ChaosIoPct,
+                 static_cast<unsigned long long>(ChaosIoSeed));
   }
 
   if (!TracePath.empty() || !ChromePath.empty())
@@ -131,6 +188,8 @@ int main(int argc, char **argv) {
   P.Stage2Steps = Tiny ? 6 : 40;
   P.Stage3Steps = Tiny ? 8 : 80;
   P.GRPO.GroupSize = 6;
+  P.CheckpointPath = CheckpointPath;
+  P.CheckpointEveryNSteps = CheckpointEvery;
   std::printf("running the four-stage training pipeline...\n");
   PipelineArtifacts Art = runTrainingPipeline(DS, P);
   std::printf("  U_max (80th pct of reference speedups) = %.2f\n",
@@ -176,6 +235,11 @@ int main(int argc, char **argv) {
     VerdictStore::Stats SS = Store->stats();
     if (!Store->flush())
       std::fprintf(stderr, "warning: verdict store flush failed\n");
+    if (Store->degraded())
+      std::fprintf(stderr,
+                   "warning: verdict store degraded to in-memory-only (%s); "
+                   "results above are unaffected\n",
+                   Store->stats().DegradedReason.c_str());
     std::printf("verdict store: %llu hits, %llu misses, %llu new records "
                 "(%zu resident)\n",
                 static_cast<unsigned long long>(SS.Hits),

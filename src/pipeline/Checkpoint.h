@@ -61,9 +61,12 @@ struct PipelineCheckpoint {
 /// false on I/O failure — or when \p Faults fires the CheckpointWrite site
 /// for this checkpoint's (stage, step) key, which simulates a full disk /
 /// crash mid-save. Callers must treat false as "previous checkpoint still
-/// stands" and keep training.
+/// stands" and keep training. \p Attempt (1-based) salts the injection key
+/// for retries *after the first*, so a retrying caller sees an independent
+/// fault decision per attempt while single-attempt callers keep the
+/// historical per-checkpoint pattern.
 bool saveCheckpoint(const std::string &Path, const PipelineCheckpoint &CP,
-                    FaultInjector *Faults = nullptr);
+                    FaultInjector *Faults = nullptr, unsigned Attempt = 1);
 
 /// Load \p Path into \p CP. Returns false (leaving \p CP default) when the
 /// file is missing, truncated, or not a compatible checkpoint.

@@ -40,6 +40,18 @@ uint64_t driverBackoffMs(uint64_t Seed, unsigned ShardIdx, unsigned Attempt,
   return std::min(CapMs, D + J);
 }
 
+const char *failureClassName(FailureClass C) {
+  switch (C) {
+  case FailureClass::Logic:
+    return "logic";
+  case FailureClass::Io:
+    return "io";
+  case FailureClass::Runtime:
+    return "runtime";
+  }
+  return "unknown";
+}
+
 //===--- Result-file validation -----------------------------------------------//
 
 bool loadValidShardResult(const std::string &Path, const EvalShard &Expect,
@@ -210,12 +222,22 @@ bool runEvalDriver(const EvalDriverOptions &Opts,
 
     std::string FailWhy;
     bool Ok = false;
+    // Worker-I/O failures (typed exit 5: lock probe, store open, result
+    // write — and an exit-0 claim whose file is missing or torn, which can
+    // only be the write plane) are classified apart from worker-logic
+    // failures (any other nonzero exit: usage, manifest, shard identity) so
+    // quarantine diagnostics tell a failing disk from failing code.
+    FailureClass Class = FailureClass::Runtime;
     if (PR.Outcome == SubprocessOutcome::Exited && PR.ExitCode == 0) {
       // Exit 0 is a claim, not proof: the result file must exist, parse,
       // and match the manifest's shard identity before it is trusted.
       Ok = loadValidShardResult(resultPath(Opts.ResultDir, R.Shard.Index),
                                 R.Shard, R.Result, &FailWhy);
+      if (!Ok)
+        Class = FailureClass::Io;
     } else {
+      if (PR.Outcome == SubprocessOutcome::Exited)
+        Class = PR.ExitCode == 5 ? FailureClass::Io : FailureClass::Logic;
       FailWhy = PR.describe();
     }
 
@@ -237,6 +259,7 @@ bool runEvalDriver(const EvalDriverOptions &Opts,
 
     ShardAttemptFailure F;
     F.Attempt = R.Attempts;
+    F.Class = Class;
     F.Reason = FailWhy;
     F.StderrTail = stderrTail(PR);
     R.Failures.push_back(std::move(F));
@@ -335,9 +358,20 @@ bool runEvalDriver(const EvalDriverOptions &Opts,
   CSalvaged.inc(Report.Salvaged);
   Report.Merged = mergeShardResults(ModelName, std::move(Healthy));
 
-  if (!Opts.ResultDir.empty())
-    writeFileAtomic(Opts.ResultDir + "/quarantine.json",
-                    quarantineToJson(Report.Quarantined));
+  if (!Opts.ResultDir.empty()) {
+    std::string QErr;
+    if (!writeFileAtomic(Opts.ResultDir + "/quarantine.json",
+                         quarantineToJson(Report.Quarantined), &QErr)) {
+      // The sidecar is forensics, not state: losing it costs nothing the
+      // in-memory report does not still carry, so surface it as a typed
+      // report field + durability-plane counter instead of failing a run
+      // whose merge already succeeded.
+      Report.QuarantineWriteError = QErr;
+      static Counter &CQWriteFailed =
+          M.counter("io.driver.quarantine_write_failures");
+      CQWriteFailed.inc();
+    }
+  }
 
   if (Span.active()) {
     Span.arg(TraceArg::ofInt("shards", static_cast<int64_t>(Plan.size())));
@@ -367,8 +401,9 @@ std::string quarantineToJson(const std::vector<QuarantinedShard> &Q) {
       if (J)
         OS << ",";
       const ShardAttemptFailure &F = S.Failures[J];
-      OS << "{\"attempt\":" << F.Attempt
-         << ",\"reason\":" << jsonString(F.Reason)
+      OS << "{\"attempt\":" << F.Attempt << ",\"class\":\""
+         << failureClassName(F.Class)
+         << "\",\"reason\":" << jsonString(F.Reason)
          << ",\"stderr\":" << jsonString(F.StderrTail) << "}";
     }
     OS << "]}";
@@ -387,11 +422,18 @@ std::string renderDriverReport(const EvalDriverReport &R) {
     OS << "  QUARANTINED shard " << Q.Shard.Index << " [" << Q.Shard.Begin
        << ", " << Q.Shard.End << ")";
     if (!Q.Failures.empty())
-      OS << " — last failure: " << Q.Failures.back().Reason;
+      OS << " — last failure ["
+         << failureClassName(Q.Failures.back().Class)
+         << "]: " << Q.Failures.back().Reason;
     OS << "\n";
     for (const ShardAttemptFailure &F : Q.Failures)
-      OS << "    attempt " << F.Attempt << ": " << F.Reason << "\n";
+      OS << "    attempt " << F.Attempt << " ["
+         << failureClassName(F.Class) << "]: " << F.Reason << "\n";
   }
+  if (!R.QuarantineWriteError.empty())
+    OS << "  WARNING: quarantine.json not written ("
+       << R.QuarantineWriteError << ") — diagnostics above are the only "
+       << "copy\n";
   OS << renderTaxonomy("salvaged-shard taxonomy (healthy subset)",
                        R.Merged.Taxonomy);
   return OS.str();

@@ -71,9 +71,19 @@ struct EvalDriverOptions {
   size_t MaxStderrBytes = 4096;
 };
 
+/// Coarse cause taxonomy for a failed attempt — the distinction the
+/// quarantine diagnostics surface so an operator can tell "the worker's
+/// disk is failing" (Io: typed I/O exit, or an exit-0 claim whose result
+/// file is missing/torn) from "the worker rejected its inputs or computed
+/// garbage" (Logic: any other nonzero exit) from "the process died or
+/// hung" (Runtime: signal, blown deadline, spawn failure).
+enum class FailureClass { Logic, Io, Runtime };
+const char *failureClassName(FailureClass C);
+
 /// One failed attempt's diagnostics, kept for the quarantine record.
 struct ShardAttemptFailure {
   unsigned Attempt = 0;     ///< 1-based
+  FailureClass Class = FailureClass::Runtime;
   std::string Reason;       ///< typed outcome + detail (exit code, signal,
                             ///< validation error, ...)
   std::string StderrTail;   ///< captured worker stderr (bounded)
@@ -91,6 +101,10 @@ struct EvalDriverReport {
   unsigned Salvaged = 0; ///< healthy shards in the merge (incl. Reused)
   std::vector<QuarantinedShard> Quarantined; ///< sorted by shard index
   std::vector<unsigned> HealthyShardIndices; ///< sorted
+  /// Non-empty when writing <ResultDir>/quarantine.json itself failed (the
+  /// diagnostics still live in Quarantined — losing the sidecar costs
+  /// forensics on disk, never the in-memory report or the merge).
+  std::string QuarantineWriteError;
   /// Merge over the healthy shard subset (bit-identical to the serial
   /// oracle restricted to those shards' sample ranges).
   EvalResult Merged;

@@ -350,9 +350,18 @@ EvalResult evaluateModelSharded(const RewritePolicyModel &Model,
     Shards = EOpts.Pool ? EOpts.Pool->numThreads() : 1;
   std::vector<EvalShard> Plan = planEvalShards(Valid.size(), Shards,
                                                EOpts.Seed);
-  if (!EOpts.ShardManifestPath.empty())
-    writeFileAtomic(EOpts.ShardManifestPath,
-                    shardManifestToJson(Plan, EOpts.Seed, Valid.size()));
+  // Failed artifact writes are counted, not fatal: the in-process result
+  // does not depend on the disk, and a worker fleet pointed at a missing
+  // manifest/result file fails with its own typed errors.
+  unsigned IoErrors = 0;
+  static Counter &CWriteFailed =
+      MetricsRegistry::global().counter("io.eval.write_failures");
+  if (!EOpts.ShardManifestPath.empty() &&
+      !writeFileAtomic(EOpts.ShardManifestPath,
+                       shardManifestToJson(Plan, EOpts.Seed, Valid.size()))) {
+    ++IoErrors;
+    CWriteFailed.inc();
+  }
 
   // One shared cache + BatchVerifier context for the whole run: shards are
   // parallelized at shard granularity (the group-level fan-out stays off —
@@ -391,11 +400,15 @@ EvalResult evaluateModelSharded(const RewritePolicyModel &Model,
 
   if (!EOpts.ShardResultDir.empty())
     for (const ShardEvalResult &S : Results)
-      writeFileAtomic(EOpts.ShardResultDir + "/shard_" +
-                          std::to_string(S.Shard.Index) + ".json",
-                      shardResultToJson(S));
+      if (!writeFileAtomic(EOpts.ShardResultDir + "/shard_" +
+                               std::to_string(S.Shard.Index) + ".json",
+                           shardResultToJson(S))) {
+        ++IoErrors;
+        CWriteFailed.inc();
+      }
 
   EvalResult R = mergeShardResults(Model.config().Name, std::move(Results));
+  R.IoErrors = IoErrors;
   if (Span.active()) {
     Span.arg(TraceArg::ofInt("shards", static_cast<int64_t>(Plan.size())));
     Span.arg(TraceArg::ofInt("samples", R.Taxonomy.Total));

@@ -87,6 +87,11 @@ struct EvalResult {
   /// Fallback composition: min(model, reference) per sample, geomean
   /// improvement over reference alone (the paper's +17% result).
   double FallbackGainOverRef = 0;
+  /// Manifest / per-shard result files evaluateModelSharded failed to
+  /// write (durability plane only: the in-memory result is unaffected, so
+  /// this field is excluded from countResultDivergence and from the shard
+  /// JSON — it is telemetry about this process's disk, not the evaluation).
+  unsigned IoErrors = 0;
   std::vector<SampleEval> PerSample;
 };
 

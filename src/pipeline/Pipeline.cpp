@@ -2,10 +2,14 @@
 
 #include "pipeline/Pipeline.h"
 
+#include "pipeline/EvalDriver.h"
+#include "trace/Metrics.h"
 #include "trace/Trace.h"
 #include "verify/BatchVerifier.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 namespace veriopt {
 
@@ -251,14 +255,45 @@ PipelineArtifacts runTrainingPipeline(const Dataset &DS,
   auto writeCkpt = [&](const PipelineCheckpoint &Snap) {
     if (Opts.CheckpointPath.empty())
       return;
-    bool Ok = saveCheckpoint(Opts.CheckpointPath, Snap, Opts.Faults);
+    // Retry with the eval driver's deterministic capped-backoff law (no
+    // clock, no randomness in the delay): transient write failures — a
+    // briefly full disk, an injected fault — cost a few milliseconds, not
+    // a checkpoint. A write that still fails after every attempt is
+    // telemetry (the previous checkpoint stands) and training continues on
+    // the identical trajectory.
+    static Counter &RetriesCounter =
+        MetricsRegistry::global().counter("io.checkpoint.retries");
+    bool Ok = false;
+    unsigned Attempts = 0;
+    for (unsigned A = 1; A <= 1 + Opts.CheckpointWriteRetries && !Ok; ++A) {
+      if (A >= 2) {
+        uint64_t DelayMs =
+            driverBackoffMs(Opts.Seed, Snap.StageIdx, A,
+                            Opts.CheckpointRetryBaseMs,
+                            Opts.CheckpointRetryCapMs);
+        if (DelayMs)
+          std::this_thread::sleep_for(std::chrono::milliseconds(DelayMs));
+        ++Art.CheckpointRetries;
+        RetriesCounter.inc();
+      }
+      Attempts = A;
+      Ok = saveCheckpoint(Opts.CheckpointPath, Snap, Opts.Faults, A);
+    }
     if (Ok)
       ++Art.CheckpointsWritten;
     else
       ++Art.CheckpointWriteFailures; // previous checkpoint still stands
-    TraceRecorder::instance().instant(
-        "pipeline.checkpoint",
-        {TraceArg::ofInt("stage", Snap.StageIdx), TraceArg::ofBool("ok", Ok)});
+    // "ok"/"attempts" ride the meta plane: whether a disk write succeeded
+    // is durability-plane information and must not perturb the
+    // deterministic args multiset under I/O faults.
+    TraceEvent E;
+    E.Name = "pipeline.checkpoint";
+    E.Phase = TracePhase::Instant;
+    E.Args.push_back(TraceArg::ofInt("stage", Snap.StageIdx));
+    E.Meta.push_back(TraceArg::ofBool("ok", Ok));
+    E.Meta.push_back(TraceArg::ofInt("attempts", Attempts));
+    E.TsNs = TraceRecorder::instance().nowNs();
+    TraceRecorder::instance().record(std::move(E));
   };
 
   /// Run the remainder of one GRPO stage: periodic checkpoints, halt on

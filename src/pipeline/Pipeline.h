@@ -76,6 +76,15 @@ struct PipelineOptions {
   /// halt) via atomic write-then-rename.
   std::string CheckpointPath;
   unsigned CheckpointEveryNSteps = 0;
+  /// Extra save attempts after a failed checkpoint write, each preceded by
+  /// the driver's deterministic capped backoff (driverBackoffMs with
+  /// CheckpointRetryBaseMs/CapMs, keyed on seed + stage + attempt — no
+  /// clock, no randomness). A still-failing write after all retries is
+  /// telemetry, never an abort: the previous checkpoint stands and
+  /// training continues on the identical trajectory.
+  unsigned CheckpointWriteRetries = 2;
+  uint64_t CheckpointRetryBaseMs = 10;
+  uint64_t CheckpointRetryCapMs = 100;
   /// Resume from CheckpointPath when it holds a checkpoint for this Seed;
   /// the resumed run's deterministic artifacts (parameters, logs, harvested
   /// samples) are identical to an uninterrupted run.
@@ -164,6 +173,7 @@ struct PipelineArtifacts {
   bool Halted = false;            ///< stopped early via HaltAfterSteps
   unsigned CheckpointsWritten = 0;
   unsigned CheckpointWriteFailures = 0; ///< injected or real; run continued
+  uint64_t CheckpointRetries = 0;       ///< extra save attempts consumed
   uint64_t RetryEscalations = 0;        ///< rollouts verified above tier 0
   uint64_t TerminalInconclusive = 0;    ///< budget-bound at the top tier
   uint64_t InjectedFaults = 0;          ///< oracle faults the verifier saw

@@ -233,6 +233,17 @@ std::string renderRunReport(const RunSummary &S, unsigned TopN) {
          << "  compactions " << static_cast<uint64_t>(M("store.compactions"))
          << "  quarantined lines "
          << static_cast<uint64_t>(M("store.quarantined")) << "\n";
+      // Durability-plane row (io.* metrics): only rendered when something
+      // actually went wrong, so fault-free golden reports are unchanged.
+      double FlushFailures = M("io.store.flush_failures");
+      double Degraded = M("io.store.degraded");
+      if (FlushFailures || Degraded)
+        OS << "  DEGRADED: " << static_cast<uint64_t>(FlushFailures)
+           << " flush failures"
+           << (Degraded ? " — store tripped to in-memory-only "
+                          "(durability lost, results unaffected)"
+                        : " (journal retrying)")
+           << "\n";
     }
   }
   OS << "\n";

@@ -92,17 +92,21 @@ bool endsWith(const std::string &S, const std::string &Suffix) {
 } // namespace
 
 bool isTimingPlaneEvent(const JsonValue &Event) {
-  // Metric exports are deterministic except for wall-clock instruments,
-  // which by the documented naming convention (docs/OBSERVABILITY.md) are
-  // exactly the `*_ms` keys: their values (and a latency histogram's
-  // bucket spread/sum) measure elapsed time, so two same-seed runs
-  // legitimately differ there. Everything else about an event that can
-  // vary between same-seed runs (ts_ns, dur_ns, tid, seq, meta) is
-  // already outside the (name, ph, args) key.
+  // Metric exports are deterministic except for wall-clock instruments —
+  // by the documented naming convention (docs/OBSERVABILITY.md) the `*_ms`
+  // keys, whose values (and a latency histogram's bucket spread/sum)
+  // measure elapsed time — and durability-plane instruments — the `io.`
+  // prefix, whose values measure how the *disk* behaved (fault injections,
+  // flush failures, degraded-mode gauges), so a faulty and a fault-free
+  // same-seed run legitimately differ there while every correctness-plane
+  // metric stays identical. Everything else about an event that can vary
+  // between same-seed runs (ts_ns, dur_ns, tid, seq, meta) is already
+  // outside the (name, ph, args) key.
   const std::string N = name(Event);
   if (N != "metric" && N != "metric.hist")
     return false;
-  return endsWith(argStr(Event, "key"), "_ms");
+  const std::string Key = argStr(Event, "key");
+  return endsWith(Key, "_ms") || Key.compare(0, 3, "io.") == 0;
 }
 
 std::string deterministicEventKey(const JsonValue &Event) {

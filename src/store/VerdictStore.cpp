@@ -44,6 +44,18 @@ Counter &quarantinedCounter() {
   static Counter &C = MetricsRegistry::global().counter("store.quarantined");
   return C;
 }
+// Durability-plane instruments ("io." prefix: excluded from the
+// deterministic trace plane, docs/OBSERVABILITY.md) — I/O faults move
+// these, never the store.* efficacy counters above.
+Counter &flushFailuresCounter() {
+  static Counter &C =
+      MetricsRegistry::global().counter("io.store.flush_failures");
+  return C;
+}
+Gauge &degradedGauge() {
+  static Gauge &G = MetricsRegistry::global().gauge("io.store.degraded");
+  return G;
+}
 
 /// uint64 -> fixed 16-digit lowercase hex. JSON numbers are doubles, which
 /// cannot carry a full uint64 (fuel budgets, conflict counts, APInt64 bits)
@@ -410,9 +422,15 @@ void VerdictStore::put(const std::string &Key, const VerifyResult &R) {
     std::lock_guard<std::mutex> L(M);
     if (!Index.emplace(Key, R).second)
       return; // resident: deterministic verdicts make re-puts no-ops
-    Pending.emplace_back(Key, R);
+    // Degraded: keep the record (and keep counting it — store.writes must
+    // move identically whether or not the disk cooperates, or the training
+    // trajectory's metric plane would diverge under I/O faults), but never
+    // queue it for a journal that stopped accepting appends.
+    if (!Degraded)
+      Pending.emplace_back(Key, R);
     ++S.Writes;
-    ShouldFlush = Opt.FlushEveryN && Pending.size() >= Opt.FlushEveryN;
+    ShouldFlush = !Degraded && Opt.FlushEveryN &&
+                  Pending.size() >= Opt.FlushEveryN;
   }
   writesCounter().inc();
   if (ShouldFlush)
@@ -424,10 +442,30 @@ bool VerdictStore::flush(std::string *Err) {
   return flushLocked(Err);
 }
 
+void VerdictStore::noteFlushFailureLocked(const std::string &Why) {
+  ++S.FlushFailures;
+  flushFailuresCounter().inc();
+  ++ConsecFlushFailures;
+  if (!Degraded && Opt.DegradeAfterFlushFailures &&
+      ConsecFlushFailures >= Opt.DegradeAfterFlushFailures) {
+    Degraded = true;
+    S.DegradedReason = std::to_string(ConsecFlushFailures) +
+                       " consecutive flush failures; last: " + Why;
+    degradedGauge().set(1);
+  }
+}
+
+bool VerdictStore::degraded() const {
+  std::lock_guard<std::mutex> L(M);
+  return Degraded;
+}
+
 bool VerdictStore::flushLocked(std::string *Err) {
   std::vector<std::pair<std::string, VerifyResult>> Batch;
   {
     std::lock_guard<std::mutex> L(M);
+    if (Degraded)
+      return true; // in-memory-only: nothing is owed to the journal
     Batch.swap(Pending);
   }
   if (Batch.empty())
@@ -437,25 +475,45 @@ bool VerdictStore::flushLocked(std::string *Err) {
   for (const auto &[Key, R] : Batch)
     Payload += encodeRecord(Key, R);
 
+  std::string LocalErr;
   FileLock Lock;
-  if (!Lock.lock(LockPath, FileLock::Mode::Exclusive, Err))
+  if (!Lock.lock(LockPath, FileLock::Mode::Exclusive, &LocalErr)) {
+    if (Err)
+      *Err = LocalErr;
+    std::lock_guard<std::mutex> L(M);
+    noteFlushFailureLocked("lock: " + LocalErr);
     return false;
+  }
   // First writer stamps the header. The size check is race-free under the
   // exclusive lock; O_APPEND keeps even unlocked stray writers from
   // clobbering each other mid-file.
   std::string Full = Payload;
   if (fileSize(JournalPath) == 0)
     Full = std::string(headerLine()) + "\n" + Payload;
-  if (!appendFileDurable(JournalPath, Full, Err))
-    return false; // index intact; this batch will be recomputed next run
+  if (!appendFileDurable(JournalPath, Full, &LocalErr)) {
+    // Index intact; this batch will be recomputed next run. Consecutive
+    // failures eventually trip the store to in-memory-only so a dead disk
+    // costs durability, never forward progress.
+    if (Err)
+      *Err = LocalErr;
+    std::lock_guard<std::mutex> L(M);
+    noteFlushFailureLocked("append: " + LocalErr);
+    return false;
+  }
 
   std::lock_guard<std::mutex> L(M);
   LinesOnDisk += Batch.size();
+  ConsecFlushFailures = 0;
   return true;
 }
 
 bool VerdictStore::compact(std::string *Err) {
   std::lock_guard<std::mutex> IO(IoM);
+  {
+    std::lock_guard<std::mutex> L(M);
+    if (Degraded)
+      return true; // in-memory-only: the journal is no longer ours to touch
+  }
   if (!flushLocked(Err))
     return false;
   return compactLocked(Err);

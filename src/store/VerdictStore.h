@@ -67,6 +67,12 @@ public:
     /// journal (one lock + one durable append) every N records, plus on
     /// flush()/close/destruction.
     size_t FlushEveryN = 32;
+    /// Graceful degradation: after this many *consecutive* flush failures
+    /// the store trips to in-memory-only (sticky for the store's lifetime).
+    /// Degraded puts still update the index — and still count as Writes, so
+    /// the training trajectory's metrics stay bit-identical to a fault-free
+    /// run — but nothing further touches the journal. 0 disables tripping.
+    size_t DegradeAfterFlushFailures = 3;
   };
 
   /// Open (creating if absent) the journal at \p Path. Loads the full
@@ -95,7 +101,9 @@ public:
 
   /// Durably append all buffered records (under the exclusive file lock).
   /// On failure the in-memory index is still intact; the unflushed batch
-  /// is dropped (it will be recomputed and re-put by a later run).
+  /// is dropped (it will be recomputed and re-put by a later run). After
+  /// Options::DegradeAfterFlushFailures consecutive failures the store
+  /// trips to in-memory-only and flush becomes a successful no-op.
   bool flush(std::string *Err = nullptr);
 
   /// Rewrite the journal to live records only: re-reads the file under the
@@ -116,8 +124,16 @@ public:
     uint64_t Quarantined = 0; ///< journal lines rejected at load
     uint64_t LoadedRecords = 0; ///< frame-valid records seen at open
     uint64_t LiveAtOpen = 0;    ///< distinct keys resident after open
+    uint64_t FlushFailures = 0; ///< durable appends that failed
+    /// Why the store tripped to in-memory-only ("" while healthy) — the
+    /// typed reason tools/report surfaces in the degraded-mode row.
+    std::string DegradedReason;
   };
   Stats stats() const;
+
+  /// True once the store has tripped to in-memory-only (sticky). Lookups
+  /// and puts keep working — only durability is lost.
+  bool degraded() const;
 
   /// Distinct keys currently resident (loaded + put since open).
   size_t size() const;
@@ -171,7 +187,12 @@ private:
   /// denominator.
   uint64_t LinesOnDisk = 0;
   uint64_t DeadOnDisk = 0; ///< superseded duplicates + quarantined lines
+  uint64_t ConsecFlushFailures = 0; ///< resets on any successful flush
+  bool Degraded = false;            ///< sticky in-memory-only mode
   Stats S;
+
+  /// Account one failed flush under M; trips Degraded at the threshold.
+  void noteFlushFailureLocked(const std::string &Why);
 };
 
 } // namespace veriopt

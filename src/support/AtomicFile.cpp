@@ -2,8 +2,10 @@
 
 #include "support/AtomicFile.h"
 
+#include "support/IoEnv.h"
+
+#include <atomic>
 #include <cerrno>
-#include <cstdio>
 #include <cstring>
 
 #include <fcntl.h>
@@ -19,26 +21,28 @@ void setErr(std::string *Err, const char *Step) {
 }
 
 /// Write all of \p Payload to \p Fd, retrying short writes and EINTR.
-bool writeAll(int Fd, const std::string &Payload) {
+bool writeAll(IoEnv &Io, int Fd, const std::string &Payload) {
   const char *P = Payload.data();
   size_t Left = Payload.size();
   while (Left > 0) {
-    ssize_t N = ::write(Fd, P, Left);
+    ssize_t N = Io.write(Fd, P, Left);
     if (N < 0) {
       if (errno == EINTR)
         continue;
       return false;
     }
+    if (N == 0)
+      return false; // no progress: treat as failure, never spin
     P += N;
     Left -= static_cast<size_t>(N);
   }
   return true;
 }
 
-int fsyncRetry(int Fd) {
+int fsyncRetry(IoEnv &Io, int Fd) {
   int R;
   do
-    R = ::fsync(Fd);
+    R = Io.fsync(Fd);
   while (R != 0 && errno == EINTR);
   return R;
 }
@@ -54,12 +58,24 @@ std::string parentDir(const std::string &Path) {
 
 } // namespace
 
+std::string atomicTempPath(const std::string &Path) {
+  // A bare "<path>.tmp" collides: two concurrent writers to the same
+  // destination would truncate/rename each other's temporary mid-write.
+  // (pid, per-process counter) makes every call's temporary unique across
+  // processes and threads; the destination is still the rendezvous point,
+  // so last-rename-wins stays the (atomic) resolution.
+  static std::atomic<uint64_t> Seq{0};
+  return Path + ".tmp." + std::to_string(static_cast<long>(::getpid())) +
+         "." + std::to_string(Seq.fetch_add(1, std::memory_order_relaxed));
+}
+
 bool appendFileDurable(const std::string &Path, const std::string &Payload,
                        std::string *Err) {
+  IoEnv &Io = *IoEnv::current();
   int Fd;
   do
-    Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
-                0644);
+    Fd = Io.open(Path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                 0644);
   while (Fd < 0 && errno == EINTR);
   if (Fd < 0) {
     setErr(Err, "open for append");
@@ -69,12 +85,12 @@ bool appendFileDurable(const std::string &Path, const std::string &Payload,
   // concurrent appenders; cross-process writers still serialize whole
   // multi-write batches through FileLock so records interleave only at
   // batch granularity.
-  if (!writeAll(Fd, Payload) || fsyncRetry(Fd) != 0) {
+  if (!writeAll(Io, Fd, Payload) || fsyncRetry(Io, Fd) != 0) {
     setErr(Err, "append/fsync");
-    ::close(Fd);
+    Io.close(Fd);
     return false;
   }
-  if (::close(Fd) != 0) {
+  if (Io.close(Fd) != 0) {
     setErr(Err, "close after append");
     return false;
   }
@@ -83,24 +99,26 @@ bool appendFileDurable(const std::string &Path, const std::string &Payload,
 
 bool publishFileDurable(const std::string &TmpPath, const std::string &Path,
                         std::string *Err) {
-  if (std::rename(TmpPath.c_str(), Path.c_str()) != 0) {
+  IoEnv &Io = *IoEnv::current();
+  if (Io.rename(TmpPath.c_str(), Path.c_str()) != 0) {
     setErr(Err, "rename");
     return false;
   }
-  int DirFd = ::open(parentDir(Path).c_str(),
-                     O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  int DirFd = Io.open(parentDir(Path).c_str(),
+                      O_RDONLY | O_DIRECTORY | O_CLOEXEC, 0);
   if (DirFd >= 0) {
-    fsyncRetry(DirFd);
-    ::close(DirFd);
+    fsyncRetry(Io, DirFd);
+    Io.close(DirFd);
   }
   return true;
 }
 
 bool writeFileAtomic(const std::string &Path, const std::string &Payload,
                      std::string *Err) {
-  const std::string Tmp = Path + ".tmp";
-  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
-                  0644);
+  IoEnv &Io = *IoEnv::current();
+  const std::string Tmp = atomicTempPath(Path);
+  int Fd = Io.open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                   0644);
   if (Fd < 0) {
     setErr(Err, "open temporary");
     return false;
@@ -108,30 +126,30 @@ bool writeFileAtomic(const std::string &Path, const std::string &Payload,
   // Data must be durable BEFORE the rename publishes the name: otherwise a
   // crash can leave a renamed-but-empty (or torn) file that a resuming
   // driver would read as the shard's result.
-  if (!writeAll(Fd, Payload) || fsyncRetry(Fd) != 0) {
+  if (!writeAll(Io, Fd, Payload) || fsyncRetry(Io, Fd) != 0) {
     setErr(Err, "write/fsync temporary");
-    ::close(Fd);
-    std::remove(Tmp.c_str());
+    Io.close(Fd);
+    Io.unlink(Tmp.c_str());
     return false;
   }
-  if (::close(Fd) != 0) {
+  if (Io.close(Fd) != 0) {
     setErr(Err, "close temporary");
-    std::remove(Tmp.c_str());
+    Io.unlink(Tmp.c_str());
     return false;
   }
-  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+  if (Io.rename(Tmp.c_str(), Path.c_str()) != 0) {
     setErr(Err, "rename");
-    std::remove(Tmp.c_str());
+    Io.unlink(Tmp.c_str());
     return false;
   }
   // Make the rename itself durable. Failure to fsync the directory is not
   // fatal to the caller (the file contents are already safe and visible);
   // report success but do attempt it.
-  int DirFd = ::open(parentDir(Path).c_str(),
-                     O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  int DirFd = Io.open(parentDir(Path).c_str(),
+                      O_RDONLY | O_DIRECTORY | O_CLOEXEC, 0);
   if (DirFd >= 0) {
-    fsyncRetry(DirFd);
-    ::close(DirFd);
+    fsyncRetry(Io, DirFd);
+    Io.close(DirFd);
   }
   return true;
 }

@@ -27,8 +27,18 @@ namespace veriopt {
 /// Atomically and durably replace \p Path with \p Payload. On failure the
 /// previous file (if any) is intact, the temporary is removed, and when
 /// \p Err is non-null it names the failing step.
+///
+/// All syscalls route through IoEnv::current() (support/IoEnv.h), the
+/// injectable seam the fault-injection and crash-consistency tests drive.
 bool writeFileAtomic(const std::string &Path, const std::string &Payload,
                      std::string *Err = nullptr);
+
+/// The unique temporary name writeFileAtomic() would use next for \p Path:
+/// "<path>.tmp.<pid>.<seq>". Unique per process *and* per call, so
+/// concurrent writers to one destination never clobber each other's
+/// temporary (the destination rename is the only rendezvous). Exposed for
+/// the two-writer regression test.
+std::string atomicTempPath(const std::string &Path);
 
 /// Durably append \p Payload to \p Path (creating it if needed): O_APPEND
 /// write + fsync before returning. Appends are *not* atomic against readers

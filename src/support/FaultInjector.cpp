@@ -22,6 +22,18 @@ const char *faultSiteName(FaultSite S) {
     return "worker-hang";
   case FaultSite::WorkerCorrupt:
     return "worker-corrupt-result";
+  case FaultSite::IoOpen:
+    return "io-open";
+  case FaultSite::IoWrite:
+    return "io-write";
+  case FaultSite::IoShortWrite:
+    return "io-short-write";
+  case FaultSite::IoFsync:
+    return "io-fsync";
+  case FaultSite::IoRename:
+    return "io-rename";
+  case FaultSite::IoFlock:
+    return "io-flock";
   case FaultSite::NumSites:
     break;
   }

@@ -30,6 +30,15 @@ enum class FaultSite : unsigned {
   WorkerCrash,     ///< abort() an evaluation worker process mid-shard
   WorkerHang,      ///< hang a worker until the supervisor's deadline fires
   WorkerCorrupt,   ///< make a worker emit a torn/garbage result file
+  // I/O fault sites, consumed by FaultyIoEnv (support/IoEnv.h). Keys are
+  // (path, per-path op ordinal) hashes; errno shaping picks among
+  // ENOSPC / EIO / EDQUOT deterministically.
+  IoOpen,       ///< fail an open(2) of a durable artifact
+  IoWrite,      ///< fail a write(2) outright (nothing lands)
+  IoShortWrite, ///< write only a prefix (the torn-write hazard)
+  IoFsync,      ///< fail an fsync(2) (data may never become durable)
+  IoRename,     ///< fail a rename(2) (publish step of atomic replace)
+  IoFlock,      ///< fail a flock(2) acquisition (sidecar lock)
   NumSites
 };
 

@@ -2,6 +2,8 @@
 
 #include "support/FileLock.h"
 
+#include "support/IoEnv.h"
+
 #include <cerrno>
 #include <cstring>
 
@@ -25,9 +27,10 @@ bool FileLock::acquire(const std::string &Path, Mode M, bool NonBlocking,
   unlock();
   Contended = false;
 
+  IoEnv &Io = *IoEnv::current();
   int NewFd;
   do
-    NewFd = ::open(Path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    NewFd = Io.open(Path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
   while (NewFd < 0 && errno == EINTR);
   if (NewFd < 0) {
     setErr(Err, "open lock file");
@@ -39,16 +42,16 @@ bool FileLock::acquire(const std::string &Path, Mode M, bool NonBlocking,
     Op |= LOCK_NB;
   int R;
   do
-    R = ::flock(NewFd, Op);
+    R = Io.flock(NewFd, Op);
   while (R != 0 && errno == EINTR);
   if (R != 0) {
     if (NonBlocking && errno == EWOULDBLOCK) {
-      ::close(NewFd);
+      Io.close(NewFd);
       Contended = true;
       return true;
     }
     setErr(Err, "flock");
-    ::close(NewFd);
+    Io.close(NewFd);
     return false;
   }
 

@@ -11,7 +11,21 @@
 #include <cstdio>
 #include <fstream>
 
+#include <unistd.h>
+
 namespace veriopt {
+
+// Durability-plane instruments ("io." prefix: excluded from the
+// deterministic trace plane, docs/OBSERVABILITY.md).
+static Counter &streamAppendFailuresCounter() {
+  static Counter &C =
+      MetricsRegistry::global().counter("io.trace.append_failures");
+  return C;
+}
+static Gauge &streamDegradedGauge() {
+  static Gauge &G = MetricsRegistry::global().gauge("io.trace.degraded");
+  return G;
+}
 
 TraceRecorder &TraceRecorder::instance() {
   static TraceRecorder R;
@@ -296,9 +310,19 @@ bool TraceRecorder::streamTo(const std::string &Path,
   F.close();
   StreamPath = Path;
   StreamMetrics = Metrics;
+  StreamBacklog.clear();
+  StreamGoodBytes = 0;
+  StreamConsecFailures = 0;
+  StreamDegradedFlag = false;
+  StreamMetricsAppended = false;
   StreamPendingEvents.store(0, std::memory_order_relaxed);
   StreamActive.store(true, std::memory_order_relaxed);
   return true;
+}
+
+bool TraceRecorder::streamDegraded() {
+  std::lock_guard<std::mutex> L(StreamM);
+  return StreamDegradedFlag;
 }
 
 bool TraceRecorder::flushStream() {
@@ -311,33 +335,103 @@ bool TraceRecorder::flushStream() {
     Payload += eventToJsonl(E);
     Payload.push_back('\n');
   }
-  if (Payload.empty())
+  if (StreamDegradedFlag) {
+    // Buffered-sink fallback: the disk stopped accepting appends, so
+    // accumulate in memory and let finishStream() publish everything with
+    // one atomic write. No event is lost, only incremental durability.
+    StreamBacklog += Payload;
+    return true;
+  }
+  if (Payload.empty() && StreamBacklog.empty())
     return true;
   // Durable append (support/AtomicFile.h): a crash mid-run loses at most
   // the unflushed tail, and the ".stream" name keeps a partial file from
-  // being mistaken for a complete trace.
-  return appendFileDurable(StreamPath + ".stream", Payload);
+  // being mistaken for a complete trace. Any backlog a previous failed
+  // flush retained goes first so file order stays drain order.
+  std::string Attempt = std::move(StreamBacklog) + Payload;
+  StreamBacklog.clear();
+  if (appendFileDurable(StreamPath + ".stream", Attempt)) {
+    StreamGoodBytes += Attempt.size();
+    StreamConsecFailures = 0;
+    return true;
+  }
+  // Retain the payload — a later flush or the finish will carry it — and
+  // truncate any torn tail the failed write left, so retrying the retained
+  // payload can never duplicate records in the file. Raw ::truncate on
+  // purpose: this is the repair path, not a fault-injection site.
+  ::truncate((StreamPath + ".stream").c_str(),
+             static_cast<off_t>(StreamGoodBytes));
+  StreamBacklog = std::move(Attempt);
+  streamAppendFailuresCounter().inc();
+  if (++StreamConsecFailures >= StreamDegradeAfterFailures) {
+    StreamDegradedFlag = true;
+    streamDegradedGauge().set(1);
+  }
+  return false;
 }
 
 bool TraceRecorder::finishStream() {
-  if (!flushStream())
-    return false;
+  // A failed incremental flush is not fatal here: the payload it retained
+  // in the backlog is exactly what the degraded publish below carries.
+  flushStream();
   std::lock_guard<std::mutex> L(StreamM);
   if (!StreamActive.load(std::memory_order_relaxed))
     return true;
-  if (StreamMetrics) {
-    std::string Tail;
-    appendMetricsLines(Tail, *StreamMetrics);
-    if (!Tail.empty() && !appendFileDurable(StreamPath + ".stream", Tail))
+  const std::string StreamFile = StreamPath + ".stream";
+
+  if (StreamDegradedFlag || !StreamBacklog.empty()) {
+    // Buffered fallback: the in-progress file stopped accepting appends.
+    // Publish everything in one atomic write — the known-good prefix
+    // already durable in ".stream", the retained backlog, and the metric
+    // lines — so the final artifact is still complete and untorn.
+    std::string Payload;
+    if (StreamGoodBytes) {
+      std::ifstream F(StreamFile, std::ios::binary);
+      std::string Good(StreamGoodBytes, '\0');
+      if (F.read(&Good[0], static_cast<std::streamsize>(StreamGoodBytes)))
+        Payload = std::move(Good);
+      // Unreadable prefix: publish what the backlog still holds rather
+      // than nothing — degradation is best-effort by definition.
+    }
+    Payload += StreamBacklog;
+    if (StreamMetrics && !StreamMetricsAppended)
+      appendMetricsLines(Payload, *StreamMetrics);
+    if (!writeFileAtomic(StreamPath, Payload))
+      return false; // ".stream" and backlog intact; finish is retryable
+    std::remove(StreamFile.c_str()); // best-effort tidy-up
+  } else {
+    if (StreamMetrics && !StreamMetricsAppended) {
+      std::string Tail;
+      appendMetricsLines(Tail, *StreamMetrics);
+      if (!Tail.empty()) {
+        if (!appendFileDurable(StreamFile, Tail)) {
+          // Same repair as flushStream: drop any torn tail so a retried
+          // finish cannot duplicate the metric lines.
+          ::truncate(StreamFile.c_str(),
+                     static_cast<off_t>(StreamGoodBytes));
+          streamAppendFailuresCounter().inc();
+          return false;
+        }
+        StreamGoodBytes += Tail.size();
+      }
+      StreamMetricsAppended = true;
+    }
+    // The append path already fsync'ed the data; publishing is the back
+    // half of the atomic-replace discipline (rename + parent fsync). On
+    // failure ".stream" is intact and loadable and finishStream() can be
+    // retried.
+    if (!publishFileDurable(StreamFile, StreamPath))
       return false;
   }
-  // The append path already fsync'ed the data; publishing is the back half
-  // of the atomic-replace discipline (rename + parent fsync).
-  if (!publishFileDurable(StreamPath + ".stream", StreamPath))
-    return false;
+
   StreamActive.store(false, std::memory_order_relaxed);
   StreamPath.clear();
   StreamMetrics = nullptr;
+  StreamBacklog.clear();
+  StreamGoodBytes = 0;
+  StreamConsecFailures = 0;
+  StreamDegradedFlag = false;
+  StreamMetricsAppended = false;
   return true;
 }
 

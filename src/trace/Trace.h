@@ -179,16 +179,28 @@ public:
 
   /// Drain all buffered events to the in-progress ".stream" file now.
   /// No-op (true) when streaming is off.
+  ///
+  /// Graceful degradation: a failed append *retains* the drained payload in
+  /// an in-memory backlog (and truncates any torn tail off ".stream", so a
+  /// later retry can never duplicate records). After
+  /// StreamDegradeAfterFailures consecutive failures the sink stops
+  /// touching the disk and accumulates in memory — the buffered-sink
+  /// fallback — and finishStream() publishes everything with one atomic
+  /// write. Events are never lost to an append failure, only durability of
+  /// the in-progress file is.
   bool flushStream();
 
   /// Final drain + metric lines + durable rename to the armed path, then
-  /// disarm. Returns false (partial ".stream" left for forensics) on I/O
-  /// errors.
+  /// disarm. Returns false on I/O errors with the durable ".stream" (and
+  /// the in-memory backlog) fully intact — finishStream() is retryable.
   bool finishStream();
 
   bool streaming() const {
     return StreamActive.load(std::memory_order_relaxed);
   }
+
+  /// True once the streaming sink fell back to in-memory accumulation.
+  bool streamDegraded();
 
 private:
   TraceRecorder() = default;
@@ -220,6 +232,18 @@ private:
   std::atomic<size_t> StreamPendingEvents{0};
   std::string StreamPath;                        ///< guarded by StreamM
   const MetricsRegistry *StreamMetrics = nullptr; ///< guarded by StreamM
+
+  // Streaming-sink degradation state (all guarded by StreamM). The sink
+  // trades bounded memory for correctness under I/O faults: failed-append
+  // payloads are retained, and after enough consecutive failures the sink
+  // becomes the buffered sink it was optimizing away.
+  static constexpr size_t StreamDegradeAfterFailures = 3;
+  std::string StreamBacklog;      ///< drained events a failed append kept
+  size_t StreamGoodBytes = 0;     ///< bytes known durably in ".stream"
+  size_t StreamConsecFailures = 0;
+  bool StreamDegradedFlag = false;
+  bool StreamMetricsAppended = false; ///< keeps retried finishes from
+                                      ///< duplicating the metric lines
 };
 
 /// RAII span. Construct at region entry; args added before destruction land

@@ -21,6 +21,8 @@
 #include "gtest/gtest.h"
 
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -253,6 +255,74 @@ TEST_F(DriverTest, ResumeRejectsTamperedResultFile) {
   EXPECT_EQ(Second.Spawned, 1u);
   EXPECT_TRUE(Second.allHealthy());
   EXPECT_EQ(countResultDivergence(First.Merged, Second.Merged), 0u);
+}
+
+//===--- Failure classification ------------------------------------------------//
+
+std::string slurp(const std::string &Path) {
+  std::ifstream IS(Path, std::ios::binary);
+  std::ostringstream SS;
+  SS << IS.rdbuf();
+  return SS.str();
+}
+
+TEST_F(DriverTest, SignalDeathClassifiesAsRuntime) {
+  EvalDriverReport R;
+  std::string Err;
+  ASSERT_TRUE(runEvalDriver(opts({"--inject-crash-shard", "1"}),
+                            Model.config().Name, R, &Err))
+      << Err;
+  ASSERT_EQ(R.Quarantined.size(), 1u);
+  for (const ShardAttemptFailure &F : R.Quarantined[0].Failures)
+    EXPECT_EQ(F.Class, FailureClass::Runtime) << failureClassName(F.Class);
+  EXPECT_NE(slurp(Dir + "/quarantine.json").find("\"class\":\"runtime\""),
+            std::string::npos);
+  EXPECT_NE(renderDriverReport(R).find("[runtime]"), std::string::npos);
+}
+
+TEST_F(DriverTest, InvalidResultFromCleanExitClassifiesAsIo) {
+  // Exit 0 with a corrupt result file: the worker's logic ran to
+  // completion and its *artifact* is bad — an I/O-side failure, the class
+  // an operator triages against disks, not against the model.
+  EvalDriverReport R;
+  std::string Err;
+  ASSERT_TRUE(runEvalDriver(opts({"--inject-corrupt-result", "2"}),
+                            Model.config().Name, R, &Err))
+      << Err;
+  ASSERT_EQ(R.Quarantined.size(), 1u);
+  EXPECT_EQ(R.Quarantined[0].Failures.back().Class, FailureClass::Io);
+  EXPECT_NE(slurp(Dir + "/quarantine.json").find("\"class\":\"io\""),
+            std::string::npos);
+  EXPECT_NE(renderDriverReport(R).find("[io]"), std::string::npos);
+}
+
+TEST_F(DriverTest, WorkerIoExitClassifiesAsIo) {
+  // --chaos-io 100 makes every durable write in the worker fail, so it
+  // exits with its typed I/O code (5) on every shard and attempt — the
+  // driver must label the quarantine [io], not [logic].
+  EvalDriverOptions O = opts({"--chaos-io", "100"});
+  O.MaxAttempts = 1; // no salvage possible at rate 100
+  EvalDriverReport R;
+  std::string Err;
+  ASSERT_TRUE(runEvalDriver(O, Model.config().Name, R, &Err)) << Err;
+  ASSERT_EQ(R.Quarantined.size(), NumShards);
+  for (const QuarantinedShard &Q : R.Quarantined)
+    for (const ShardAttemptFailure &F : Q.Failures)
+      EXPECT_EQ(F.Class, FailureClass::Io) << failureClassName(F.Class);
+}
+
+TEST_F(DriverTest, UsageErrorClassifiesAsLogic) {
+  EvalDriverOptions O = opts({"--definitely-not-a-flag"});
+  O.MaxAttempts = 1;
+  EvalDriverReport R;
+  std::string Err;
+  ASSERT_TRUE(runEvalDriver(O, Model.config().Name, R, &Err)) << Err;
+  ASSERT_EQ(R.Quarantined.size(), NumShards);
+  for (const QuarantinedShard &Q : R.Quarantined)
+    EXPECT_EQ(Q.Failures.back().Class, FailureClass::Logic)
+        << failureClassName(Q.Failures.back().Class);
+  EXPECT_NE(slurp(Dir + "/quarantine.json").find("\"class\":\"logic\""),
+            std::string::npos);
 }
 
 //===--- loadValidShardResult --------------------------------------------------//

@@ -204,6 +204,31 @@ TEST(RunDiffTest, WallClockMetricsLiveOnTheTimingPlane) {
   EXPECT_EQ(S.DeterministicEvents, 1u);
 }
 
+TEST(RunDiffTest, DurabilityMetricsLiveOffTheDeterministicPlane) {
+  // `io.*` metric exports measure how the *disk* behaved — flush failures,
+  // degraded-mode gauges, checkpoint retries. A chaos run and a fault-free
+  // same-seed run legitimately differ there, so the deterministic-plane
+  // gate must ignore them while still catching any correctness-plane
+  // drift.
+  auto Run = [](double FlushFailures, double StoreWrites) {
+    std::ostringstream OS;
+    OS << R"({"name":"metric","ph":"C","ts_ns":0,"tid":0,"seq":0,"args":{"key":"io.store.flush_failures","value":)"
+       << FlushFailures << "}}\n";
+    OS << R"({"name":"metric","ph":"C","ts_ns":0,"tid":0,"seq":1,"args":{"key":"store.writes","value":)"
+       << StoreWrites << "}}\n";
+    return aggregateRun(parseValid(OS.str()));
+  };
+  // Faulty vs fault-free: only the durability plane moved — identical.
+  EXPECT_TRUE(
+      diffRuns(Run(7, 40), Run(0, 40)).deterministicPlaneIdentical());
+  // But a store.writes divergence is a real correctness failure.
+  EXPECT_FALSE(
+      diffRuns(Run(0, 40), Run(0, 41)).deterministicPlaneIdentical());
+  RunSummary S = Run(7, 40);
+  EXPECT_EQ(S.Events, 2u);
+  EXPECT_EQ(S.DeterministicEvents, 1u);
+}
+
 TEST(RunDiffTest, TruncatedJsonlNamesTheLine) {
   // A truncated final line (crash mid-write) must be a clean parse error,
   // not a crash — the CLI maps this to exit code 2.

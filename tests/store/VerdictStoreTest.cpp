@@ -17,6 +17,7 @@
 #include "model/Policy.h"
 #include "pipeline/Evaluation.h"
 #include "support/FaultInjector.h"
+#include "support/IoEnv.h"
 #include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
@@ -584,6 +585,90 @@ TEST(VerdictStore, WarmColdAndNoStoreEvaluationsBitIdentical) {
     }
     ASSERT_TRUE(St->flush());
   }
+}
+
+//===--- Graceful degradation under I/O faults --------------------------------===//
+
+TEST(VerdictStore, DegradesToInMemoryAfterConsecutiveFlushFailures) {
+  ScratchFile F("degrade");
+  VerdictStore::Options O;
+  O.FlushEveryN = 1; // a flush attempt per put
+  O.DegradeAfterFlushFailures = 3;
+  std::string Err;
+  auto St = VerdictStore::open(F.Path, &Err, O);
+  ASSERT_NE(St, nullptr) << Err;
+
+  FaultInjector FI(41);
+  FI.enable(FaultSite::IoWrite, 1.0);
+  FaultyIoEnv Env(FI);
+  {
+    ScopedIoEnv Install(&Env);
+    for (int I = 0; I < 2; ++I)
+      St->put("deg-" + std::to_string(I), equivalentResult());
+    EXPECT_FALSE(St->degraded()); // two failures: still trying
+    St->put("deg-2", equivalentResult());
+    EXPECT_TRUE(St->degraded()); // third consecutive failure trips it
+  }
+
+  VerdictStore::Stats S = St->stats();
+  EXPECT_EQ(S.FlushFailures, 3u);
+  EXPECT_NE(S.DegradedReason.find("3 consecutive flush failures"),
+            std::string::npos)
+      << S.DegradedReason;
+  EXPECT_EQ(S.Writes, 3u);
+
+  // Degraded is sticky and in-memory-only, not broken: puts and lookups
+  // keep working, writes keep counting (the metric plane must move
+  // identically to a fault-free run), and flush is a successful no-op even
+  // now that the disk is healthy again.
+  St->put("deg-3", equivalentResult());
+  EXPECT_EQ(St->stats().Writes, 4u);
+  VerifyResult Out;
+  EXPECT_TRUE(St->lookup("deg-0", Out));
+  EXPECT_TRUE(St->lookup("deg-3", Out));
+  EXPECT_TRUE(St->degraded());
+  EXPECT_TRUE(St->flush(&Err)) << Err;
+  EXPECT_TRUE(St->compact(&Err)) << Err;
+
+  // Durability really was lost — by design, and only durability: a reopen
+  // finds an empty journal, not a corrupt one.
+  St.reset();
+  auto Re = VerdictStore::open(F.Path, &Err);
+  ASSERT_NE(Re, nullptr) << Err;
+  EXPECT_EQ(Re->size(), 0u);
+  EXPECT_FALSE(Re->degraded());
+}
+
+TEST(VerdictStore, IntermittentFlushFailuresDoNotTrip) {
+  // The trip condition is *consecutive* failures: a flaky disk that
+  // recovers resets the count and the store stays durable.
+  ScratchFile F("flaky");
+  VerdictStore::Options O;
+  O.FlushEveryN = 1;
+  O.DegradeAfterFlushFailures = 3;
+  auto St = VerdictStore::open(F.Path, nullptr, O);
+  ASSERT_NE(St, nullptr);
+
+  FaultInjector FI(43);
+  FI.enable(FaultSite::IoWrite, 1.0);
+  FaultyIoEnv Env(FI);
+  for (int Round = 0; Round < 3; ++Round) {
+    {
+      ScopedIoEnv Install(&Env);
+      St->put("flaky-bad-" + std::to_string(Round), equivalentResult());
+    }
+    // Disk recovers before the third consecutive failure each time.
+    St->put("flaky-good-" + std::to_string(Round), equivalentResult());
+  }
+  EXPECT_FALSE(St->degraded());
+  EXPECT_EQ(St->stats().FlushFailures, 3u); // counted, but never 3 in a row
+  ASSERT_TRUE(St->flush());
+
+  // The successfully flushed records are durable.
+  auto Re = VerdictStore::open(F.Path);
+  ASSERT_NE(Re, nullptr);
+  VerifyResult Out;
+  EXPECT_TRUE(Re->lookup("flaky-good-0", Out));
 }
 
 } // namespace

@@ -15,6 +15,7 @@
 #include "gtest/gtest.h"
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include <unistd.h>
@@ -100,6 +101,49 @@ TEST(FileLock, ErrorNamesUnopenablePath) {
                       &Err));
   EXPECT_FALSE(L.held());
   EXPECT_FALSE(Err.empty());
+}
+
+TEST(FileLock, PathThroughRegularFileFailsTyped) {
+  // A lock path whose parent "directory" is actually a regular file is a
+  // real I/O error (ENOTDIR), not contention: lock() must fail with the
+  // open step named. (Tests run as root, so an unwritable-permissions file
+  // cannot model this — chmod is ignored; a file-as-directory cannot be.)
+  ScratchLock F("notdir");
+  {
+    std::ofstream OS(F.Path);
+    OS << "a regular file, not a directory";
+  }
+  FileLock L;
+  std::string Err;
+  EXPECT_FALSE(L.lock(F.Path + "/x.lock", FileLock::Mode::Exclusive, &Err));
+  EXPECT_FALSE(L.held());
+  EXPECT_NE(Err.find("open lock file"), std::string::npos) << Err;
+}
+
+TEST(FileLock, SurvivesLockFileUnlinkedMidHold) {
+  // An operator (or an overeager cleanup job) unlinking the lock file out
+  // from under a holder must never wedge the runtime: the holder's flock
+  // rides the now-anonymous inode and releases normally, and the next
+  // acquirer transparently recreates the file and proceeds. The cost is
+  // the documented advisory-lock caveat — the new file is a new inode, so
+  // exclusion against the old holder is lost, never liveness.
+  ScratchLock F("unlinked");
+  FileLock A;
+  ASSERT_TRUE(A.lock(F.Path, FileLock::Mode::Exclusive));
+  ASSERT_EQ(::unlink(F.Path.c_str()), 0);
+
+  FileLock B;
+  bool Contended = true;
+  std::string Err;
+  ASSERT_TRUE(B.tryLock(F.Path, FileLock::Mode::Exclusive, Contended, &Err))
+      << Err;
+  EXPECT_FALSE(Contended); // fresh inode: the old hold cannot exclude it
+  EXPECT_TRUE(B.held());
+
+  A.unlock(); // releasing the unlinked inode's lock must not error/crash
+  B.unlock();
+  // And a clean reacquire on the recreated file works end to end.
+  ASSERT_TRUE(A.lock(F.Path, FileLock::Mode::Exclusive, &Err)) << Err;
 }
 
 /// The cross-process arm: veriopt-worker --lock-probe tries a non-blocking

@@ -12,10 +12,21 @@
 //                 [--verdict-store PATH]
 //                 [--inject-crash-shard I] [--inject-hang-shard I]
 //                 [--inject-corrupt-result I] [--inject-flaky-shard I]
+//                 [--chaos-io RATE%] [--chaos-io-seed S]
 //
 // --verdict-store hands every worker the same durable verdict journal
 // (docs/PERSISTENCE.md): the fleet shares one warm store across shards,
 // processes, and runs. Results are bit-identical with or without it.
+//
+// --chaos-io forwards worker-side I/O fault injection (the FaultyIoEnv
+// seam, docs/FAULT_TOLERANCE.md): every durable write a worker makes can
+// fail with a shaped errno at the given percentage, deterministically in
+// (seed, path, op ordinal) with the seed mixed per attempt — so a shard
+// whose result write fails (typed exit 5, classified [io] in the
+// quarantine diagnostics, distinct from [logic] and [runtime]) is
+// salvageable by the driver's retries, exactly like a transiently failing
+// disk. The CI chaos-io job drives this with --max-attempts raised and
+// gates a clean exit.
 //
 // Exit codes: 0 all shards healthy; 1 hard error; 4 degraded (some shards
 // quarantined — healthy subset still merged and reported).
@@ -70,7 +81,8 @@ int usage(const char *Argv0) {
       "          [--trace out.jsonl] [--verdict-store PATH]\n"
       "          [--inject-crash-shard I]\n"
       "          [--inject-hang-shard I] [--inject-corrupt-result I]\n"
-      "          [--inject-flaky-shard I]\n",
+      "          [--inject-flaky-shard I] [--chaos-io RATE%%]\n"
+      "          [--chaos-io-seed S]\n",
       Argv0);
   return 1;
 }
@@ -323,6 +335,10 @@ int main(int argc, char **argv) {
                           {"--inject-corrupt-result", V});
     else if (valArg(I, "--inject-flaky-shard", &V))
       C.InjectArgs.insert(C.InjectArgs.end(), {"--inject-flaky-shard", V});
+    else if (valArg(I, "--chaos-io", &V))
+      C.InjectArgs.insert(C.InjectArgs.end(), {"--chaos-io", V});
+    else if (valArg(I, "--chaos-io-seed", &V))
+      C.InjectArgs.insert(C.InjectArgs.end(), {"--chaos-io-seed", V});
     else
       return usage(argv[0]);
   }

@@ -35,6 +35,17 @@
 //   --inject-flaky-shard I     crash shard I on attempt 1 only (retry must
 //                              salvage it)
 //   --fault-seed S             FaultInjector seed (default 0xFA11)
+//   --chaos-io RATE%%          install FaultyIoEnv over the process's whole
+//                              I/O seam: every open/write/fsync/rename/
+//                              flock this worker performs can fail with a
+//                              shaped errno at RATE/100 probability,
+//                              deterministically in (seed, path, op
+//                              ordinal). The seed is mixed with --attempt
+//                              so a retried shard sees an independent
+//                              fault pattern — transient disk failures are
+//                              salvageable, exactly like real ones.
+//   --chaos-io-seed S          base seed for --chaos-io (default
+//                              --fault-seed)
 //
 //===----------------------------------------------------------------------===//
 
@@ -43,6 +54,7 @@
 #include "support/AtomicFile.h"
 #include "support/FaultInjector.h"
 #include "support/FileLock.h"
+#include "support/IoEnv.h"
 #include "verify/BatchVerifier.h"
 #include "verify/VerifyCache.h"
 
@@ -69,7 +81,7 @@ int usage(const char *Argv0) {
       "          [--verdict-store PATH]\n"
       "          [--inject-crash-shard I] [--inject-hang-shard I]\n"
       "          [--inject-corrupt-result I] [--inject-flaky-shard I]\n"
-      "          [--fault-seed S]\n",
+      "          [--fault-seed S] [--chaos-io RATE%%] [--chaos-io-seed S]\n",
       Argv0);
   return 2;
 }
@@ -88,6 +100,9 @@ int main(int argc, char **argv) {
   int ShardIdx = -1;
   unsigned ValidCount = 24, Attempt = 1;
   uint64_t DatasetSeed = 2026, FaultSeed = 0xFA11;
+  long ChaosIoPct = 0;
+  uint64_t ChaosIoSeed = 0;
+  bool ChaosIoSeedSet = false;
   std::vector<unsigned> CrashShards, HangShards, CorruptShards, FlakyShards;
 
   auto intArg = [&](int &I, const char *Name, long &Out) {
@@ -116,7 +131,12 @@ int main(int argc, char **argv) {
       Attempt = static_cast<unsigned>(V);
     else if (intArg(I, "--fault-seed", V))
       FaultSeed = static_cast<uint64_t>(V);
-    else if (intArg(I, "--inject-crash-shard", V))
+    else if (intArg(I, "--chaos-io", V))
+      ChaosIoPct = V;
+    else if (intArg(I, "--chaos-io-seed", V)) {
+      ChaosIoSeed = static_cast<uint64_t>(V);
+      ChaosIoSeedSet = true;
+    } else if (intArg(I, "--inject-crash-shard", V))
       CrashShards.push_back(static_cast<unsigned>(V));
     else if (intArg(I, "--inject-hang-shard", V))
       HangShards.push_back(static_cast<unsigned>(V));
@@ -169,6 +189,31 @@ int main(int argc, char **argv) {
                  "shards)\n",
                  ShardIdx, Plan.size());
     return 4;
+  }
+
+  // Whole-process I/O chaos: every syscall the durable subsystems make
+  // (store journal appends, lock files, the atomic result write) can fail
+  // with a shaped errno. Deterministic in (seed, path, per-path ordinal),
+  // and the seed is mixed with the attempt number so the driver's retries
+  // see an independent fault pattern — a transiently failing disk, not a
+  // permanently cursed file.
+  std::unique_ptr<FaultInjector> IoFI;
+  std::unique_ptr<FaultyIoEnv> IoFaults;
+  std::unique_ptr<ScopedIoEnv> IoInstall;
+  if (ChaosIoPct > 0) {
+    const uint64_t Base = ChaosIoSeedSet ? ChaosIoSeed : FaultSeed;
+    IoFI = std::make_unique<FaultInjector>(
+        Base + 0x9e3779b97f4a7c15ULL * Attempt);
+    const double Rate = static_cast<double>(ChaosIoPct) / 100.0;
+    for (FaultSite S : {FaultSite::IoOpen, FaultSite::IoWrite,
+                        FaultSite::IoShortWrite, FaultSite::IoFsync,
+                        FaultSite::IoRename, FaultSite::IoFlock})
+      IoFI->enable(S, Rate);
+    IoFaults = std::make_unique<FaultyIoEnv>(*IoFI);
+    IoInstall = std::make_unique<ScopedIoEnv>(IoFaults.get());
+    std::fprintf(stderr,
+                 "veriopt-worker: chaos-io armed at %ld%% (attempt %u)\n",
+                 ChaosIoPct, Attempt);
   }
 
   // Chaos faults, routed through the seeded injector sites so they are
